@@ -1,0 +1,167 @@
+//! Input FIFO queueing — the architecture of \[KaHM87\] (fig. 1, left).
+//!
+//! One FIFO per input; only the head-of-line (HOL) cell of each queue
+//! contends for its output; contention is resolved uniformly at random
+//! among the contenders (the \[KaHM87\] assumption). HOL blocking limits the
+//! saturation throughput to `2 − √2 ≈ 0.586` for large `n` under uniform
+//! iid traffic — the number experiment E1 regenerates.
+
+use crate::model::{clear_out, CellSwitch};
+use simkernel::cell::Cell;
+use simkernel::ids::Cycle;
+use simkernel::SplitMix64;
+use std::collections::VecDeque;
+
+/// FIFO-input-queued switch.
+#[derive(Debug)]
+pub struct InputFifoSwitch {
+    queues: Vec<VecDeque<Cell>>,
+    capacity: Option<usize>,
+    dropped: u64,
+    rng: SplitMix64,
+    /// Scratch: contenders per output.
+    contenders: Vec<Vec<usize>>,
+}
+
+impl InputFifoSwitch {
+    /// An `n×n` switch with per-input queue `capacity` (`None` =
+    /// unbounded, the setting for saturation studies).
+    pub fn new(n: usize, capacity: Option<usize>, seed: u64) -> Self {
+        assert!(n > 0);
+        InputFifoSwitch {
+            queues: vec![VecDeque::new(); n],
+            capacity,
+            dropped: 0,
+            rng: SplitMix64::new(seed),
+            contenders: vec![Vec::new(); n],
+        }
+    }
+
+    /// Length of one input queue.
+    pub fn queue_len(&self, i: usize) -> usize {
+        self.queues[i].len()
+    }
+}
+
+impl CellSwitch for InputFifoSwitch {
+    fn ports(&self) -> usize {
+        self.queues.len()
+    }
+
+    fn tick(&mut self, _now: Cycle, arrivals: &[Option<Cell>], out: &mut [Option<Cell>]) {
+        clear_out(out);
+        // Enqueue arrivals.
+        for (i, a) in arrivals.iter().enumerate() {
+            if let Some(c) = a {
+                if self.capacity.is_some_and(|cap| self.queues[i].len() >= cap) {
+                    self.dropped += 1;
+                } else {
+                    self.queues[i].push_back(*c);
+                }
+            }
+        }
+        // HOL contention: collect contenders per output.
+        for v in self.contenders.iter_mut() {
+            v.clear();
+        }
+        for (i, q) in self.queues.iter().enumerate() {
+            if let Some(head) = q.front() {
+                self.contenders[head.dst.index()].push(i);
+            }
+        }
+        // Uniform random winner per output; losers stay blocked.
+        for (j, c) in self.contenders.iter().enumerate() {
+            if c.is_empty() {
+                continue;
+            }
+            let winner = c[self.rng.below_usize(c.len())];
+            out[j] = self.queues[winner].pop_front();
+        }
+    }
+
+    fn occupancy(&self) -> usize {
+        self.queues.iter().map(VecDeque::len).sum()
+    }
+
+    fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    fn name(&self) -> &'static str {
+        "input-fifo"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(id: u64, src: usize, dst: usize) -> Cell {
+        Cell::new(id, src, dst, 0)
+    }
+
+    #[test]
+    fn uncontended_cells_flow_through() {
+        let mut sw = InputFifoSwitch::new(2, None, 1);
+        let mut out = vec![None; 2];
+        sw.tick(0, &[Some(cell(1, 0, 0)), Some(cell(2, 1, 1))], &mut out);
+        assert_eq!(out[0].unwrap().id.0, 1);
+        assert_eq!(out[1].unwrap().id.0, 2);
+        assert_eq!(sw.occupancy(), 0);
+    }
+
+    #[test]
+    fn contention_serializes() {
+        let mut sw = InputFifoSwitch::new(2, None, 1);
+        let mut out = vec![None; 2];
+        sw.tick(0, &[Some(cell(1, 0, 0)), Some(cell(2, 1, 0))], &mut out);
+        assert!(out[0].is_some() && out[1].is_none());
+        assert_eq!(sw.occupancy(), 1);
+        sw.tick(1, &[None, None], &mut out);
+        assert!(out[0].is_some());
+        assert_eq!(sw.occupancy(), 0);
+    }
+
+    #[test]
+    fn hol_blocking_demonstrated() {
+        // Input 0 queues: [→0, →1]; input 1: [→0]. Output 1 is idle but
+        // input 0's second cell is blocked behind its HOL cell whenever
+        // input 1 wins output 0 — the defining pathology.
+        let mut blocked_seen = false;
+        for seed in 0..20 {
+            let mut sw = InputFifoSwitch::new(2, None, seed);
+            let mut out = vec![None; 2];
+            sw.tick(0, &[Some(cell(1, 0, 0)), Some(cell(2, 1, 0))], &mut out);
+            // Put →1 behind input 0's head (if it still has one queued).
+            sw.tick(1, &[Some(cell(3, 0, 1)), None], &mut out);
+            if sw.queue_len(0) > 0 && out[1].is_none() {
+                blocked_seen = true;
+            }
+        }
+        assert!(blocked_seen, "HOL blocking never manifested across seeds");
+    }
+
+    #[test]
+    fn finite_capacity_drops() {
+        let mut sw = InputFifoSwitch::new(1, Some(1), 1);
+        let mut out = vec![None; 1];
+        // Two same-slot arrivals can't happen (1 per input), so fill then
+        // overflow across slots while output is blocked... with n=1 the
+        // queue drains every slot; use dst contention impossible — instead
+        // capacity 0-ish test: capacity 1 with two arrivals in consecutive
+        // slots while HOL departs — no drop. Force drop via n=2 on same
+        // output.
+        let mut sw2 = InputFifoSwitch::new(2, Some(1), 1);
+        let mut out2 = vec![None; 2];
+        sw2.tick(0, &[Some(cell(1, 0, 0)), Some(cell(2, 1, 0))], &mut out2);
+        // Loser still queued; next arrival on its input overflows.
+        let loser = if sw2.queue_len(0) > 0 { 0 } else { 1 };
+        let mut arr = vec![None, None];
+        arr[loser] = Some(cell(3, loser, 1));
+        sw2.tick(1, &arr, &mut out2);
+        assert_eq!(sw2.dropped(), 1);
+        // silence unused warnings for the n=1 instance
+        sw.tick(0, &[None], &mut out);
+        assert_eq!(sw.dropped(), 0);
+    }
+}

@@ -1,0 +1,70 @@
+//! The common interface of all slot-level switch models.
+
+use simkernel::cell::Cell;
+use simkernel::ids::Cycle;
+
+/// A slot-level `n×n` switch model.
+///
+/// Per slot: at most one arriving cell per input, at most one departing
+/// cell per output. Cells that cannot be buffered are dropped and counted;
+/// a model must never silently lose a cell (conservation is property-
+/// tested across all implementations).
+pub trait CellSwitch {
+    /// Number of ports (inputs = outputs = n).
+    fn ports(&self) -> usize;
+
+    /// Advance one slot. `arrivals[i]` is the cell arriving on input `i`;
+    /// departures are written into `out[j]` for output `j` (pre-cleared by
+    /// the implementation).
+    fn tick(&mut self, now: Cycle, arrivals: &[Option<Cell>], out: &mut [Option<Cell>]);
+
+    /// Cells currently buffered anywhere in the switch.
+    fn occupancy(&self) -> usize;
+
+    /// Cells dropped since construction.
+    fn dropped(&self) -> u64;
+
+    /// Short architecture name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Clear a departure buffer (helper for implementations).
+pub fn clear_out(out: &mut [Option<Cell>]) {
+    for o in out.iter_mut() {
+        *o = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Null(usize);
+    impl CellSwitch for Null {
+        fn ports(&self) -> usize {
+            self.0
+        }
+        fn tick(&mut self, _now: Cycle, _arr: &[Option<Cell>], out: &mut [Option<Cell>]) {
+            clear_out(out);
+        }
+        fn occupancy(&self) -> usize {
+            0
+        }
+        fn dropped(&self) -> u64 {
+            0
+        }
+        fn name(&self) -> &'static str {
+            "null"
+        }
+    }
+
+    #[test]
+    fn clear_out_clears() {
+        let mut out = vec![Some(Cell::new(1, 0, 0, 0)), None];
+        clear_out(&mut out);
+        assert!(out.iter().all(Option::is_none));
+        let mut n = Null(2);
+        n.tick(0, &[None, None], &mut out);
+        assert_eq!(n.ports(), 2);
+    }
+}

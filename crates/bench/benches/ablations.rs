@@ -1,0 +1,109 @@
+//! Ablations of the paper's design choices (DESIGN.md §5), measured as
+//! end-to-end simulated performance differences rather than wall-clock:
+//! each bench runs a fixed simulation and reports its wall time, and the
+//! simulated quality metric is printed once at setup so `cargo bench`
+//! output shows both.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use simkernel::SplitMix64;
+use switch_core::arbiter::ArbiterPolicy;
+use switch_core::behavioral::BehavioralSwitch;
+use switch_core::config::SwitchConfig;
+
+/// Run the behavioral switch at moderate uniform load (0.4 — the §3.4
+/// regime where policy differences are visible; at saturation every
+/// policy queues identically) and return (utilization, mean head
+/// latency).
+fn quality(cfg: SwitchConfig, cycles: u64) -> (f64, f64) {
+    let n = cfg.n_in;
+    let s = cfg.stages() as f64;
+    let mut sw = BehavioralSwitch::new(cfg);
+    let mut rng = SplitMix64::new(11);
+    let load = 0.4;
+    let q = load / (load + s * (1.0 - load));
+    let mut arr = vec![None; n];
+    for _ in 0..cycles {
+        for (i, a) in arr.iter_mut().enumerate() {
+            *a = (sw.input_free(i) && rng.chance(q)).then(|| rng.below_usize(n));
+        }
+        sw.tick(&arr);
+    }
+    let departed = sw.departures().len() as f64;
+    let util = departed * (2 * n) as f64 / (cycles as f64 * n as f64);
+    let lat = sw
+        .departures()
+        .iter()
+        .map(|d| d.head_latency() as f64)
+        .sum::<f64>()
+        / departed.max(1.0);
+    (util, lat)
+}
+
+fn ablate_arbiter(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablate_arbiter");
+    for (name, policy) in [
+        ("read_priority_paper", ArbiterPolicy::ReadPriority),
+        ("write_priority", ArbiterPolicy::WritePriority),
+        ("alternate", ArbiterPolicy::Alternate),
+    ] {
+        let mut cfg = SwitchConfig::symmetric(8, 64);
+        cfg.arbiter = policy;
+        let (util, lat) = quality(cfg.clone(), 50_000);
+        println!("[ablate_arbiter/{name}] utilization={util:.4} head_latency={lat:.2}");
+        g.bench_function(name, |b| {
+            b.iter(|| std::hint::black_box(quality(cfg.clone(), 2_000)))
+        });
+    }
+    g.finish();
+}
+
+fn ablate_cut_through(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablate_cut_through");
+    for (name, ct, fused) in [
+        ("fused_paper", true, true),
+        ("unfused", true, false),
+        ("store_and_forward", false, false),
+    ] {
+        let mut cfg = SwitchConfig::symmetric(8, 64);
+        cfg.cut_through = ct;
+        cfg.fused_cut_through = fused;
+        let (util, lat) = quality(cfg.clone(), 50_000);
+        println!("[ablate_cut_through/{name}] utilization={util:.4} head_latency={lat:.2}");
+        g.bench_function(name, |b| {
+            b.iter(|| std::hint::black_box(quality(cfg.clone(), 2_000)))
+        });
+    }
+    g.finish();
+}
+
+fn ablate_half_quantum(c: &mut Criterion) {
+    use switch_core::halfq::HalfQuantumBuffer;
+    let mut g = c.benchmark_group("ablate_half_quantum");
+    g.bench_function("halfq_cycle", |b| {
+        let n = 8;
+        let mut buf = HalfQuantumBuffer::new(n, 64, 64);
+        let mut stored = std::collections::VecDeque::new();
+        let mut seed = 0u64;
+        b.iter(|| {
+            if let Some(&h) = stored.front() {
+                if buf.fetch(h).is_ok() {
+                    stored.pop_front();
+                }
+            }
+            if let Ok(h) = buf.store((0..n as u64).map(|k| seed + k).collect()) {
+                stored.push_back(h);
+            }
+            seed += 1;
+            std::hint::black_box(buf.tick().len())
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    ablate_arbiter,
+    ablate_cut_through,
+    ablate_half_quantum
+);
+criterion_main!(benches);

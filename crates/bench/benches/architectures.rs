@@ -1,0 +1,65 @@
+//! Slot cost of every baseline architecture at 16×16, load 0.8 — the
+//! compute budget behind experiments E1/E3/E4/E15.
+
+use baselines::model::CellSwitch;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use simkernel::cell::Cell;
+use simkernel::SplitMix64;
+
+fn zoo() -> Vec<(&'static str, Box<dyn CellSwitch>)> {
+    use baselines::*;
+    let n = 16;
+    vec![
+        (
+            "input_fifo",
+            Box::new(InputFifoSwitch::new(n, None, 1)) as Box<dyn CellSwitch>,
+        ),
+        (
+            "voq_islip",
+            Box::new(VoqSwitch::new(n, None, IslipScheduler::new(n, 4))),
+        ),
+        (
+            "voq_pim",
+            Box::new(VoqSwitch::new(n, None, PimScheduler::new(4, 2))),
+        ),
+        ("output_queued", Box::new(OutputQueuedSwitch::new(n, None))),
+        ("shared", Box::new(SharedBufferSwitch::new(n, Some(256)))),
+        ("crosspoint", Box::new(CrosspointSwitch::new(n, None))),
+        ("knockout", Box::new(KnockoutSwitch::new(n, 8, None, 3))),
+        (
+            "speedup2",
+            Box::new(SpeedupSwitch::new(n, 2, None, None, 5)),
+        ),
+    ]
+}
+
+fn bench_architectures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("arch_slot");
+    for (name, mut model) in zoo() {
+        let n = model.ports();
+        g.throughput(Throughput::Elements(1));
+        g.bench_with_input(BenchmarkId::from_parameter(name), &(), |b, _| {
+            let mut rng = SplitMix64::new(9);
+            let mut out = vec![None; n];
+            let mut now = 0u64;
+            let mut id = 0u64;
+            b.iter(|| {
+                let arr: Vec<Option<Cell>> = (0..n)
+                    .map(|i| {
+                        rng.chance(0.8).then(|| {
+                            id += 1;
+                            Cell::new(id, i, rng.below_usize(n), now)
+                        })
+                    })
+                    .collect();
+                model.tick(now, &arr, &mut out);
+                now += 1;
+                std::hint::black_box(out.iter().flatten().count())
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_architectures);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Microbenchmarks of the cell-level behavioral switch — the model the
+//! statistical experiments run on, so cycles/second here bounds every
+//! E3/E6/E15-style study.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use simkernel::SplitMix64;
+use switch_core::behavioral::BehavioralSwitch;
+use switch_core::config::SwitchConfig;
+
+fn bench_behavioral(c: &mut Criterion) {
+    let mut g = c.benchmark_group("behavioral_tick");
+    for &n in &[4usize, 8, 16, 32] {
+        g.throughput(Throughput::Elements(1));
+        g.bench_with_input(BenchmarkId::new("n", n), &n, |b, &n| {
+            let mut sw = BehavioralSwitch::new(SwitchConfig::symmetric(n, 4 * n));
+            let mut rng = SplitMix64::new(1);
+            let mut arr = vec![None; n];
+            b.iter(|| {
+                for (i, a) in arr.iter_mut().enumerate() {
+                    *a = (sw.input_free(i) && rng.chance(0.1)).then(|| rng.below_usize(n));
+                }
+                std::hint::black_box(sw.tick(&arr).len())
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_rtl_vs_behavioral(c: &mut Criterion) {
+    // The speed gap that justifies having two models at all.
+    let mut g = c.benchmark_group("model_gap_n8");
+    g.bench_function("behavioral", |b| {
+        let n = 8;
+        let mut sw = BehavioralSwitch::new(SwitchConfig::symmetric(n, 32));
+        let mut rng = SplitMix64::new(1);
+        let mut arr = vec![None; n];
+        b.iter(|| {
+            for (i, a) in arr.iter_mut().enumerate() {
+                *a = (sw.input_free(i) && rng.chance(0.05)).then(|| rng.below_usize(n));
+            }
+            std::hint::black_box(sw.tick(&arr).len())
+        });
+    });
+    g.bench_function("rtl", |b| {
+        use switch_core::rtl::PipelinedSwitch;
+        use traffic::{DestDist, PacketFeeder};
+        let n = 8;
+        let cfg = SwitchConfig::symmetric(n, 32);
+        let s = cfg.stages();
+        let mut sw = PipelinedSwitch::new(cfg);
+        let mut feeders: Vec<PacketFeeder> = (0..n)
+            .map(|i| PacketFeeder::random(i, s, 0.8, DestDist::uniform(n), 3, n as u64))
+            .collect();
+        let mut wire = vec![None; n];
+        b.iter(|| {
+            for (i, f) in feeders.iter_mut().enumerate() {
+                wire[i] = f.tick(sw.now());
+            }
+            std::hint::black_box(sw.tick(&wire))
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_behavioral, bench_rtl_vs_behavioral);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! Memory-organization microbenchmarks: cycle cost of the pipelined,
+//! wide, interleaved and multiport functional models.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use membank::bank::{PortKind, SramBank};
+use membank::interleaved::InterleavedMemory;
+use membank::multiport::MultiPortMemory;
+use membank::pipelined::{PipelinedMemory, WaveOp};
+use membank::wide::WideMemory;
+use simkernel::ids::Addr;
+
+const STAGES: usize = 16;
+const DEPTH: usize = 256;
+
+fn bench_pipelined(c: &mut Criterion) {
+    let mut g = c.benchmark_group("membank");
+    g.throughput(Throughput::Elements(STAGES as u64));
+    g.bench_function("pipelined_wave_cycle", |b| {
+        let mut m = PipelinedMemory::new(STAGES, DEPTH, 16);
+        let words: Vec<u64> = (0..STAGES as u64).collect();
+        let mut addr = 0usize;
+        let mut write = true;
+        b.iter(|| {
+            let op = if write {
+                WaveOp::Write {
+                    addr: Addr(addr % DEPTH),
+                    words: words.clone(),
+                }
+            } else {
+                WaveOp::Read {
+                    addr: Addr(addr % DEPTH),
+                }
+            };
+            m.initiate(op).expect("one per cycle");
+            write = !write;
+            addr += 1;
+            std::hint::black_box(m.tick().len())
+        });
+    });
+    g.bench_function("wide_packet_cycle", |b| {
+        let mut m = WideMemory::new(DEPTH, STAGES, 16);
+        let words: Vec<u64> = (0..STAGES as u64).collect();
+        let mut cyc = 0u64;
+        let mut addr = 0usize;
+        b.iter(|| {
+            m.begin_cycle(cyc);
+            if cyc.is_multiple_of(2) {
+                m.write_packet(Addr(addr % DEPTH), &words).expect("free");
+            } else {
+                std::hint::black_box(m.read_packet(Addr(addr % DEPTH)).expect("free"));
+                addr += 1;
+            }
+            cyc += 1;
+        });
+    });
+    g.bench_function("interleaved_word_cycle", |b| {
+        let mut m = InterleavedMemory::new(DEPTH, STAGES, 16);
+        let bank = m.allocate().expect("free bank");
+        let mut cyc = 0u64;
+        b.iter(|| {
+            m.begin_cycle(cyc);
+            let k = (cyc as usize) % STAGES;
+            m.write_word(bank, k, cyc).expect("one per bank per cycle");
+            cyc += 1;
+        });
+    });
+    g.bench_function("multiport_16ops_cycle", |b| {
+        let mut m = MultiPortMemory::new(DEPTH, 8, 8);
+        let mut cyc = 0u64;
+        b.iter(|| {
+            m.begin_cycle(cyc);
+            for i in 0..8 {
+                m.write(Addr(i), cyc).expect("8 write ports");
+                std::hint::black_box(m.read(Addr(i)).expect("8 read ports"));
+            }
+            cyc += 1;
+        });
+    });
+    g.bench_function("sram_bank_rw", |b| {
+        let mut bank = SramBank::new(DEPTH, 16, PortKind::DualPort);
+        let mut cyc = 0u64;
+        b.iter(|| {
+            bank.begin_cycle(cyc);
+            bank.write(Addr((cyc as usize) % DEPTH), cyc).expect("port");
+            std::hint::black_box(bank.read(Addr((cyc as usize) % DEPTH)).expect("port"));
+            cyc += 1;
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_pipelined);
+criterion_main!(benches);

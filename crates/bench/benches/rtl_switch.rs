@@ -1,0 +1,60 @@
+//! Microbenchmarks of the word-level RTL switch: cost of one simulated
+//! clock cycle across switch sizes and loads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use switch_core::config::SwitchConfig;
+use switch_core::rtl::PipelinedSwitch;
+use traffic::{DestDist, PacketFeeder};
+
+fn bench_tick(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rtl_tick");
+    for &n in &[2usize, 4, 8, 16] {
+        g.throughput(Throughput::Elements(1));
+        g.bench_with_input(BenchmarkId::new("n", n), &n, |b, &n| {
+            let cfg = SwitchConfig::symmetric(n, 64);
+            let s = cfg.stages();
+            let mut sw = PipelinedSwitch::new(cfg);
+            let mut feeders: Vec<PacketFeeder> = (0..n)
+                .map(|i| PacketFeeder::random(i, s, 0.8, DestDist::uniform(n), 7, n as u64))
+                .collect();
+            let mut wire = vec![None; n];
+            b.iter(|| {
+                for (i, f) in feeders.iter_mut().enumerate() {
+                    wire[i] = f.tick(sw.now());
+                }
+                std::hint::black_box(sw.tick(&wire))
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_idle_vs_loaded(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rtl_load");
+    for &load in &[0.0f64, 0.5, 1.0] {
+        g.bench_with_input(
+            BenchmarkId::new("load", format!("{load:.1}")),
+            &load,
+            |b, &load| {
+                let n = 8;
+                let cfg = SwitchConfig::symmetric(n, 64);
+                let s = cfg.stages();
+                let mut sw = PipelinedSwitch::new(cfg);
+                let mut feeders: Vec<PacketFeeder> = (0..n)
+                    .map(|i| PacketFeeder::random(i, s, load, DestDist::uniform(n), 3, n as u64))
+                    .collect();
+                let mut wire = vec![None; n];
+                b.iter(|| {
+                    for (i, f) in feeders.iter_mut().enumerate() {
+                        wire[i] = f.tick(sw.now());
+                    }
+                    std::hint::black_box(sw.tick(&wire))
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_tick, bench_idle_vs_loaded);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! `expt` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! expt <id>...      run specific experiments (e1..e15)
+//! expt all          run everything
+//! expt --quick ...  shrink run lengths (CI-sized)
+//! expt --list       list experiments
+//! ```
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick" || a == "-q");
+    let list = args.iter().any(|a| a == "--list" || a == "-l");
+    let ids: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with('-'))
+        .map(|a| a.to_lowercase())
+        .collect();
+
+    if list || ids.is_empty() {
+        eprintln!("usage: expt [--quick] <e1..e15 | all>...\n\nexperiments:");
+        for id in bench_harness::ALL {
+            eprintln!("  {id}");
+        }
+        return if list {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::from(2)
+        };
+    }
+
+    let selected: Vec<&str> = if ids.iter().any(|i| i == "all") {
+        bench_harness::ALL.to_vec()
+    } else {
+        let mut v = Vec::new();
+        for id in &ids {
+            if bench_harness::ALL.contains(&id.as_str()) {
+                v.push(
+                    bench_harness::ALL[bench_harness::ALL
+                        .iter()
+                        .position(|a| a == id)
+                        .expect("checked")],
+                );
+            } else {
+                eprintln!("unknown experiment '{id}' (try --list)");
+                return ExitCode::from(2);
+            }
+        }
+        v
+    };
+
+    for (i, id) in selected.iter().enumerate() {
+        if i > 0 {
+            println!("\n{}\n", "=".repeat(90));
+        }
+        let t0 = std::time::Instant::now();
+        let report = bench_harness::run_experiment(id, quick).expect("validated id");
+        println!("{report}");
+        println!("[{id} completed in {:.1}s]", t0.elapsed().as_secs_f64());
+    }
+    ExitCode::SUCCESS
+}

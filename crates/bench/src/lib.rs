@@ -1,0 +1,83 @@
+//! # bench-harness — regenerating every table and figure of the paper
+//!
+//! One module per experiment, numbered as in DESIGN.md §4. Each module
+//! exposes a `run(quick) -> String` that performs the simulation /
+//! model evaluation and renders the paper-shaped table, plus typed row
+//! structs so integration tests can assert on the numbers rather than
+//! parse text. `quick = true` shrinks run lengths for CI; the `expt`
+//! binary defaults to full runs.
+//!
+//! | Module | Paper locus | Claim regenerated |
+//! |--------|------------|-------------------|
+//! | [`e01`] | §2.1 \[KaHM87\] | input FIFO saturates ≈ 58.6 % |
+//! | [`e02`] | §2.1 \[Dally90\] | wormhole 1-lane saturation, lanes recover |
+//! | [`e03`] | §2.2 \[HlKa88\] | buffer sizes for loss 10⁻³: shared ≪ output ≪ smoothing |
+//! | [`e04`] | §2.2 \[AOST93\] | scheduled input buffering ≈ 2× latency of output queueing |
+//! | [`e05`] | §3.2–3.3 fig 5 | control-signal wave table, cut-through timing |
+//! | [`e06`] | §3.4 | staggered-initiation latency = (p/4)(n−1)/n |
+//! | [`e07`] | §3.5 | quantum/throughput table + half-quantum demo |
+//! | [`e08`] | §4 | Telegraphos I/II/III configuration table |
+//! | [`e09`] | §4.2 fig 6 | Telegraphos II floorplan accounting |
+//! | [`e10`] | §4.3 fig 7 | word-line RC: pipelined vs wide |
+//! | [`e11`] | §4.4 fig 8 | Telegraphos III headline numbers |
+//! | [`e12`] | §5.1 fig 9 | input vs shared buffering silicon |
+//! | [`e13`] | §5.2 | wide vs pipelined peripheral area |
+//! | [`e14`] | §5.3 | PRIZMA crossbar cost ratio |
+//! | [`e15`] | §2 figs 1–2 | architecture throughput/latency sweep |
+
+#![forbid(unsafe_code)]
+
+pub mod e01;
+pub mod e02;
+pub mod e03;
+pub mod e04;
+pub mod e05;
+pub mod e06;
+pub mod e07;
+pub mod e08;
+pub mod e09;
+pub mod e10;
+pub mod e11;
+pub mod e12;
+pub mod e13;
+pub mod e14;
+pub mod e15;
+pub mod table;
+pub mod x01;
+pub mod x02;
+pub mod x03;
+pub mod x04;
+pub mod x05;
+
+/// All paper experiment ids, in order.
+pub const ALL: &[&str] = &[
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
+    "x1", "x2", "x3", "x4", "x5",
+];
+
+/// Run one experiment by id ("e1".."e15"); `quick` shrinks run lengths.
+pub fn run_experiment(id: &str, quick: bool) -> Option<String> {
+    Some(match id {
+        "e1" => e01::run(quick),
+        "e2" => e02::run(quick),
+        "e3" => e03::run(quick),
+        "e4" => e04::run(quick),
+        "e5" => e05::run(quick),
+        "e6" => e06::run(quick),
+        "e7" => e07::run(quick),
+        "e8" => e08::run(quick),
+        "e9" => e09::run(quick),
+        "e10" => e10::run(quick),
+        "e11" => e11::run(quick),
+        "e12" => e12::run(quick),
+        "e13" => e13::run(quick),
+        "e14" => e14::run(quick),
+        "e15" => e15::run(quick),
+        "x1" => x01::run(quick),
+        "x2" => x02::run(quick),
+        "x3" => x03::run(quick),
+        "x4" => x04::run(quick),
+        "x5" => x05::run(quick),
+        _ => return None,
+    })
+}

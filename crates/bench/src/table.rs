@@ -1,0 +1,70 @@
+//! Minimal fixed-width table rendering for experiment reports.
+
+/// Render a table: header row + data rows, columns padded to content.
+pub fn render(title: &str, header: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for r in rows {
+        assert_eq!(r.len(), cols, "row width mismatch");
+        for (i, cell) in r.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut s = String::new();
+    s.push_str(title);
+    s.push('\n');
+    let fmt_row = |cells: &[String]| -> String {
+        let mut line = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            line.push_str(&format!("{:>width$}", c, width = widths[i]));
+        }
+        line
+    };
+    let hdr: Vec<String> = header.iter().map(|h| h.to_string()).collect();
+    s.push_str(&fmt_row(&hdr));
+    s.push('\n');
+    s.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+    s.push('\n');
+    for r in rows {
+        s.push_str(&fmt_row(r));
+        s.push('\n');
+    }
+    s
+}
+
+/// Format a float with 3 decimals.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Format a float with 1 decimal.
+pub fn f1(x: f64) -> String {
+    format!("{x:.1}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let out = render(
+            "T",
+            &["a", "bbbb"],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
+        );
+        assert!(out.contains("T\n"));
+        assert!(out.lines().count() >= 4);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines[1].len(), lines[3].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn checks_width() {
+        render("T", &["a"], &[vec!["1".into(), "2".into()]]);
+    }
+}

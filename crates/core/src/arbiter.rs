@@ -1,0 +1,254 @@
+//! Wave arbitration (§3.3).
+//!
+//! Every cycle, at most one operation wave may be initiated (bank 0 has one
+//! port). The arbiter chooses among pending read requests (one per outgoing
+//! link with a packet ready) and pending write requests (one or two per
+//! incoming link, each with a hard latch deadline).
+//!
+//! The paper's policy: "normally, higher priority is given to the outgoing
+//! links, because any delay to supply data to an outgoing link leads to
+//! idle time on that link, while delays to store incoming packets into the
+//! buffer memory have no direct consequence." Among reads we rotate
+//! round-robin for fairness; among writes we pick the earliest deadline
+//! (EDF), which is what makes latch overruns impossible at the paper's
+//! provisioning (experimentally verified — see the `rtl` tests).
+//!
+//! The alternative policies exist for the ablation benches: write priority
+//! (how much output idle time does it cost?) and strict alternation.
+
+use simkernel::ids::{Cycle, PortId};
+
+/// Which class wins when both reads and writes are pending.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArbiterPolicy {
+    /// Reads first (the paper's choice).
+    ReadPriority,
+    /// Writes first (ablation).
+    WritePriority,
+    /// Alternate read/write cycles when both classes are pending
+    /// (ablation).
+    Alternate,
+}
+
+/// How the winning read is chosen among competing outputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReadPolicy {
+    /// Rotating round-robin pointer (default; fair).
+    #[default]
+    RoundRobin,
+    /// Lowest-numbered output wins (unfair; exists to make the fairness
+    /// tests demonstrate *why* round-robin matters).
+    Fixed,
+}
+
+/// A pending read request: output `port` wants to start a packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadReq {
+    /// Requesting output link.
+    pub port: PortId,
+}
+
+/// A pending write request: input `port` must store its packet no later
+/// than `deadline`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WriteReq {
+    /// Requesting input link.
+    pub port: PortId,
+    /// Last cycle at which initiation is still safe.
+    pub deadline: Cycle,
+}
+
+/// The arbiter's decision for one cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decision {
+    /// Initiate a read wave for this output.
+    Read(PortId),
+    /// Initiate a write wave for this input.
+    Write(PortId),
+    /// Nothing to do.
+    Idle,
+}
+
+/// Stateful wave arbiter.
+#[derive(Debug, Clone)]
+pub struct Arbiter {
+    policy: ArbiterPolicy,
+    read_policy: ReadPolicy,
+    rr_read: usize,
+    last_was_read: bool,
+}
+
+impl Arbiter {
+    /// An arbiter with the given class policy and round-robin reads.
+    pub fn new(policy: ArbiterPolicy) -> Self {
+        Arbiter {
+            policy,
+            read_policy: ReadPolicy::RoundRobin,
+            rr_read: 0,
+            last_was_read: false,
+        }
+    }
+
+    /// Override the read selection policy.
+    pub fn with_read_policy(mut self, rp: ReadPolicy) -> Self {
+        self.read_policy = rp;
+        self
+    }
+
+    /// Choose the wave to initiate this cycle.
+    ///
+    /// `reads` and `writes` are the pending requests; both may be empty.
+    /// Write selection is always earliest-deadline-first (ties broken by
+    /// port number) — deadlines are physical (latch reuse), so no policy
+    /// may reorder them.
+    pub fn decide(&mut self, reads: &[ReadReq], writes: &[WriteReq]) -> Decision {
+        let pick_read = |s: &Self| -> Option<PortId> {
+            if reads.is_empty() {
+                return None;
+            }
+            match s.read_policy {
+                ReadPolicy::Fixed => reads.iter().map(|r| r.port).min(),
+                ReadPolicy::RoundRobin => {
+                    // First requesting port at or after the pointer,
+                    // wrapping.
+                    reads.iter().map(|r| r.port).min_by_key(|p| {
+                        let i = p.index();
+                        if i >= s.rr_read {
+                            i - s.rr_read
+                        } else {
+                            // wrapped: order after the non-wrapped ones
+                            i + usize::MAX / 2
+                        }
+                    })
+                }
+            }
+        };
+        let pick_write = || -> Option<PortId> {
+            writes
+                .iter()
+                .min_by_key(|w| (w.deadline, w.port.index()))
+                .map(|w| w.port)
+        };
+
+        let want_read_first = match self.policy {
+            ArbiterPolicy::ReadPriority => true,
+            ArbiterPolicy::WritePriority => false,
+            ArbiterPolicy::Alternate => !self.last_was_read,
+        };
+
+        let decision = if want_read_first {
+            pick_read(self)
+                .map(Decision::Read)
+                .or_else(|| pick_write().map(Decision::Write))
+        } else {
+            pick_write()
+                .map(Decision::Write)
+                .or_else(|| pick_read(self).map(Decision::Read))
+        }
+        .unwrap_or(Decision::Idle);
+
+        match decision {
+            Decision::Read(p) => {
+                self.rr_read = p.index() + 1;
+                self.last_was_read = true;
+            }
+            Decision::Write(_) => {
+                self.last_was_read = false;
+            }
+            Decision::Idle => {}
+        }
+        decision
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(p: usize) -> ReadReq {
+        ReadReq { port: PortId(p) }
+    }
+
+    fn w(p: usize, d: Cycle) -> WriteReq {
+        WriteReq {
+            port: PortId(p),
+            deadline: d,
+        }
+    }
+
+    #[test]
+    fn read_priority_prefers_reads() {
+        let mut a = Arbiter::new(ArbiterPolicy::ReadPriority);
+        assert_eq!(a.decide(&[r(1)], &[w(0, 5)]), Decision::Read(PortId(1)));
+        assert_eq!(a.decide(&[], &[w(0, 5)]), Decision::Write(PortId(0)));
+        assert_eq!(a.decide(&[], &[]), Decision::Idle);
+    }
+
+    #[test]
+    fn write_priority_prefers_writes() {
+        let mut a = Arbiter::new(ArbiterPolicy::WritePriority);
+        assert_eq!(a.decide(&[r(1)], &[w(0, 5)]), Decision::Write(PortId(0)));
+        assert_eq!(a.decide(&[r(1)], &[]), Decision::Read(PortId(1)));
+    }
+
+    #[test]
+    fn writes_are_edf() {
+        let mut a = Arbiter::new(ArbiterPolicy::ReadPriority);
+        let d = a.decide(&[], &[w(0, 9), w(1, 3), w(2, 7)]);
+        assert_eq!(d, Decision::Write(PortId(1)));
+        // Tie on deadline → lowest port.
+        let d = a.decide(&[], &[w(2, 3), w(1, 3)]);
+        assert_eq!(d, Decision::Write(PortId(1)));
+    }
+
+    #[test]
+    fn reads_rotate_round_robin() {
+        let mut a = Arbiter::new(ArbiterPolicy::ReadPriority);
+        let all = [r(0), r(1), r(2)];
+        assert_eq!(a.decide(&all, &[]), Decision::Read(PortId(0)));
+        assert_eq!(a.decide(&all, &[]), Decision::Read(PortId(1)));
+        assert_eq!(a.decide(&all, &[]), Decision::Read(PortId(2)));
+        // Pointer wraps.
+        assert_eq!(a.decide(&all, &[]), Decision::Read(PortId(0)));
+    }
+
+    #[test]
+    fn round_robin_skips_idle_ports() {
+        let mut a = Arbiter::new(ArbiterPolicy::ReadPriority);
+        assert_eq!(a.decide(&[r(0), r(2)], &[]), Decision::Read(PortId(0)));
+        // Pointer now at 1; port 1 not requesting → 2 wins.
+        assert_eq!(a.decide(&[r(0), r(2)], &[]), Decision::Read(PortId(2)));
+        assert_eq!(a.decide(&[r(0), r(2)], &[]), Decision::Read(PortId(0)));
+    }
+
+    #[test]
+    fn fixed_read_policy_starves_high_ports() {
+        let mut a = Arbiter::new(ArbiterPolicy::ReadPriority).with_read_policy(ReadPolicy::Fixed);
+        for _ in 0..5 {
+            assert_eq!(a.decide(&[r(0), r(1)], &[]), Decision::Read(PortId(0)));
+        }
+    }
+
+    #[test]
+    fn alternate_interleaves_classes() {
+        let mut a = Arbiter::new(ArbiterPolicy::Alternate);
+        let reads = [r(0)];
+        let writes = [w(1, 99)];
+        let d1 = a.decide(&reads, &writes);
+        let d2 = a.decide(&reads, &writes);
+        let d3 = a.decide(&reads, &writes);
+        assert_ne!(
+            std::mem::discriminant(&d1),
+            std::mem::discriminant(&d2),
+            "alternation must switch class"
+        );
+        assert_eq!(std::mem::discriminant(&d1), std::mem::discriminant(&d3));
+    }
+
+    #[test]
+    fn alternate_falls_back_when_one_class_empty() {
+        let mut a = Arbiter::new(ArbiterPolicy::Alternate);
+        assert_eq!(a.decide(&[r(0)], &[]), Decision::Read(PortId(0)));
+        assert_eq!(a.decide(&[r(0)], &[]), Decision::Read(PortId(0)));
+    }
+}

@@ -1,0 +1,545 @@
+//! Cell-level behavioral model of the pipelined shared-buffer switch.
+//!
+//! Same initiation semantics as the RTL model — one wave per cycle, read
+//! priority, EDF writes, automatic cut-through, per-output FIFO service,
+//! shared buffer pool — but packets are descriptors, not words, so a
+//! million-cycle statistical run costs microseconds per thousand cycles
+//! instead of full bank sweeps. Experiments E3/E6/E15 run on this model;
+//! an integration test pins its departure timing to the RTL model's,
+//! cycle for cycle, on randomized workloads.
+//!
+//! ## Model of time
+//!
+//! The clock is the word clock of the RTL model. A packet is `S = n_in +
+//! n_out` words; a packet arriving on input `i` occupies that link for
+//! cycles `[a, a+S-1]`; a packet departing on output `j` occupies it for
+//! `[rs+1, rs+S]` where `rs` is its read-wave initiation cycle.
+
+use crate::arbiter::{Arbiter, Decision, ReadReq, WriteReq};
+use crate::config::SwitchConfig;
+use simkernel::ids::Cycle;
+use std::collections::VecDeque;
+
+/// A departed packet, as reported by the behavioral model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BehavioralDeparture {
+    /// Packet id.
+    pub id: u64,
+    /// Input of arrival.
+    pub input: usize,
+    /// Output of departure.
+    pub output: usize,
+    /// Cycle the header arrived.
+    pub birth: Cycle,
+    /// Cycle the read wave initiated (first word on the wire at `rs+1`).
+    pub read_start: Cycle,
+    /// Cycle the tail word was transmitted (`rs + S`).
+    pub done: Cycle,
+    /// True if, at header arrival, the destination output was idle and
+    /// its queue empty — a pure cut-through candidate. §3.4's staggered-
+    /// initiation analysis applies exactly to these packets: any delay
+    /// beyond `read_start = birth + 1` came from losing initiation slots
+    /// to other waves, not from ordinary output queueing.
+    pub output_was_idle: bool,
+}
+
+impl BehavioralDeparture {
+    /// Cut-through latency: first word out minus header in.
+    /// The uncontended minimum is 2 (write wave at `a+1`, fused read).
+    pub fn head_latency(&self) -> u64 {
+        (self.read_start + 1).saturating_sub(self.birth)
+    }
+
+    /// Full-packet latency: tail out minus header in.
+    pub fn tail_latency(&self) -> u64 {
+        self.done.saturating_sub(self.birth)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct BhvPacket {
+    id: u64,
+    input: usize,
+    /// Destination bitmask (one bit per output; unicast = one bit).
+    dsts: u32,
+    /// Copies not yet claimed by a read initiation.
+    refs: u32,
+    birth: Cycle,
+    write_start: Option<Cycle>,
+    output_was_idle: bool,
+}
+
+#[derive(Debug, Clone)]
+struct PendingArrival {
+    /// Index into `packets` slab.
+    slot: usize,
+    eligible: Cycle,
+    deadline: Cycle,
+}
+
+/// The behavioral switch.
+#[derive(Debug)]
+pub struct BehavioralSwitch {
+    cfg: SwitchConfig,
+    stages: usize,
+    /// Slab of live packets (slot reuse via free list).
+    packets: Vec<Option<BhvPacket>>,
+    free_slab: Vec<usize>,
+    /// Buffer slots in use (≤ cfg.slots).
+    buf_used: usize,
+    /// Per-input: pending write requests (at most 2).
+    pending: Vec<VecDeque<PendingArrival>>,
+    /// Per-input: cycles remaining of the packet currently on the wire.
+    arriving: Vec<usize>,
+    /// Per-output FIFO of slab indices.
+    queues: Vec<VecDeque<usize>>,
+    /// Per-output: earliest next read initiation.
+    out_next_init: Vec<Cycle>,
+    arb: Arbiter,
+    cycle: Cycle,
+    /// Packets dropped because the buffer pool was full.
+    pub dropped: u64,
+    /// Packets lost to latch overrun (must remain 0; see `rtl` docs).
+    pub overruns: u64,
+    /// Packets accepted.
+    pub arrived: u64,
+    departures: Vec<BehavioralDeparture>,
+    /// Read waves still transmitting: (done_cycle, departure).
+    in_tx: Vec<BehavioralDeparture>,
+}
+
+impl BehavioralSwitch {
+    /// Build from a configuration (same struct as the RTL model).
+    pub fn new(cfg: SwitchConfig) -> Self {
+        cfg.validate();
+        let stages = cfg.stages();
+        BehavioralSwitch {
+            stages,
+            packets: Vec::new(),
+            free_slab: Vec::new(),
+            buf_used: 0,
+            pending: vec![VecDeque::new(); cfg.n_in],
+            arriving: vec![0; cfg.n_in],
+            queues: vec![VecDeque::new(); cfg.n_out],
+            out_next_init: vec![0; cfg.n_out],
+            arb: Arbiter::new(cfg.arbiter),
+            cycle: 0,
+            dropped: 0,
+            overruns: 0,
+            arrived: 0,
+            departures: Vec::new(),
+            in_tx: Vec::new(),
+            cfg,
+        }
+    }
+
+    /// Current cycle.
+    pub fn now(&self) -> Cycle {
+        self.cycle
+    }
+
+    /// Packet slots currently occupied.
+    pub fn occupancy(&self) -> usize {
+        self.buf_used
+    }
+
+    /// True when an arrival can be offered on input `i` this cycle (the
+    /// link is not mid-packet).
+    pub fn input_free(&self, i: usize) -> bool {
+        self.arriving[i] == 0
+    }
+
+    /// Advance one cycle. `arrivals[i] = Some(dst)` offers a new packet
+    /// header on input `i` (only when [`BehavioralSwitch::input_free`];
+    /// offering mid-packet panics — the caller owns link pacing, exactly
+    /// as with the RTL model). `id` tagging is internal.
+    ///
+    /// Returns the packets whose tail word completed this cycle.
+    pub fn tick(&mut self, arrivals: &[Option<usize>]) -> Vec<BehavioralDeparture> {
+        let masks: Vec<Option<u32>> = arrivals.iter().map(|a| a.map(|d| 1u32 << d)).collect();
+        self.tick_masks(&masks)
+    }
+
+    /// Like [`BehavioralSwitch::tick`] but arrivals carry destination
+    /// bitmasks (multicast parity with the RTL model).
+    pub fn tick_masks(&mut self, arrivals: &[Option<u32>]) -> Vec<BehavioralDeparture> {
+        assert_eq!(arrivals.len(), self.cfg.n_in);
+        let c = self.cycle;
+        let s = self.stages as Cycle;
+
+        // 1. Completed transmissions.
+        let mut done = Vec::new();
+        self.in_tx.retain(|d| {
+            if d.done == c {
+                done.push(*d);
+                false
+            } else {
+                true
+            }
+        });
+        self.departures.extend(done.iter().copied());
+
+        // 2. Arrivals.
+        for (i, a) in arrivals.iter().enumerate() {
+            if self.arriving[i] > 0 {
+                assert!(a.is_none(), "arrival offered mid-packet on input {i}");
+                self.arriving[i] -= 1;
+                continue;
+            }
+            if let Some(mask) = a {
+                let excess = mask.checked_shr(self.cfg.n_out as u32).unwrap_or(0);
+                assert!(
+                    *mask != 0 && excess == 0,
+                    "bad destination mask {mask:#x}"
+                );
+                self.arriving[i] = self.stages - 1;
+                if self.buf_used == self.cfg.slots {
+                    self.dropped += 1;
+                    continue;
+                }
+                self.arrived += 1;
+                self.buf_used += 1;
+                let id = self.arrived;
+                let primary = mask.trailing_zeros() as usize;
+                let output_was_idle = mask.count_ones() == 1
+                    && self.queues[primary].is_empty()
+                    && self.out_next_init[primary] <= c + 1;
+                let pkt = BhvPacket {
+                    id,
+                    input: i,
+                    dsts: *mask,
+                    refs: mask.count_ones(),
+                    birth: c,
+                    write_start: None,
+                    output_was_idle,
+                };
+                let slot = match self.free_slab.pop() {
+                    Some(sl) => {
+                        self.packets[sl] = Some(pkt);
+                        sl
+                    }
+                    None => {
+                        self.packets.push(Some(pkt));
+                        self.packets.len() - 1
+                    }
+                };
+                for j in 0..self.cfg.n_out {
+                    if mask & (1 << j) != 0 {
+                        self.queues[j].push_back(slot);
+                    }
+                }
+                self.pending[i].push_back(PendingArrival {
+                    slot,
+                    eligible: c + 1,
+                    deadline: c + s,
+                });
+            }
+        }
+
+        // 3. Latch-overrun sweep (diagnostic; unreachable under shipped
+        //    policies).
+        for i in 0..self.cfg.n_in {
+            while let Some(front) = self.pending[i].front() {
+                if front.deadline >= c {
+                    break;
+                }
+                let slot = front.slot;
+                self.pending[i].pop_front();
+                let p = self.packets[slot].take().expect("live packet");
+                for j in 0..self.cfg.n_out {
+                    if p.dsts & (1 << j) != 0 {
+                        self.queues[j].retain(|&sl| sl != slot);
+                    }
+                }
+                self.free_slab.push(slot);
+                self.buf_used -= 1;
+                self.overruns += 1;
+            }
+        }
+
+        // 4. Arbitration (identical structure to the RTL model).
+        let mut reads: Vec<ReadReq> = Vec::new();
+        for j in 0..self.cfg.n_out {
+            if c < self.out_next_init[j] {
+                continue;
+            }
+            if let Some(&slot) = self.queues[j].front() {
+                let p = self.packets[slot].as_ref().expect("queued packet live");
+                let ready = match p.write_start {
+                    None => false,
+                    Some(ws) => {
+                        if self.cfg.cut_through {
+                            ws < c
+                        } else {
+                            c >= ws + s
+                        }
+                    }
+                };
+                if ready {
+                    reads.push(ReadReq {
+                        port: simkernel::ids::PortId(j),
+                    });
+                }
+            }
+        }
+        let mut writes: Vec<WriteReq> = Vec::new();
+        for (i, q) in self.pending.iter().enumerate() {
+            if let Some(front) = q.front() {
+                if front.eligible <= c {
+                    writes.push(WriteReq {
+                        port: simkernel::ids::PortId(i),
+                        deadline: front.deadline,
+                    });
+                }
+            }
+        }
+        match self.arb.decide(&reads, &writes) {
+            Decision::Read(j) => self.start_read(j.index(), c, false),
+            Decision::Write(i) => {
+                let pw = self.pending[i.index()].pop_front().expect("granted");
+                let (dsts, fusable);
+                {
+                    let p = self.packets[pw.slot].as_mut().expect("live");
+                    p.write_start = Some(c);
+                    dsts = p.dsts;
+                    fusable = self.cfg.fused_cut_through;
+                }
+                if fusable {
+                    for j in 0..self.cfg.n_out {
+                        if dsts & (1 << j) == 0 {
+                            continue;
+                        }
+                        if c >= self.out_next_init[j] && self.queues[j].front() == Some(&pw.slot) {
+                            self.start_read(j, c, true);
+                            break;
+                        }
+                    }
+                }
+            }
+            Decision::Idle => {}
+        }
+
+        self.cycle = c + 1;
+        done
+    }
+
+    fn start_read(&mut self, j: usize, c: Cycle, _fused: bool) {
+        let slot = self.queues[j].pop_front().expect("read from empty queue");
+        let dep = {
+            let p = self.packets[slot].as_mut().expect("live packet");
+            debug_assert!(p.refs > 0);
+            p.refs -= 1;
+            BehavioralDeparture {
+                id: p.id,
+                input: p.input,
+                output: j,
+                birth: p.birth,
+                read_start: c,
+                done: c + self.stages as Cycle,
+                output_was_idle: p.output_was_idle,
+            }
+        };
+        if self.packets[slot].as_ref().expect("live").refs == 0 {
+            self.packets[slot] = None;
+            self.free_slab.push(slot);
+            self.buf_used -= 1;
+        }
+        self.out_next_init[j] = c + self.stages as Cycle;
+        self.in_tx.push(dep);
+    }
+
+    /// All departures so far (accumulating).
+    pub fn departures(&self) -> &[BehavioralDeparture] {
+        &self.departures
+    }
+
+    /// True when the switch holds nothing.
+    pub fn is_quiescent(&self) -> bool {
+        self.buf_used == 0 && self.in_tx.is_empty() && self.arriving.iter().all(|&a| a == 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg2() -> SwitchConfig {
+        SwitchConfig::symmetric(2, 16)
+    }
+
+    fn drain(sw: &mut BehavioralSwitch) -> Vec<BehavioralDeparture> {
+        let mut out = Vec::new();
+        let idle = vec![None; sw.cfg.n_in];
+        for _ in 0..200 {
+            out.extend(sw.tick(&idle));
+            if sw.is_quiescent() {
+                break;
+            }
+        }
+        assert!(sw.is_quiescent(), "switch failed to drain");
+        out
+    }
+
+    #[test]
+    fn single_packet_cut_through_timing() {
+        let mut sw = BehavioralSwitch::new(cfg2());
+        let d = {
+            let mut out = sw.tick(&[Some(1), None]);
+            out.extend(drain(&mut sw));
+            out
+        };
+        assert_eq!(d.len(), 1);
+        // Header at 0, fused write+read at 1, head latency 2, tail at 1+4.
+        assert_eq!(d[0].birth, 0);
+        assert_eq!(d[0].read_start, 1);
+        assert_eq!(d[0].head_latency(), 2);
+        assert_eq!(d[0].done, 5);
+    }
+
+    #[test]
+    fn simultaneous_arrivals_are_staggered() {
+        // §3.4: two heads in the same cycle to different outputs — one
+        // initiates at a+1, the other at a+2 (one initiation per cycle).
+        let mut sw = BehavioralSwitch::new(cfg2());
+        let mut d = sw.tick(&[Some(0), Some(1)]);
+        d.extend(drain(&mut sw));
+        assert_eq!(d.len(), 2);
+        let mut starts: Vec<Cycle> = d.iter().map(|x| x.read_start).collect();
+        starts.sort_unstable();
+        assert_eq!(starts, vec![1, 2], "staggered initiation");
+    }
+
+    #[test]
+    fn same_output_service_is_fifo_and_back_to_back() {
+        let mut sw = BehavioralSwitch::new(cfg2());
+        let mut d = sw.tick(&[Some(0), Some(0)]);
+        d.extend(drain(&mut sw));
+        assert_eq!(d.len(), 2);
+        // Output 0 transmits [rs1+1, rs1+4] then [rs2+1, rs2+4] with
+        // rs2 = rs1 + 4 (back to back).
+        let rs: Vec<Cycle> = d.iter().map(|x| x.read_start).collect();
+        assert_eq!((rs[0] as i64 - rs[1] as i64).abs(), 4);
+    }
+
+    #[test]
+    fn buffer_full_drops() {
+        let mut cfg = cfg2();
+        cfg.slots = 1;
+        let mut sw = BehavioralSwitch::new(cfg);
+        sw.tick(&[Some(0), Some(0)]);
+        assert_eq!(sw.dropped, 1);
+        drain(&mut sw);
+    }
+
+    #[test]
+    fn full_load_all_outputs_busy_no_loss() {
+        // Permutation traffic at 100 % load: input i → output i, packets
+        // back to back. The switch must carry everything without drops or
+        // overruns.
+        let n = 4;
+        let mut cfg = SwitchConfig::symmetric(n, 64);
+        cfg.fused_cut_through = true;
+        let s = cfg.stages();
+        let mut sw = BehavioralSwitch::new(cfg);
+        let mut arr = vec![None; n];
+        let cycles = 10_000u64;
+        for c in 0..cycles {
+            for (i, a) in arr.iter_mut().enumerate() {
+                *a = (c % s as u64 == 0).then_some(i);
+            }
+            sw.tick(&arr);
+        }
+        let d = sw.departures().len() as u64;
+        assert_eq!(sw.dropped, 0, "no drops at full permutation load");
+        assert_eq!(sw.overruns, 0, "no overruns ever");
+        // Each output should have carried ~cycles/s packets.
+        let expect = (cycles / s as u64) * n as u64;
+        assert!(
+            d >= expect - 2 * n as u64,
+            "carried {d}, expected about {expect}"
+        );
+    }
+
+    #[test]
+    fn uniform_full_load_no_overruns() {
+        // Worst-case initiation pressure: every input at 100 % load,
+        // uniform random outputs. Buffer drops are legitimate (finite
+        // pool), latch overruns are not.
+        let n = 8;
+        let cfg = SwitchConfig::symmetric(n, 32);
+        let _s = cfg.stages();
+        let mut sw = BehavioralSwitch::new(cfg);
+        let mut rng = simkernel::SplitMix64::new(99);
+        let mut arr = vec![None; n];
+        for _ in 0..50_000u64 {
+            for (i, a) in arr.iter_mut().enumerate() {
+                *a = sw.input_free(i).then(|| rng.below_usize(n));
+            }
+            sw.tick(&arr);
+        }
+        assert_eq!(sw.overruns, 0, "latch overruns must be impossible");
+        assert!(sw.departures().len() > 10_000);
+    }
+
+    #[test]
+    fn conservation_arrived_equals_departed_plus_dropped() {
+        let n = 4;
+        let cfg = SwitchConfig::symmetric(n, 8);
+        let mut sw = BehavioralSwitch::new(cfg);
+        let mut rng = simkernel::SplitMix64::new(5);
+        let mut arr = vec![None; n];
+        for _ in 0..20_000u64 {
+            for (i, a) in arr.iter_mut().enumerate() {
+                *a = (sw.input_free(i) && rng.chance(0.7)).then(|| rng.below_usize(n));
+            }
+            sw.tick(&arr);
+        }
+        drain(&mut sw);
+        let total_offered = sw.arrived + sw.dropped;
+        assert_eq!(
+            sw.arrived,
+            sw.departures().len() as u64,
+            "every accepted packet departs"
+        );
+        assert!(total_offered > 5_000);
+        assert_eq!(sw.overruns, 0);
+    }
+
+    #[test]
+    fn store_and_forward_adds_stages_latency() {
+        let mut cfg = cfg2();
+        cfg.cut_through = false;
+        cfg.fused_cut_through = false;
+        let mut sw = BehavioralSwitch::new(cfg);
+        let mut d = sw.tick(&[Some(1), None]);
+        d.extend(drain(&mut sw));
+        // ws = 1, rs = ws + S = 5, head latency = 6 = 2 + S.
+        assert_eq!(d[0].read_start, 5);
+        assert_eq!(d[0].head_latency(), 6);
+    }
+}
+
+#[cfg(test)]
+mod wide_port_tests {
+    use super::*;
+
+    #[test]
+    fn works_at_32_ports() {
+        // Regression: mask validation used `mask >> n_out`, which wraps
+        // for n_out = 32 on a u32 (caught by the behavioral bench).
+        let n = 32;
+        let mut sw = BehavioralSwitch::new(SwitchConfig::symmetric(n, 64));
+        let mut arr = vec![None; n];
+        arr[0] = Some(2); // output 2 (the 0x4 mask of the crash)
+        sw.tick(&arr);
+        let idle = vec![None; n];
+        for _ in 0..300 {
+            sw.tick(&idle);
+            if sw.is_quiescent() {
+                break;
+            }
+        }
+        assert_eq!(sw.departures().len(), 1);
+        assert_eq!(sw.overruns, 0);
+    }
+}

@@ -1,0 +1,303 @@
+//! Buffer management: free list and per-output descriptor queues.
+//!
+//! The paper keeps buffer (address) management deliberately orthogonal to
+//! the pipelined memory itself (§3.3: "the circuits that provide these …
+//! are independent of the pipelined memory"). This module implements the
+//! scheme the Telegraphos switches use (\[Kate94\], \[KVES95\]): a free list
+//! of packet slots plus one FIFO descriptor queue per outgoing link.
+//!
+//! A slot's lifetime: allocated when a packet header arrives → its
+//! descriptor is queued on the destination's output queue → the write wave
+//! is initiated (descriptor becomes *readable*) → a read wave pops the
+//! descriptor and **frees the slot immediately**, because any later write
+//! wave to the same address trails the read wave stage by stage and can
+//! never overtake it. This early free is a distinctive economy of the
+//! pipelined organization: a slot is held only from header arrival to read
+//! initiation, not to read completion.
+//!
+//! Queue entries carry a generation tag so a slot freed and reallocated
+//! while a stale entry is still queued (possible after a latch overrun)
+//! can never be confused with its new occupant.
+
+use simkernel::ids::{Addr, Cycle, PortId};
+use std::collections::VecDeque;
+
+/// Per-packet bookkeeping while the packet owns a buffer slot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Descriptor {
+    /// Packet id (decoded from the header).
+    pub id: u64,
+    /// Input link of arrival.
+    pub input: PortId,
+    /// Primary (lowest-numbered) destination output link.
+    pub dst: PortId,
+    /// Full destination set as a bitmask (bit j = output j). Unicast
+    /// packets have exactly one bit set; multicast packets several — the
+    /// slot is freed when the *last* copy's read wave initiates.
+    pub dsts: u32,
+    /// Cycle the header arrived.
+    pub birth: Cycle,
+    /// Cycle the write wave was initiated, once scheduled.
+    pub write_start: Option<Cycle>,
+}
+
+impl Descriptor {
+    /// A unicast descriptor.
+    pub fn unicast(id: u64, input: PortId, dst: PortId, birth: Cycle) -> Self {
+        Descriptor {
+            id,
+            input,
+            dst,
+            dsts: 1 << dst.index(),
+            birth,
+            write_start: None,
+        }
+    }
+
+    /// A descriptor for the given destination bitmask.
+    pub fn multicast(id: u64, input: PortId, dsts: u32, birth: Cycle) -> Self {
+        assert!(dsts != 0, "destination set must be non-empty");
+        Descriptor {
+            id,
+            input,
+            dst: PortId(dsts.trailing_zeros() as usize),
+            dsts,
+            birth,
+            write_start: None,
+        }
+    }
+
+    /// Number of copies to be transmitted.
+    pub fn fanout(&self) -> u32 {
+        self.dsts.count_ones()
+    }
+
+    /// Iterate the destination outputs.
+    pub fn destinations(&self) -> impl Iterator<Item = PortId> + '_ {
+        (0..32).filter(|j| self.dsts & (1 << j) != 0).map(PortId)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Slot {
+    gen: u64,
+    desc: Option<Descriptor>,
+    /// Copies not yet claimed by a read wave.
+    refs: u32,
+}
+
+/// Free list + output queues over `slots` packet slots.
+#[derive(Debug, Clone)]
+pub struct BufferManager {
+    slots: Vec<Slot>,
+    free: Vec<Addr>,
+    queues: Vec<VecDeque<(Addr, u64)>>,
+}
+
+impl BufferManager {
+    /// A manager for `slots` packet slots and `n_out` output queues.
+    pub fn new(slots: usize, n_out: usize) -> Self {
+        assert!(slots >= 1 && n_out >= 1);
+        BufferManager {
+            slots: (0..slots)
+                .map(|_| Slot {
+                    gen: 0,
+                    desc: None,
+                    refs: 0,
+                })
+                .collect(),
+            free: (0..slots).rev().map(Addr).collect(),
+            queues: vec![VecDeque::new(); n_out],
+        }
+    }
+
+    /// Total slots.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Slots currently allocated.
+    pub fn occupancy(&self) -> usize {
+        self.slots.len() - self.free.len()
+    }
+
+    /// Queued packets for one output (readable or not).
+    pub fn queue_len(&self, out: PortId) -> usize {
+        self.queues[out.index()].len()
+    }
+
+    /// Allocate a slot for an arriving packet and enqueue its descriptor
+    /// on every destination queue. `None` when the buffer is full.
+    pub fn alloc(&mut self, desc: Descriptor) -> Option<Addr> {
+        let addr = self.free.pop()?;
+        let dsts: Vec<PortId> = desc.destinations().collect();
+        debug_assert!(!dsts.is_empty());
+        let slot = &mut self.slots[addr.index()];
+        debug_assert!(slot.desc.is_none(), "free-list invariant violated");
+        slot.refs = desc.fanout();
+        let gen = slot.gen;
+        slot.desc = Some(desc);
+        for d in dsts {
+            self.queues[d.index()].push_back((addr, gen));
+        }
+        Some(addr)
+    }
+
+    /// Record that the write wave for `addr` initiated at `ws`.
+    pub fn mark_write_started(&mut self, addr: Addr, ws: Cycle) {
+        let d = self.slots[addr.index()]
+            .desc
+            .as_mut()
+            .expect("slot not allocated");
+        debug_assert!(d.write_start.is_none(), "write started twice");
+        d.write_start = Some(ws);
+    }
+
+    /// The descriptor at `addr`, if allocated.
+    pub fn descriptor(&self, addr: Addr) -> Option<&Descriptor> {
+        self.slots[addr.index()].desc.as_ref()
+    }
+
+    /// The head-of-queue descriptor for an output, skipping (and
+    /// discarding) stale entries whose slot was freed or reallocated.
+    pub fn head(&mut self, out: PortId) -> Option<(Addr, &Descriptor)> {
+        let q = &mut self.queues[out.index()];
+        while let Some(&(addr, gen)) = q.front() {
+            let slot = &self.slots[addr.index()];
+            if slot.gen == gen && slot.desc.is_some() {
+                // Re-borrow immutably for the return value.
+                let addr2 = addr;
+                let d = self.slots[addr2.index()].desc.as_ref().expect("checked");
+                return Some((addr2, d));
+            }
+            q.pop_front();
+        }
+        None
+    }
+
+    /// Pop the head descriptor of an output queue for a read-wave
+    /// initiation. The reference count drops by one; the slot is freed
+    /// when the LAST copy's read initiates (any later write wave to the
+    /// reused address trails every in-flight read). Returns the address,
+    /// a descriptor copy, and whether the slot was freed. Panics if the
+    /// queue is empty — the caller must have observed a head via
+    /// [`BufferManager::head`].
+    pub fn pop_and_free(&mut self, out: PortId) -> (Addr, Descriptor, bool) {
+        loop {
+            let (addr, gen) = self.queues[out.index()]
+                .pop_front()
+                .expect("pop from empty output queue");
+            let slot = &mut self.slots[addr.index()];
+            if slot.gen == gen && slot.desc.is_some() {
+                debug_assert!(slot.refs > 0);
+                slot.refs -= 1;
+                if slot.refs == 0 {
+                    let d = slot.desc.take().expect("checked");
+                    slot.gen += 1;
+                    self.free.push(addr);
+                    return (addr, d, true);
+                }
+                let d = slot.desc.clone().expect("checked");
+                return (addr, d, false);
+            }
+            // stale entry — keep scanning
+        }
+    }
+
+    /// Forcibly release a slot (latch overrun path): the descriptor is
+    /// discarded and any queued references become stale.
+    pub fn release(&mut self, addr: Addr) -> Descriptor {
+        let slot = &mut self.slots[addr.index()];
+        let d = slot.desc.take().expect("releasing unallocated slot");
+        slot.gen += 1;
+        slot.refs = 0;
+        self.free.push(addr);
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn desc(id: u64, dst: usize) -> Descriptor {
+        Descriptor::unicast(id, PortId(0), PortId(dst), 0)
+    }
+
+    #[test]
+    fn alloc_until_full() {
+        let mut m = BufferManager::new(2, 2);
+        assert!(m.alloc(desc(1, 0)).is_some());
+        assert!(m.alloc(desc(2, 1)).is_some());
+        assert!(m.alloc(desc(3, 0)).is_none(), "buffer full");
+        assert_eq!(m.occupancy(), 2);
+    }
+
+    #[test]
+    fn fifo_order_per_output() {
+        let mut m = BufferManager::new(4, 1);
+        let a1 = m.alloc(desc(1, 0)).unwrap();
+        let _ = m.alloc(desc(2, 0)).unwrap();
+        let (ha, hd) = m.head(PortId(0)).unwrap();
+        assert_eq!((ha, hd.id), (a1, 1));
+        let (pa, pd, freed) = m.pop_and_free(PortId(0));
+        assert_eq!((pa, pd.id, freed), (a1, 1, true));
+        let (_, hd2) = m.head(PortId(0)).unwrap();
+        assert_eq!(hd2.id, 2);
+    }
+
+    #[test]
+    fn pop_frees_slot() {
+        let mut m = BufferManager::new(1, 1);
+        m.alloc(desc(1, 0)).unwrap();
+        assert!(m.alloc(desc(2, 0)).is_none());
+        m.pop_and_free(PortId(0));
+        assert_eq!(m.occupancy(), 0);
+        assert!(m.alloc(desc(2, 0)).is_some());
+    }
+
+    #[test]
+    fn stale_entries_skipped_after_release() {
+        let mut m = BufferManager::new(2, 1);
+        let a1 = m.alloc(desc(1, 0)).unwrap();
+        m.alloc(desc(2, 0)).unwrap();
+        // Packet 1 suffers a latch overrun; its slot is released and then
+        // reallocated to packet 3 (same output).
+        m.release(a1);
+        let a3 = m.alloc(desc(3, 0)).unwrap();
+        assert_eq!(a3, a1, "LIFO free list reuses the slot");
+        // Queue order must be: 2 (oldest live), then 3 — the stale entry
+        // for packet 1 must not surface packet 3 early.
+        let (_, h) = m.head(PortId(0)).unwrap();
+        assert_eq!(h.id, 2);
+        assert_eq!(m.pop_and_free(PortId(0)).1.id, 2);
+        assert_eq!(m.pop_and_free(PortId(0)).1.id, 3);
+        assert!(m.head(PortId(0)).is_none());
+    }
+
+    #[test]
+    fn write_start_recorded() {
+        let mut m = BufferManager::new(1, 1);
+        let a = m.alloc(desc(1, 0)).unwrap();
+        m.mark_write_started(a, 42);
+        assert_eq!(m.descriptor(a).unwrap().write_start, Some(42));
+    }
+
+    #[test]
+    fn queues_are_independent() {
+        let mut m = BufferManager::new(4, 2);
+        m.alloc(desc(1, 0)).unwrap();
+        m.alloc(desc(2, 1)).unwrap();
+        assert_eq!(m.queue_len(PortId(0)), 1);
+        assert_eq!(m.queue_len(PortId(1)), 1);
+        assert_eq!(m.pop_and_free(PortId(1)).1.id, 2);
+        assert_eq!(m.head(PortId(0)).unwrap().1.id, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "pop from empty")]
+    fn pop_empty_panics() {
+        let mut m = BufferManager::new(1, 1);
+        let _ = m.pop_and_free(PortId(0));
+    }
+}

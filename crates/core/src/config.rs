@@ -1,0 +1,132 @@
+//! Switch configuration and validation.
+
+use crate::arbiter::ArbiterPolicy;
+
+/// Configuration of a pipelined-memory shared-buffer switch.
+///
+/// Defaults follow the paper: read-priority arbitration, cut-through
+/// enabled, packet size equal to the quantum (`n_in + n_out` words).
+#[derive(Debug, Clone)]
+pub struct SwitchConfig {
+    /// Number of incoming links.
+    pub n_in: usize,
+    /// Number of outgoing links.
+    pub n_out: usize,
+    /// Packet slots per memory bank (buffer capacity in packets).
+    pub slots: usize,
+    /// Link word width in bits (1..=64; Telegraphos III uses 16).
+    pub word_bits: u32,
+    /// Enable automatic cut-through (§3.3). When off, a read wave may only
+    /// initiate after the packet's write wave has completed
+    /// (store-and-forward), costing `stages` extra cycles of latency.
+    pub cut_through: bool,
+    /// Allow a read wave to fuse with the write wave of the same packet in
+    /// the same cycle (output register samples the write bus). Only
+    /// meaningful when `cut_through` is on.
+    pub fused_cut_through: bool,
+    /// Wave arbitration policy (paper: read priority).
+    pub arbiter: ArbiterPolicy,
+}
+
+impl SwitchConfig {
+    /// A symmetric `n × n` switch with `slots` packet slots, paper-default
+    /// policies.
+    pub fn symmetric(n: usize, slots: usize) -> Self {
+        SwitchConfig {
+            n_in: n,
+            n_out: n,
+            slots,
+            word_bits: 16,
+            cut_through: true,
+            fused_cut_through: true,
+            arbiter: ArbiterPolicy::ReadPriority,
+        }
+    }
+
+    /// The Telegraphos III configuration (§4.4): 8×8, 16 stages, 256
+    /// packet slots of 256 bits (16 words × 16 bits).
+    pub fn telegraphos_iii() -> Self {
+        SwitchConfig::symmetric(8, 256)
+    }
+
+    /// The Telegraphos I/II configuration (§4.1–4.2): 4×4, 8 stages.
+    /// Telegraphos I buffers 8-byte packets in 8 SRAM chips (8-bit words);
+    /// Telegraphos II 16-byte packets in 8 compiled SRAMs (16-bit words,
+    /// 256 slots).
+    pub fn telegraphos_i() -> Self {
+        let mut c = SwitchConfig::symmetric(4, 256);
+        c.word_bits = 8;
+        c
+    }
+
+    /// Number of pipeline stages = packet size in words (the quantum).
+    pub fn stages(&self) -> usize {
+        self.n_in + self.n_out
+    }
+
+    /// Validate; panics with a descriptive message on nonsense.
+    pub fn validate(&self) {
+        assert!(self.n_in >= 1, "need at least one input");
+        assert!(self.n_out >= 1, "need at least one output");
+        assert!(self.n_out < 255, "dst encoding uses 8 bits (255 reserved)");
+        assert!(self.slots >= 1, "need at least one buffer slot");
+        assert!(
+            (1..=64).contains(&self.word_bits),
+            "word width must be 1..=64 bits"
+        );
+        if self.fused_cut_through {
+            assert!(self.cut_through, "fused cut-through requires cut-through");
+        }
+    }
+
+    /// Aggregate buffer capacity in bits.
+    pub fn capacity_bits(&self) -> u64 {
+        (self.stages() * self.slots) as u64 * self.word_bits as u64
+    }
+
+    /// Aggregate buffer throughput in bits per cycle (all banks busy):
+    /// `stages × word_bits`, the "total width of the shared buffer" of
+    /// §3.5.
+    pub fn throughput_bits_per_cycle(&self) -> u64 {
+        self.stages() as u64 * self.word_bits as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symmetric_defaults() {
+        let c = SwitchConfig::symmetric(4, 64);
+        c.validate();
+        assert_eq!(c.stages(), 8);
+        assert!(c.cut_through && c.fused_cut_through);
+        assert_eq!(c.arbiter, ArbiterPolicy::ReadPriority);
+    }
+
+    #[test]
+    fn telegraphos_iii_capacity_is_64_kbit() {
+        let c = SwitchConfig::telegraphos_iii();
+        c.validate();
+        assert_eq!(c.stages(), 16);
+        assert_eq!(c.capacity_bits(), 65_536, "the paper's 64 Kbit buffer");
+        assert_eq!(c.throughput_bits_per_cycle(), 256);
+    }
+
+    #[test]
+    #[should_panic(expected = "fused cut-through requires cut-through")]
+    fn fused_without_cut_through_rejected() {
+        let mut c = SwitchConfig::symmetric(2, 4);
+        c.cut_through = false;
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one input")]
+    fn zero_inputs_rejected() {
+        let mut c = SwitchConfig::symmetric(2, 4);
+        c.n_in = 0;
+        c.validate();
+    }
+}

@@ -1,0 +1,861 @@
+//! The word-level RTL model of the pipelined-memory shared-buffer switch.
+//!
+//! This model contains, as explicit state, every datapath element of
+//! figures 4 and 5 of the paper:
+//!
+//! * one **input latch row** per incoming link (`stages` word latches per
+//!   link, written cyclically as words arrive — *no double buffering*);
+//! * `stages` single-ported **SRAM banks** (from `membank`, port-checked:
+//!   any schedule a real bank could not execute panics);
+//! * one shared **output register row** (`stages` registers; a register
+//!   loaded at cycle `c` drives its bound outgoing link at `c + 1`);
+//! * the **wave arbiter** (one initiation per cycle, read priority, EDF
+//!   among writes);
+//! * **buffer management** (free list + per-output descriptor queues);
+//! * **automatic cut-through**, including the fused form where the output
+//!   register samples the write bus in the very cycle the write wave
+//!   begins.
+//!
+//! The public interface is one [`PipelinedSwitch::tick`] per clock cycle:
+//! words in on every input link, words out on every output link. Packet
+//! reassembly/verification for testbenches is provided by
+//! [`OutputCollector`].
+//!
+//! ## Why latch overruns cannot happen (and are still counted)
+//!
+//! A write wave for a packet whose header arrived at `a` must initiate in
+//! `[a+1, a+S]` (S cycles). Within any S consecutive cycles: each outgoing
+//! link initiates at most one read (a link stays busy S cycles per
+//! packet), so reads take at most `n_out` of the S slots; each *other*
+//! input contributes at most one write with an earlier deadline (its
+//! deadlines are S apart), so at most `n_in − 1` writes precede ours under
+//! EDF. That totals `S − 1` competitors for `S` slots — the wave always
+//! fits, even at 100 % load on every link. The model still counts
+//! [`SwitchEvent::LatchOverrun`] so that any policy change violating the
+//! argument fails tests loudly instead of silently corrupting packets.
+
+use crate::arbiter::{Arbiter, Decision, ReadReq, WriteReq};
+use crate::bufmgr::{BufferManager, Descriptor};
+use crate::config::SwitchConfig;
+use crate::events::{SwitchCounters, SwitchEvent};
+use membank::bank::{PortKind, SramBank};
+use simkernel::cell::Packet;
+use simkernel::ids::{Addr, Cycle, PortId};
+use simkernel::trace::Trace;
+
+/// What one memory stage is doing in a given cycle (the fig. 5 control
+/// signals, reconstructed per stage).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StageCtrl {
+    /// No operation.
+    #[default]
+    Nop,
+    /// Writing `addr` from input link `link`.
+    Write {
+        /// Slot written.
+        addr: Addr,
+        /// Source input link.
+        link: PortId,
+    },
+    /// Reading `addr` for output link `link`.
+    Read {
+        /// Slot read.
+        addr: Addr,
+        /// Destination output link.
+        link: PortId,
+    },
+    /// Fused write+cut-through: writing from `input` while the output
+    /// register for `output` samples the bus.
+    Fused {
+        /// Slot written.
+        addr: Addr,
+        /// Source input link.
+        input: PortId,
+        /// Destination output link.
+        output: PortId,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct OutBinding {
+    out: PortId,
+    id: u64,
+    birth: Cycle,
+}
+
+#[derive(Debug, Clone)]
+struct ActiveWave {
+    start: Cycle,
+    addr: Addr,
+    write_from: Option<PortId>,
+    read_to: Option<OutBinding>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct OutWord {
+    link: PortId,
+    word: u64,
+    /// `Some((id, birth))` when this is the packet's tail word.
+    tail_of: Option<(u64, Cycle)>,
+}
+
+#[derive(Debug, Clone)]
+struct PendingWrite {
+    addr: Addr,
+    eligible: Cycle,
+    deadline: Cycle,
+}
+
+#[derive(Debug, Clone, Default)]
+struct InputState {
+    /// Words of the current packet received so far (0 = between packets).
+    k: usize,
+    pending: std::collections::VecDeque<PendingWrite>,
+}
+
+/// The pipelined-memory shared-buffer switch, word-accurate.
+#[derive(Debug)]
+pub struct PipelinedSwitch {
+    cfg: SwitchConfig,
+    stages: usize,
+    banks: Vec<SramBank>,
+    /// Committed input latch values, `latches[input][stage]`.
+    latches: Vec<Vec<u64>>,
+    /// Latch loads scheduled this cycle: `(input, stage, word)`.
+    latch_loads: Vec<(usize, usize, u64)>,
+    inputs: Vec<InputState>,
+    outreg_cur: Vec<Option<OutWord>>,
+    outreg_next: Vec<Option<OutWord>>,
+    /// Earliest cycle each output may initiate its next read.
+    out_next_init: Vec<Cycle>,
+    mgr: BufferManager,
+    arb: Arbiter,
+    waves: Vec<ActiveWave>,
+    cycle: Cycle,
+    counters: SwitchCounters,
+    trace: Trace<SwitchEvent>,
+    last_controls: Vec<StageCtrl>,
+}
+
+impl PipelinedSwitch {
+    /// Build a switch from a validated configuration.
+    pub fn new(cfg: SwitchConfig) -> Self {
+        cfg.validate();
+        let stages = cfg.stages();
+        // Banks carry full 64-bit payload words; `cfg.word_bits` is the
+        // physical width used for capacity/throughput accounting (and by
+        // `vlsimodel`), not a functional truncation — truncating payloads
+        // would only obscure data-integrity checks.
+        let banks = (0..stages)
+            .map(|_| SramBank::new(cfg.slots, 64, PortKind::SinglePort))
+            .collect();
+        PipelinedSwitch {
+            stages,
+            banks,
+            latches: vec![vec![0; stages]; cfg.n_in],
+            latch_loads: Vec::new(),
+            inputs: vec![InputState::default(); cfg.n_in],
+            outreg_cur: vec![None; stages],
+            outreg_next: vec![None; stages],
+            out_next_init: vec![0; cfg.n_out],
+            mgr: BufferManager::new(cfg.slots, cfg.n_out),
+            arb: Arbiter::new(cfg.arbiter),
+            waves: Vec::new(),
+            cycle: 0,
+            counters: SwitchCounters::default(),
+            trace: Trace::disabled(),
+            last_controls: vec![StageCtrl::Nop; stages],
+            cfg,
+        }
+    }
+
+    /// Enable event tracing (unbounded; use for directed tests only).
+    pub fn enable_trace(&mut self) {
+        self.trace = Trace::unbounded();
+    }
+
+    /// The recorded event trace.
+    pub fn trace(&self) -> &Trace<SwitchEvent> {
+        &self.trace
+    }
+
+    /// Aggregate counters.
+    pub fn counters(&self) -> SwitchCounters {
+        self.counters
+    }
+
+    /// The configuration this switch was built with.
+    pub fn config(&self) -> &SwitchConfig {
+        &self.cfg
+    }
+
+    /// Current cycle (the one the next `tick` will execute).
+    pub fn now(&self) -> Cycle {
+        self.cycle
+    }
+
+    /// Buffer occupancy in packets.
+    pub fn occupancy(&self) -> usize {
+        self.mgr.occupancy()
+    }
+
+    /// The per-stage control signals of the most recently executed cycle
+    /// (the fig. 5 table row).
+    pub fn stage_controls(&self) -> &[StageCtrl] {
+        &self.last_controls
+    }
+
+    /// Fault injection (testbench only): flip `mask` bits in bank
+    /// `stage` at buffer address `addr`, as a single-event upset would.
+    /// The fault-injection suite uses this to prove the end-to-end
+    /// payload checks detect storage corruption.
+    pub fn inject_bank_fault(&mut self, stage: usize, addr: Addr, mask: u64) {
+        self.banks[stage].inject_fault(addr, mask);
+    }
+
+    /// True if the switch holds no packets and no waves are in flight
+    /// (safe to stop feeding idle cycles).
+    pub fn is_quiescent(&self) -> bool {
+        self.mgr.occupancy() == 0
+            && self.waves.is_empty()
+            && self.outreg_cur.iter().all(Option::is_none)
+            && self.inputs.iter().all(|s| s.k == 0 && s.pending.is_empty())
+    }
+
+    /// Advance one clock cycle.
+    ///
+    /// `wire_in[i]` is the word on input link `i` during this cycle.
+    /// Returns the words on the output links during this cycle.
+    ///
+    /// Packets must be contiguous on each input link (the paper's links
+    /// have no mid-packet idles); a `None` inside a packet panics.
+    pub fn tick(&mut self, wire_in: &[Option<u64>]) -> Vec<Option<u64>> {
+        assert_eq!(wire_in.len(), self.cfg.n_in, "one word slot per input");
+        let c = self.cycle;
+        let s = self.stages;
+
+        // ------------------------------------------------------------------
+        // 1. Output links driven by the register row committed last cycle.
+        // ------------------------------------------------------------------
+        let mut wire_out: Vec<Option<u64>> = vec![None; self.cfg.n_out];
+        for ow in self.outreg_cur.iter().flatten() {
+            let j = ow.link.index();
+            assert!(
+                wire_out[j].is_none(),
+                "two output registers drove link {j} in cycle {c}"
+            );
+            wire_out[j] = Some(ow.word);
+            if let Some((id, birth)) = ow.tail_of {
+                self.counters.departed += 1;
+                self.trace.record(
+                    c,
+                    SwitchEvent::Departed {
+                        output: ow.link,
+                        id,
+                        birth,
+                    },
+                );
+            }
+        }
+
+        // ------------------------------------------------------------------
+        // 2. Input arrivals: framing, header decode, slot allocation,
+        //    latch-load scheduling.
+        // ------------------------------------------------------------------
+        self.latch_loads.clear();
+        for (i, w) in wire_in.iter().enumerate() {
+            let st = &mut self.inputs[i];
+            match w {
+                Some(word) => {
+                    if st.k == 0 {
+                        let (mask, id) = Packet::decode_header_any(*word);
+                        assert!(
+                            mask != 0 && (mask >> self.cfg.n_out) == 0,
+                            "packet {id} on input {i} addressed nonexistent outputs                              (mask {mask:#x}, {} outputs)",
+                            self.cfg.n_out
+                        );
+                        let desc = Descriptor::multicast(id, PortId(i), mask, c);
+                        self.counters.arrived += 1;
+                        self.trace.record(
+                            c,
+                            SwitchEvent::HeaderArrived {
+                                input: PortId(i),
+                                id,
+                                dst: desc.dst,
+                            },
+                        );
+                        match self.mgr.alloc(desc) {
+                            Some(addr) => {
+                                st.pending.push_back(PendingWrite {
+                                    addr,
+                                    eligible: c + 1,
+                                    deadline: c + s as Cycle,
+                                });
+                            }
+                            None => {
+                                self.counters.dropped_buffer_full += 1;
+                                self.trace.record(
+                                    c,
+                                    SwitchEvent::DroppedBufferFull {
+                                        input: PortId(i),
+                                        id,
+                                    },
+                                );
+                            }
+                        }
+                    }
+                    self.latch_loads.push((i, st.k, *word));
+                    st.k += 1;
+                    if st.k == s {
+                        st.k = 0;
+                    }
+                }
+                None => {
+                    assert!(
+                        st.k == 0,
+                        "link protocol violation: idle cycle inside a packet on input {i}"
+                    );
+                }
+            }
+        }
+
+        // ------------------------------------------------------------------
+        // 3. Latch-overrun sweep (provably unreachable under the shipped
+        //    policies; see module docs).
+        // ------------------------------------------------------------------
+        for i in 0..self.cfg.n_in {
+            while let Some(front) = self.inputs[i].pending.front() {
+                if front.deadline >= c {
+                    break;
+                }
+                let addr = front.addr;
+                self.inputs[i].pending.pop_front();
+                let d = self.mgr.release(addr);
+                self.counters.latch_overruns += 1;
+                self.trace.record(
+                    c,
+                    SwitchEvent::LatchOverrun {
+                        input: PortId(i),
+                        id: d.id,
+                    },
+                );
+            }
+        }
+
+        // ------------------------------------------------------------------
+        // 4. Arbitration: choose at most one wave to initiate this cycle.
+        // ------------------------------------------------------------------
+        let mut reads: Vec<ReadReq> = Vec::new();
+        for j in 0..self.cfg.n_out {
+            if c < self.out_next_init[j] {
+                continue;
+            }
+            if let Some((_, d)) = self.mgr.head(PortId(j)) {
+                let ready = match d.write_start {
+                    None => false,
+                    Some(ws) => {
+                        if self.cfg.cut_through {
+                            ws < c
+                        } else {
+                            // Store-and-forward: wait until the write wave
+                            // has deposited the tail word.
+                            c >= ws + s as Cycle
+                        }
+                    }
+                };
+                if ready {
+                    reads.push(ReadReq { port: PortId(j) });
+                }
+            }
+        }
+        let mut writes: Vec<WriteReq> = Vec::new();
+        for (i, st) in self.inputs.iter().enumerate() {
+            if let Some(front) = st.pending.front() {
+                if front.eligible <= c {
+                    writes.push(WriteReq {
+                        port: PortId(i),
+                        deadline: front.deadline,
+                    });
+                }
+            }
+        }
+        let had_work = !reads.is_empty() || !writes.is_empty();
+        match self.arb.decide(&reads, &writes) {
+            Decision::Read(j) => {
+                let (addr, d, _freed) = self.mgr.pop_and_free(j);
+                self.out_next_init[j.index()] = c + s as Cycle;
+                self.trace.record(
+                    c,
+                    SwitchEvent::ReadInitiated {
+                        output: j,
+                        addr,
+                        fused: false,
+                    },
+                );
+                self.waves.push(ActiveWave {
+                    start: c,
+                    addr,
+                    write_from: None,
+                    read_to: Some(OutBinding {
+                        out: j,
+                        id: d.id,
+                        birth: d.birth,
+                    }),
+                });
+            }
+            Decision::Write(i) => {
+                let pw = self.inputs[i.index()]
+                    .pending
+                    .pop_front()
+                    .expect("arbiter granted a write with no pending request");
+                self.mgr.mark_write_started(pw.addr, c);
+                self.trace.record(
+                    c,
+                    SwitchEvent::WriteInitiated {
+                        input: i,
+                        addr: pw.addr,
+                    },
+                );
+                let mut wave = ActiveWave {
+                    start: c,
+                    addr: pw.addr,
+                    write_from: Some(i),
+                    read_to: None,
+                };
+                // Fused cut-through: if this packet is next in line for an
+                // idle destination, one copy's read wave rides the write
+                // bus (multicast packets fuse at most one copy; the rest
+                // read normally later).
+                if self.cfg.fused_cut_through {
+                    let d = self.mgr.descriptor(pw.addr).expect("just marked");
+                    let (id, birth) = (d.id, d.birth);
+                    let dsts: Vec<PortId> = d.destinations().collect();
+                    for dst in dsts {
+                        if c < self.out_next_init[dst.index()] {
+                            continue;
+                        }
+                        let head_matches = matches!(
+                            self.mgr.head(dst),
+                            Some((head_addr, _)) if head_addr == pw.addr
+                        );
+                        if !head_matches {
+                            continue;
+                        }
+                        let (addr2, d2, _freed) = self.mgr.pop_and_free(dst);
+                        debug_assert_eq!(addr2, pw.addr);
+                        debug_assert_eq!(d2.id, id);
+                        self.out_next_init[dst.index()] = c + s as Cycle;
+                        self.counters.fused_reads += 1;
+                        self.trace.record(
+                            c,
+                            SwitchEvent::ReadInitiated {
+                                output: dst,
+                                addr: pw.addr,
+                                fused: true,
+                            },
+                        );
+                        wave.read_to = Some(OutBinding {
+                            out: dst,
+                            id,
+                            birth,
+                        });
+                        break;
+                    }
+                }
+                self.waves.push(wave);
+            }
+            Decision::Idle => {
+                if had_work {
+                    // Requests existed but none was servable — possible
+                    // only with a broken policy; diagnostic.
+                    self.counters.idle_with_work += 1;
+                }
+            }
+        }
+
+        // ------------------------------------------------------------------
+        // 5. Stage execution: every active wave performs its per-stage
+        //    operation on the (port-checked) banks.
+        // ------------------------------------------------------------------
+        for b in &mut self.banks {
+            b.begin_cycle(c);
+        }
+        for ctrl in self.last_controls.iter_mut() {
+            *ctrl = StageCtrl::Nop;
+        }
+        for w in &self.waves {
+            let k = (c - w.start) as usize;
+            debug_assert!(k < s);
+            let bank = &mut self.banks[k];
+            let bus_value = match w.write_from {
+                Some(i) => {
+                    let v = self.latches[i.index()][k];
+                    bank.write(w.addr, v)
+                        .expect("wave stagger guarantees bank availability");
+                    Some(v)
+                }
+                None => None,
+            };
+            if let Some(rb) = &w.read_to {
+                let v = match bus_value {
+                    // Fused: the output register samples the write bus.
+                    Some(v) => v,
+                    None => bank
+                        .read(w.addr)
+                        .expect("wave stagger guarantees bank availability"),
+                };
+                debug_assert!(
+                    self.outreg_next[k].is_none(),
+                    "two waves loaded output register {k} in cycle {c}"
+                );
+                self.outreg_next[k] = Some(OutWord {
+                    link: rb.out,
+                    word: v,
+                    tail_of: (k + 1 == s).then_some((rb.id, rb.birth)),
+                });
+            }
+            self.last_controls[k] = match (&w.write_from, &w.read_to) {
+                (Some(i), None) => StageCtrl::Write {
+                    addr: w.addr,
+                    link: *i,
+                },
+                (None, Some(rb)) => StageCtrl::Read {
+                    addr: w.addr,
+                    link: rb.out,
+                },
+                (Some(i), Some(rb)) => StageCtrl::Fused {
+                    addr: w.addr,
+                    input: *i,
+                    output: rb.out,
+                },
+                (None, None) => unreachable!("wave with no operation"),
+            };
+        }
+
+        // ------------------------------------------------------------------
+        // 6. Clock edge: commit latches and output registers, retire
+        //    completed waves, advance time.
+        // ------------------------------------------------------------------
+        for &(i, k, word) in &self.latch_loads {
+            self.latches[i][k] = word;
+        }
+        std::mem::swap(&mut self.outreg_cur, &mut self.outreg_next);
+        for o in self.outreg_next.iter_mut() {
+            *o = None;
+        }
+        self.waves.retain(|w| ((c - w.start) as usize) + 1 < s);
+        self.cycle = c + 1;
+        wire_out
+    }
+
+    /// Run `n` idle cycles (no input words), collecting outputs via `f`.
+    pub fn idle_cycles(&mut self, n: usize, mut f: impl FnMut(Cycle, &[Option<u64>])) {
+        let empty = vec![None; self.cfg.n_in];
+        for _ in 0..n {
+            let c = self.cycle;
+            let out = self.tick(&empty);
+            f(c, &out);
+        }
+    }
+}
+
+/// A packet reassembled from an output link by [`OutputCollector`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeliveredPacket {
+    /// Output link it emerged on.
+    pub output: PortId,
+    /// Packet id decoded from the delivered header.
+    pub id: u64,
+    /// Primary (lowest) destination decoded from the delivered header;
+    /// for unicast packets this should equal `output` (asserted by
+    /// tests), for multicast `output` is some member of `dsts_mask`.
+    pub dst: PortId,
+    /// Full destination bitmask decoded from the header.
+    pub dsts_mask: u32,
+    /// All `stages` words as delivered.
+    pub words: Vec<u64>,
+    /// Cycle the first word appeared on the link.
+    pub first_cycle: Cycle,
+    /// Cycle the tail word appeared on the link.
+    pub last_cycle: Cycle,
+}
+
+impl DeliveredPacket {
+    /// Check the payload against the deterministic synthesis rule of
+    /// [`Packet::synth`]/[`Packet::synth_multicast`] — detects any
+    /// datapath corruption or word misordering — and that this copy
+    /// emerged on a link the header actually addressed.
+    pub fn verify_payload(&self) -> bool {
+        let (mask, id) = Packet::decode_header_any(self.words[0]);
+        mask & (1 << self.output.index()) != 0
+            && id == self.id
+            && self.words[1..]
+                .iter()
+                .enumerate()
+                .all(|(i, &w)| w == Packet::payload_word(self.id, i + 1))
+    }
+}
+
+/// Reassembles the word streams of the output links into packets.
+#[derive(Debug)]
+pub struct OutputCollector {
+    packet_words: usize,
+    partial: Vec<Vec<(Cycle, u64)>>,
+    done: Vec<DeliveredPacket>,
+}
+
+impl OutputCollector {
+    /// A collector for `n_out` links carrying `packet_words`-word packets.
+    pub fn new(n_out: usize, packet_words: usize) -> Self {
+        OutputCollector {
+            packet_words,
+            partial: vec![Vec::new(); n_out],
+            done: Vec::new(),
+        }
+    }
+
+    /// Feed the output words of one cycle.
+    pub fn observe(&mut self, cycle: Cycle, wire_out: &[Option<u64>]) {
+        for (j, w) in wire_out.iter().enumerate() {
+            match w {
+                Some(word) => {
+                    self.partial[j].push((cycle, *word));
+                    if self.partial[j].len() == self.packet_words {
+                        let words: Vec<u64> = self.partial[j].iter().map(|&(_, w)| w).collect();
+                        let (mask, id) = Packet::decode_header_any(words[0]);
+                        let first_cycle = self.partial[j][0].0;
+                        let last_cycle = self.partial[j].last().expect("non-empty").0;
+                        self.done.push(DeliveredPacket {
+                            output: PortId(j),
+                            id,
+                            dst: PortId(mask.trailing_zeros() as usize),
+                            dsts_mask: mask,
+                            words,
+                            first_cycle,
+                            last_cycle,
+                        });
+                        self.partial[j].clear();
+                    }
+                }
+                None => {
+                    assert!(
+                        self.partial[j].is_empty(),
+                        "output link {j} idled mid-packet at cycle {cycle}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Completed packets so far (drains).
+    pub fn take(&mut self) -> Vec<DeliveredPacket> {
+        std::mem::take(&mut self.done)
+    }
+
+    /// Completed packets so far (borrow).
+    pub fn delivered(&self) -> &[DeliveredPacket] {
+        &self.done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simkernel::cell::Packet;
+
+    /// Drive a 2×2 switch (4 stages, 4-word packets) with one packet and
+    /// return (delivered packets, trace copy, counters).
+    fn run_single_packet(cfg: SwitchConfig) -> (Vec<DeliveredPacket>, PipelinedSwitch) {
+        let mut sw = PipelinedSwitch::new(cfg);
+        sw.enable_trace();
+        let s = sw.config().stages();
+        let p = Packet::synth(7, 0, 1, s, 0);
+        let mut col = OutputCollector::new(sw.config().n_out, s);
+        // Feed the packet on input 0, then idle until quiescent.
+        for k in 0..s {
+            let mut wire = vec![None; sw.config().n_in];
+            wire[0] = Some(p.words[k]);
+            let c = sw.now();
+            let out = sw.tick(&wire);
+            col.observe(c, &out);
+        }
+        for _ in 0..4 * s {
+            let c = sw.now();
+            let out = sw.tick(&vec![None; sw.config().n_in]);
+            col.observe(c, &out);
+        }
+        let pkts = col.take();
+        (pkts, sw)
+    }
+
+    #[test]
+    fn single_packet_delivered_intact() {
+        let (pkts, sw) = run_single_packet(SwitchConfig::symmetric(2, 8));
+        assert_eq!(pkts.len(), 1);
+        let d = &pkts[0];
+        assert_eq!(d.output, PortId(1));
+        assert_eq!(d.id, 7);
+        assert!(d.verify_payload(), "payload corrupted: {:?}", d.words);
+        let ctr = sw.counters();
+        assert_eq!(ctr.arrived, 1);
+        assert_eq!(ctr.departed, 1);
+        assert_eq!(ctr.latch_overruns, 0);
+        assert!(sw.is_quiescent());
+    }
+
+    #[test]
+    fn fused_cut_through_latency_is_two_cycles() {
+        // Paper §3.3: header arrives at a (here 0), write wave at a+1
+        // fuses the read; first word leaves "in the very next cycle",
+        // a+2.
+        let (pkts, sw) = run_single_packet(SwitchConfig::symmetric(2, 8));
+        assert_eq!(pkts[0].first_cycle, 2, "cut-through first word at a+2");
+        assert_eq!(sw.counters().fused_reads, 1);
+    }
+
+    #[test]
+    fn unfused_cut_through_latency_is_three_cycles() {
+        let mut cfg = SwitchConfig::symmetric(2, 8);
+        cfg.fused_cut_through = false;
+        let (pkts, sw) = run_single_packet(cfg);
+        // Write wave at 1, read wave at 2, first word out at 3.
+        assert_eq!(pkts[0].first_cycle, 3);
+        assert_eq!(sw.counters().fused_reads, 0);
+    }
+
+    #[test]
+    fn store_and_forward_latency() {
+        let mut cfg = SwitchConfig::symmetric(2, 8);
+        cfg.cut_through = false;
+        cfg.fused_cut_through = false;
+        let (pkts, _) = run_single_packet(cfg);
+        // Write wave at ws=1 completes its tail at ws+S-1 = 4; the read
+        // may initiate at ws+S = 5; first word out at 6 = 2 + S.
+        let s = 4;
+        assert_eq!(pkts[0].first_cycle, (2 + s) as u64);
+    }
+
+    #[test]
+    fn tail_never_sent_before_it_arrived() {
+        // The §3.3 safety property: transmission of the tail is attempted
+        // only after the tail has been written into the rightmost input
+        // latch. With fused cut-through the tail departs exactly 2 cycles
+        // after it arrives.
+        let (pkts, _) = run_single_packet(SwitchConfig::symmetric(2, 8));
+        let s = 4u64;
+        let tail_arrival = s - 1; // word k arrives at cycle k
+        assert_eq!(pkts[0].last_cycle, tail_arrival + 2);
+        assert!(pkts[0].last_cycle > tail_arrival);
+    }
+
+    #[test]
+    fn contending_packets_both_delivered_in_fifo_order() {
+        // Two packets to the same output, arriving simultaneously on
+        // different inputs: one cuts through, the other queues behind it.
+        let mut sw = PipelinedSwitch::new(SwitchConfig::symmetric(2, 8));
+        sw.enable_trace();
+        let s = 4;
+        let p0 = Packet::synth(10, 0, 0, s, 0);
+        let p1 = Packet::synth(11, 1, 0, s, 0);
+        let mut col = OutputCollector::new(2, s);
+        for k in 0..s {
+            let wire = vec![Some(p0.words[k]), Some(p1.words[k])];
+            let c = sw.now();
+            let out = sw.tick(&wire);
+            col.observe(c, &out);
+        }
+        for _ in 0..6 * s {
+            let c = sw.now();
+            let out = sw.tick(&[None, None]);
+            col.observe(c, &out);
+        }
+        let pkts = col.take();
+        assert_eq!(pkts.len(), 2);
+        assert!(pkts.iter().all(|p| p.verify_payload()));
+        // Output 0 transmits them back to back: the second starts right
+        // after the first ends.
+        assert_eq!(pkts[1].first_cycle, pkts[0].last_cycle + 1);
+        assert_eq!(sw.counters().departed, 2);
+        assert_eq!(sw.counters().latch_overruns, 0);
+    }
+
+    #[test]
+    fn buffer_full_drops_and_recovers() {
+        // 1-slot buffer, two simultaneous arrivals: the second is dropped,
+        // the first is delivered, and the switch keeps working.
+        let mut sw = PipelinedSwitch::new(SwitchConfig::symmetric(2, 1));
+        sw.enable_trace();
+        let s = 4;
+        let p0 = Packet::synth(1, 0, 0, s, 0);
+        let p1 = Packet::synth(2, 1, 1, s, 0);
+        let mut col = OutputCollector::new(2, s);
+        for k in 0..s {
+            let wire = vec![Some(p0.words[k]), Some(p1.words[k])];
+            let c = sw.now();
+            let out = sw.tick(&wire);
+            col.observe(c, &out);
+        }
+        for _ in 0..6 * s {
+            let c = sw.now();
+            let out = sw.tick(&[None, None]);
+            col.observe(c, &out);
+        }
+        let pkts = col.take();
+        assert_eq!(pkts.len(), 1);
+        assert_eq!(sw.counters().dropped_buffer_full, 1);
+        assert_eq!(sw.counters().departed, 1);
+        // A later packet still goes through.
+        let p2 = Packet::synth(3, 1, 0, s, 0);
+        for k in 0..s {
+            let wire = vec![None, Some(p2.words[k])];
+            let c = sw.now();
+            let out = sw.tick(&wire);
+            col.observe(c, &out);
+        }
+        for _ in 0..6 * s {
+            let c = sw.now();
+            let out = sw.tick(&[None, None]);
+            col.observe(c, &out);
+        }
+        let pkts = col.take();
+        assert_eq!(pkts.len(), 1);
+        assert!(pkts[0].verify_payload());
+    }
+
+    #[test]
+    fn stage_controls_report_wave_progression() {
+        let mut sw = PipelinedSwitch::new(SwitchConfig::symmetric(2, 8));
+        let s = 4;
+        let p = Packet::synth(7, 0, 1, s, 0);
+        // Cycle 0: header arrives, nothing initiated yet.
+        let mut wire = vec![Some(p.words[0]), None];
+        sw.tick(&wire);
+        assert_eq!(sw.stage_controls()[0], StageCtrl::Nop);
+        // Cycle 1: fused write+cut-through initiates at stage 0.
+        wire[0] = Some(p.words[1]);
+        sw.tick(&wire);
+        assert!(matches!(sw.stage_controls()[0], StageCtrl::Fused { .. }));
+        // Cycle 2: the wave is at stage 1.
+        wire[0] = Some(p.words[2]);
+        sw.tick(&wire);
+        assert!(matches!(sw.stage_controls()[1], StageCtrl::Fused { .. }));
+        assert_eq!(sw.stage_controls()[0], StageCtrl::Nop);
+    }
+
+    #[test]
+    #[should_panic(expected = "link protocol violation")]
+    fn idle_mid_packet_panics() {
+        let mut sw = PipelinedSwitch::new(SwitchConfig::symmetric(2, 8));
+        let p = Packet::synth(7, 0, 1, 4, 0);
+        sw.tick(&[Some(p.words[0]), None]);
+        sw.tick(&[None, None]);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonexistent output")]
+    fn bad_destination_panics() {
+        let mut sw = PipelinedSwitch::new(SwitchConfig::symmetric(2, 8));
+        let header = Packet::encode_header(5, 1); // output 5 of a 2×2
+        sw.tick(&[Some(header), None]);
+    }
+}

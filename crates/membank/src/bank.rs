@@ -1,0 +1,280 @@
+//! A single SRAM array with port-discipline checking.
+//!
+//! Everything in this crate reduces to arrays of these. The discipline is
+//! the physical constraint the paper's organizations are designed around:
+//! a single-ported array performs **at most one access per cycle**; a
+//! dual-ported array performs at most one read *and* one write — and costs
+//! roughly twice the area per bit (see `vlsimodel`).
+
+use simkernel::ids::{Addr, Cycle};
+use std::fmt;
+
+/// How many concurrent accesses per cycle the array supports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PortKind {
+    /// One access (read or write) per cycle.
+    SinglePort,
+    /// One read and one write per cycle (two-port register-file style).
+    DualPort,
+}
+
+/// A port-discipline violation: the access pattern issued in one cycle is
+/// not implementable by the declared array.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PortViolation {
+    /// Cycle of the violation.
+    pub cycle: Cycle,
+    /// Human-readable description of what was attempted.
+    pub detail: String,
+}
+
+impl fmt::Display for PortViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "port violation at cycle {}: {}", self.cycle, self.detail)
+    }
+}
+
+impl std::error::Error for PortViolation {}
+
+/// One SRAM array of `depth` words of `width_bits` bits each.
+///
+/// Callers must advance the bank's notion of time with
+/// [`SramBank::begin_cycle`] before issuing accesses for that cycle; the
+/// bank rejects access patterns its ports cannot sustain.
+#[derive(Debug, Clone)]
+pub struct SramBank {
+    data: Vec<u64>,
+    width_bits: u32,
+    ports: PortKind,
+    cycle: Cycle,
+    reads_this_cycle: u32,
+    writes_this_cycle: u32,
+    total_reads: u64,
+    total_writes: u64,
+}
+
+impl SramBank {
+    /// A bank of `depth` words, `width_bits ≤ 64` bits wide, zero-filled.
+    pub fn new(depth: usize, width_bits: u32, ports: PortKind) -> Self {
+        assert!(depth > 0, "bank needs at least one word");
+        assert!(
+            (1..=64).contains(&width_bits),
+            "model stores words in u64; width must be 1..=64 bits"
+        );
+        SramBank {
+            data: vec![0; depth],
+            width_bits,
+            ports,
+            cycle: 0,
+            reads_this_cycle: 0,
+            writes_this_cycle: 0,
+            total_reads: 0,
+            total_writes: 0,
+        }
+    }
+
+    /// Number of words.
+    pub fn depth(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Word width in bits.
+    pub fn width_bits(&self) -> u32 {
+        self.width_bits
+    }
+
+    /// Port configuration.
+    pub fn ports(&self) -> PortKind {
+        self.ports
+    }
+
+    /// Total accesses performed (for utilization accounting).
+    pub fn access_counts(&self) -> (u64, u64) {
+        (self.total_reads, self.total_writes)
+    }
+
+    /// Mask a value to the declared width (what the physical array would
+    /// actually store).
+    fn mask(&self, v: u64) -> u64 {
+        if self.width_bits == 64 {
+            v
+        } else {
+            v & ((1u64 << self.width_bits) - 1)
+        }
+    }
+
+    /// Open a new cycle; must be monotonically non-decreasing.
+    pub fn begin_cycle(&mut self, cycle: Cycle) {
+        debug_assert!(cycle >= self.cycle, "time must not run backwards");
+        if cycle != self.cycle {
+            self.cycle = cycle;
+            self.reads_this_cycle = 0;
+            self.writes_this_cycle = 0;
+        }
+    }
+
+    fn check_read(&self) -> Result<(), PortViolation> {
+        let ok = match self.ports {
+            PortKind::SinglePort => self.reads_this_cycle + self.writes_this_cycle < 1,
+            PortKind::DualPort => self.reads_this_cycle < 1,
+        };
+        if ok {
+            Ok(())
+        } else {
+            Err(PortViolation {
+                cycle: self.cycle,
+                detail: format!(
+                    "read rejected ({:?}: {} reads, {} writes already this cycle)",
+                    self.ports, self.reads_this_cycle, self.writes_this_cycle
+                ),
+            })
+        }
+    }
+
+    fn check_write(&self) -> Result<(), PortViolation> {
+        let ok = match self.ports {
+            PortKind::SinglePort => self.reads_this_cycle + self.writes_this_cycle < 1,
+            PortKind::DualPort => self.writes_this_cycle < 1,
+        };
+        if ok {
+            Ok(())
+        } else {
+            Err(PortViolation {
+                cycle: self.cycle,
+                detail: format!(
+                    "write rejected ({:?}: {} reads, {} writes already this cycle)",
+                    self.ports, self.reads_this_cycle, self.writes_this_cycle
+                ),
+            })
+        }
+    }
+
+    /// Read the word at `addr` in the current cycle.
+    pub fn read(&mut self, addr: Addr) -> Result<u64, PortViolation> {
+        self.check_read()?;
+        let v = *self
+            .data
+            .get(addr.index())
+            .unwrap_or_else(|| panic!("address {addr} out of range 0..{}", self.depth()));
+        self.reads_this_cycle += 1;
+        self.total_reads += 1;
+        Ok(v)
+    }
+
+    /// Write `value` (masked to width) at `addr` in the current cycle.
+    pub fn write(&mut self, addr: Addr, value: u64) -> Result<(), PortViolation> {
+        self.check_write()?;
+        let masked = self.mask(value);
+        let depth = self.depth();
+        let slot = self
+            .data
+            .get_mut(addr.index())
+            .unwrap_or_else(|| panic!("address {addr} out of range 0..{depth}"));
+        *slot = masked;
+        self.writes_this_cycle += 1;
+        self.total_writes += 1;
+        Ok(())
+    }
+
+    /// Debug peek that bypasses the port discipline (testbench only).
+    pub fn peek(&self, addr: Addr) -> u64 {
+        self.data[addr.index()]
+    }
+
+    /// Fault injection: flip the bits of `mask` at `addr`, bypassing the
+    /// port discipline. Testbench-only — used by the fault-injection
+    /// suite to prove that the end-to-end integrity checks detect real
+    /// storage corruption (an SEU, a weak cell) rather than vacuously
+    /// passing.
+    pub fn inject_fault(&mut self, addr: Addr, mask: u64) {
+        self.data[addr.index()] ^= mask;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_then_read_roundtrips() {
+        let mut b = SramBank::new(16, 16, PortKind::SinglePort);
+        b.begin_cycle(0);
+        b.write(Addr(3), 0xBEEF).unwrap();
+        b.begin_cycle(1);
+        assert_eq!(b.read(Addr(3)).unwrap(), 0xBEEF);
+    }
+
+    #[test]
+    fn width_masking() {
+        let mut b = SramBank::new(4, 8, PortKind::SinglePort);
+        b.begin_cycle(0);
+        b.write(Addr(0), 0x1FF).unwrap();
+        assert_eq!(b.peek(Addr(0)), 0xFF);
+        let mut b64 = SramBank::new(4, 64, PortKind::SinglePort);
+        b64.begin_cycle(0);
+        b64.write(Addr(0), u64::MAX).unwrap();
+        assert_eq!(b64.peek(Addr(0)), u64::MAX);
+    }
+
+    #[test]
+    fn single_port_rejects_second_access() {
+        let mut b = SramBank::new(4, 16, PortKind::SinglePort);
+        b.begin_cycle(0);
+        b.read(Addr(0)).unwrap();
+        assert!(b.read(Addr(1)).is_err());
+        assert!(b.write(Addr(1), 1).is_err());
+        // New cycle clears the budget.
+        b.begin_cycle(1);
+        assert!(b.write(Addr(1), 1).is_ok());
+    }
+
+    #[test]
+    fn dual_port_allows_read_plus_write() {
+        let mut b = SramBank::new(4, 16, PortKind::DualPort);
+        b.begin_cycle(0);
+        b.write(Addr(0), 7).unwrap();
+        // Same-cycle read sees the array as of this cycle's write in this
+        // functional model (write-first); the RTL models never rely on it.
+        b.read(Addr(1)).unwrap();
+        assert!(b.read(Addr(2)).is_err(), "second read must fail");
+        assert!(b.write(Addr(2), 1).is_err(), "second write must fail");
+    }
+
+    #[test]
+    fn access_counters() {
+        let mut b = SramBank::new(4, 16, PortKind::DualPort);
+        for c in 0..10 {
+            b.begin_cycle(c);
+            b.write(Addr(0), c).unwrap();
+            b.read(Addr(0)).unwrap();
+        }
+        assert_eq!(b.access_counts(), (10, 10));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        let mut b = SramBank::new(4, 16, PortKind::SinglePort);
+        b.begin_cycle(0);
+        let _ = b.read(Addr(4));
+    }
+
+    #[test]
+    fn begin_cycle_same_cycle_keeps_budget() {
+        let mut b = SramBank::new(4, 16, PortKind::SinglePort);
+        b.begin_cycle(5);
+        b.read(Addr(0)).unwrap();
+        b.begin_cycle(5); // idempotent
+        assert!(b.read(Addr(0)).is_err());
+    }
+
+    #[test]
+    fn violation_display() {
+        let mut b = SramBank::new(4, 16, PortKind::SinglePort);
+        b.begin_cycle(3);
+        b.read(Addr(0)).unwrap();
+        let e = b.read(Addr(0)).unwrap_err();
+        let s = e.to_string();
+        assert!(s.contains("cycle 3") && s.contains("read rejected"), "{s}");
+    }
+}

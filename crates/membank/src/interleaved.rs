@@ -1,0 +1,149 @@
+//! PRIZMA-style interleaved shared buffer (§3.1, §5.3, \[DeEI95\], \[Turn93\]).
+//!
+//! `M` small independent single-ported banks; **each packet is stored
+//! entirely within one bank, and each bank holds exactly one packet**. A
+//! packet streams into its bank one word per cycle (the bank's port allows
+//! it), and different banks operate concurrently, so aggregate throughput
+//! scales with the number of banks — the scalability property \[DeEI95\]
+//! chose this organization for. The cost, which §5.3 quantifies and
+//! `vlsimodel::compare` reproduces, is the `n×M` router/selector crossbars
+//! and the per-bank address decoders.
+
+use crate::bank::{PortKind, PortViolation, SramBank};
+use simkernel::ids::{Addr, Cycle};
+
+/// Identifies one bank (= one packet slot) of the interleaved buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BankId(pub usize);
+
+/// The interleaved (one-packet-per-bank) shared buffer.
+#[derive(Debug, Clone)]
+pub struct InterleavedMemory {
+    banks: Vec<SramBank>,
+    occupied: Vec<bool>,
+    free: Vec<BankId>,
+    packet_words: usize,
+}
+
+impl InterleavedMemory {
+    /// `m` banks, each sized for exactly one packet of `packet_words`
+    /// words of `word_bits` bits.
+    pub fn new(m: usize, packet_words: usize, word_bits: u32) -> Self {
+        assert!(m >= 1 && packet_words >= 1);
+        InterleavedMemory {
+            banks: (0..m)
+                .map(|_| SramBank::new(packet_words, word_bits, PortKind::SinglePort))
+                .collect(),
+            occupied: vec![false; m],
+            free: (0..m).rev().map(BankId).collect(),
+            packet_words,
+        }
+    }
+
+    /// Number of banks (= packet capacity `M`).
+    pub fn banks(&self) -> usize {
+        self.banks.len()
+    }
+
+    /// Words per packet.
+    pub fn packet_words(&self) -> usize {
+        self.packet_words
+    }
+
+    /// Banks currently holding a packet.
+    pub fn occupied_count(&self) -> usize {
+        self.occupied.iter().filter(|&&o| o).count()
+    }
+
+    /// Claim a free bank for an incoming packet; `None` when full (the
+    /// arriving packet is lost — the loss event of the \[HlKa88\]-style
+    /// experiments).
+    pub fn allocate(&mut self) -> Option<BankId> {
+        let b = self.free.pop()?;
+        self.occupied[b.0] = true;
+        Some(b)
+    }
+
+    /// Release a bank after its packet fully departed.
+    pub fn release(&mut self, b: BankId) {
+        assert!(self.occupied[b.0], "releasing a free bank");
+        self.occupied[b.0] = false;
+        self.free.push(b);
+    }
+
+    /// Open a new cycle on all banks.
+    pub fn begin_cycle(&mut self, cycle: Cycle) {
+        for b in &mut self.banks {
+            b.begin_cycle(cycle);
+        }
+    }
+
+    /// Stream word `k` of the packet into bank `b` (one per cycle per bank).
+    pub fn write_word(&mut self, b: BankId, k: usize, w: u64) -> Result<(), PortViolation> {
+        assert!(k < self.packet_words);
+        self.banks[b.0].write(Addr(k), w)
+    }
+
+    /// Stream word `k` of the packet out of bank `b`.
+    pub fn read_word(&mut self, b: BankId, k: usize) -> Result<u64, PortViolation> {
+        assert!(k < self.packet_words);
+        self.banks[b.0].read(Addr(k))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streaming_roundtrip() {
+        let mut m = InterleavedMemory::new(4, 3, 16);
+        let b = m.allocate().unwrap();
+        for (c, w) in [(0u64, 10u64), (1, 20), (2, 30)] {
+            m.begin_cycle(c);
+            m.write_word(b, c as usize, w).unwrap();
+        }
+        for (i, c) in (3u64..6).enumerate() {
+            m.begin_cycle(c);
+            assert_eq!(m.read_word(b, i).unwrap(), (i as u64 + 1) * 10);
+        }
+    }
+
+    #[test]
+    fn different_banks_concurrent_same_bank_not() {
+        let mut m = InterleavedMemory::new(4, 4, 16);
+        let a = m.allocate().unwrap();
+        let b = m.allocate().unwrap();
+        m.begin_cycle(0);
+        m.write_word(a, 0, 1).unwrap();
+        m.write_word(b, 0, 2).unwrap(); // concurrent: different banks
+        assert!(m.write_word(a, 1, 3).is_err(), "same bank twice in a cycle");
+    }
+
+    #[test]
+    fn allocation_exhausts_at_m() {
+        let mut m = InterleavedMemory::new(2, 4, 16);
+        assert!(m.allocate().is_some());
+        assert!(m.allocate().is_some());
+        assert!(m.allocate().is_none(), "M packets is the hard capacity");
+        assert_eq!(m.occupied_count(), 2);
+    }
+
+    #[test]
+    fn release_recycles() {
+        let mut m = InterleavedMemory::new(1, 4, 16);
+        let b = m.allocate().unwrap();
+        assert!(m.allocate().is_none());
+        m.release(b);
+        assert!(m.allocate().is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "releasing a free bank")]
+    fn double_release_panics() {
+        let mut m = InterleavedMemory::new(2, 4, 16);
+        let b = m.allocate().unwrap();
+        m.release(b);
+        m.release(b);
+    }
+}

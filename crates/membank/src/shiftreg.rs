@@ -1,0 +1,137 @@
+//! Shift-register packet storage — considered and rejected in §5.3.
+//!
+//! "Implementing the banks as shift-registers would not solve this problem,
+//! because one (dynamic) shift-register bit is 4 times larger than one
+//! (3-transistor dynamic) RAM bit. Shift-registers would also preclude
+//! cut-through." This module implements the organization anyway so the
+//! claim can be demonstrated: data is only available after traversing the
+//! full register chain (no random access, hence no cut-through), and
+//! `vlsimodel` carries the 4× area factor.
+
+use simkernel::ids::Cycle;
+
+/// A `length`-word shift register: words pushed in one end emerge,
+/// unchanged and in order, exactly `length` cycles later.
+#[derive(Debug, Clone)]
+pub struct ShiftRegisterBank {
+    slots: Vec<u64>,
+    valid: Vec<bool>,
+    cycle: Cycle,
+    shifted_this_cycle: bool,
+}
+
+impl ShiftRegisterBank {
+    /// A chain of `length ≥ 1` word registers.
+    pub fn new(length: usize) -> Self {
+        assert!(length >= 1);
+        ShiftRegisterBank {
+            slots: vec![0; length],
+            valid: vec![false; length],
+            cycle: 0,
+            shifted_this_cycle: false,
+        }
+    }
+
+    /// Chain length in words.
+    pub fn length(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Open a new cycle.
+    pub fn begin_cycle(&mut self, cycle: Cycle) {
+        if cycle != self.cycle {
+            self.cycle = cycle;
+            self.shifted_this_cycle = false;
+        }
+    }
+
+    /// Shift once: optionally push a new word in; returns the word falling
+    /// out of the far end, if that slot held valid data. At most one shift
+    /// per cycle — a shift register has exactly one clocked movement.
+    pub fn shift(&mut self, input: Option<u64>) -> Option<u64> {
+        assert!(
+            !self.shifted_this_cycle,
+            "a shift register shifts once per cycle"
+        );
+        self.shifted_this_cycle = true;
+        let out = self.valid[self.slots.len() - 1].then(|| self.slots[self.slots.len() - 1]);
+        for i in (1..self.slots.len()).rev() {
+            self.slots[i] = self.slots[i - 1];
+            self.valid[i] = self.valid[i - 1];
+        }
+        match input {
+            Some(w) => {
+                self.slots[0] = w;
+                self.valid[0] = true;
+            }
+            None => {
+                self.valid[0] = false;
+            }
+        }
+        out
+    }
+
+    /// Words of valid data currently in the chain.
+    pub fn occupancy(&self) -> usize {
+        self.valid.iter().filter(|&&v| v).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_after_full_traversal() {
+        let mut s = ShiftRegisterBank::new(4);
+        let mut out = Vec::new();
+        for c in 0..10u64 {
+            s.begin_cycle(c);
+            let input = (c < 6).then_some(100 + c);
+            if let Some(w) = s.shift(input) {
+                out.push(w);
+            }
+        }
+        // Word pushed at cycle c emerges at cycle c + 4.
+        assert_eq!(out, vec![100, 101, 102, 103, 104, 105]);
+    }
+
+    #[test]
+    fn no_random_access_semantics() {
+        // The point of §5.3: a word is simply not retrievable before it
+        // has traversed the whole chain — the structural reason shift
+        // registers preclude cut-through.
+        let mut s = ShiftRegisterBank::new(8);
+        s.begin_cycle(0);
+        assert!(s.shift(Some(42)).is_none());
+        for c in 1..8u64 {
+            s.begin_cycle(c);
+            assert!(s.shift(None).is_none(), "nothing out before cycle 8");
+        }
+        s.begin_cycle(8);
+        assert_eq!(s.shift(None), Some(42));
+    }
+
+    #[test]
+    #[should_panic(expected = "once per cycle")]
+    fn double_shift_panics() {
+        let mut s = ShiftRegisterBank::new(2);
+        s.begin_cycle(0);
+        s.shift(None);
+        s.shift(None);
+    }
+
+    #[test]
+    fn occupancy_tracks_valid() {
+        let mut s = ShiftRegisterBank::new(3);
+        s.begin_cycle(0);
+        s.shift(Some(1));
+        assert_eq!(s.occupancy(), 1);
+        s.begin_cycle(1);
+        s.shift(Some(2));
+        assert_eq!(s.occupancy(), 2);
+        s.begin_cycle(2);
+        s.shift(None);
+        assert_eq!(s.occupancy(), 2);
+    }
+}

@@ -1,0 +1,125 @@
+//! The wide-memory organization (§3.1, \[KaSC91\]).
+//!
+//! One memory word = one whole packet (`stages` link words side by side).
+//! A single operation per cycle moves an entire packet. The organizational
+//! consequences the paper draws (§3.2) — input double-buffering because a
+//! packet can only be stored once fully assembled and the memory may be
+//! busy at that exact cycle, and a separate cut-through bypass path —
+//! live in `baselines::widemem_switch`; this module is just the memory.
+
+use crate::bank::{PortKind, PortViolation, SramBank};
+use simkernel::ids::{Addr, Cycle};
+
+/// A wide memory: `depth` slots, each holding one `packet_words`-word
+/// packet, accessed whole-packet-at-a-time, one access per cycle.
+#[derive(Debug, Clone)]
+pub struct WideMemory {
+    /// One logical array; we model the port budget with a 1-word bank and
+    /// keep packet data alongside (the discipline, not the bits, is what
+    /// the single `SramBank` enforces).
+    gate: SramBank,
+    slots: Vec<Vec<u64>>,
+    packet_words: usize,
+    word_bits: u32,
+}
+
+impl WideMemory {
+    /// A wide memory of `depth` packet slots, each `packet_words` link
+    /// words of `word_bits` bits.
+    pub fn new(depth: usize, packet_words: usize, word_bits: u32) -> Self {
+        assert!(packet_words >= 1);
+        WideMemory {
+            gate: SramBank::new(depth, 1, PortKind::SinglePort),
+            slots: vec![vec![0; packet_words]; depth],
+            packet_words,
+            word_bits,
+        }
+    }
+
+    /// Packet slots.
+    pub fn depth(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Link words per packet (the memory's width in link words).
+    pub fn packet_words(&self) -> usize {
+        self.packet_words
+    }
+
+    /// Total capacity in bits.
+    pub fn capacity_bits(&self) -> u64 {
+        (self.depth() * self.packet_words) as u64 * self.word_bits as u64
+    }
+
+    /// Open a new cycle.
+    pub fn begin_cycle(&mut self, cycle: Cycle) {
+        self.gate.begin_cycle(cycle);
+    }
+
+    fn mask(&self, v: u64) -> u64 {
+        if self.word_bits == 64 {
+            v
+        } else {
+            v & ((1u64 << self.word_bits) - 1)
+        }
+    }
+
+    /// Store a whole packet at `addr` (one cycle, one access).
+    pub fn write_packet(&mut self, addr: Addr, words: &[u64]) -> Result<(), PortViolation> {
+        assert_eq!(
+            words.len(),
+            self.packet_words,
+            "wide memory stores whole packets only"
+        );
+        self.gate.write(addr, 0)?; // consume the port budget
+        let masked: Vec<u64> = words.iter().map(|&w| self.mask(w)).collect();
+        self.slots[addr.index()] = masked;
+        Ok(())
+    }
+
+    /// Retrieve a whole packet from `addr` (one cycle, one access).
+    pub fn read_packet(&mut self, addr: Addr) -> Result<Vec<u64>, PortViolation> {
+        self.gate.read(addr)?;
+        Ok(self.slots[addr.index()].clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn whole_packet_roundtrip() {
+        let mut m = WideMemory::new(8, 4, 16);
+        m.begin_cycle(0);
+        m.write_packet(Addr(2), &[1, 2, 3, 0x1FFFF]).unwrap();
+        m.begin_cycle(1);
+        assert_eq!(m.read_packet(Addr(2)).unwrap(), vec![1, 2, 3, 0xFFFF]);
+    }
+
+    #[test]
+    fn one_access_per_cycle() {
+        let mut m = WideMemory::new(8, 4, 16);
+        m.begin_cycle(0);
+        m.write_packet(Addr(0), &[0; 4]).unwrap();
+        assert!(m.read_packet(Addr(0)).is_err());
+        assert!(m.write_packet(Addr(1), &[0; 4]).is_err());
+        m.begin_cycle(1);
+        assert!(m.read_packet(Addr(0)).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "whole packets")]
+    fn partial_packet_rejected() {
+        let mut m = WideMemory::new(8, 4, 16);
+        m.begin_cycle(0);
+        let _ = m.write_packet(Addr(0), &[1, 2]);
+    }
+
+    #[test]
+    fn capacity_matches_pipelined_equivalent() {
+        // Same geometry as the Telegraphos III pipelined buffer.
+        let m = WideMemory::new(256, 16, 16);
+        assert_eq!(m.capacity_bits(), 65_536);
+    }
+}

@@ -1,0 +1,297 @@
+//! Omega networks built from shared-buffer switch elements.
+//!
+//! The paper's switches are "building blocks for larger, multi-stage
+//! switches and networks". An omega network connects `N = k^s` terminals
+//! through `s` stages of `N/k` switches of size `k×k`, with a perfect
+//! shuffle between stages; self-routing uses one base-`k` digit of the
+//! destination per stage. Each element here is a slot-level
+//! `baselines`-style shared-buffer switch — the configuration the paper
+//! recommends — but the element type is generic in principle; the
+//! experiments compare fabrics of shared vs input-queued elements at the
+//! cell level.
+
+use simkernel::cell::Cell;
+use simkernel::ids::Cycle;
+use std::collections::VecDeque;
+
+/// One k×k shared-buffer element (self-contained so the fabric does not
+/// depend on the baselines crate; behaviorally identical to
+/// `baselines::SharedBufferSwitch`).
+#[derive(Debug, Clone)]
+struct Element {
+    queues: Vec<VecDeque<Cell>>,
+    pool: usize,
+    capacity: Option<usize>,
+    dropped: u64,
+}
+
+impl Element {
+    fn new(k: usize, capacity: Option<usize>) -> Self {
+        Element {
+            queues: vec![VecDeque::new(); k],
+            pool: 0,
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// `port_dst[i]` = local output port for the cell arriving on input i.
+    fn tick(&mut self, arrivals: &[Option<(Cell, usize)>], out: &mut [Option<Cell>]) {
+        for o in out.iter_mut() {
+            *o = None;
+        }
+        for a in arrivals.iter().flatten() {
+            if self.capacity.is_some_and(|cap| self.pool >= cap) {
+                self.dropped += 1;
+            } else {
+                self.queues[a.1].push_back(a.0);
+                self.pool += 1;
+            }
+        }
+        for (j, q) in self.queues.iter_mut().enumerate() {
+            if let Some(c) = q.pop_front() {
+                out[j] = Some(c);
+                self.pool -= 1;
+            }
+        }
+    }
+}
+
+/// An omega network of `stages` stages of `k×k` shared-buffer elements,
+/// serving `N = k^stages` terminals.
+#[derive(Debug)]
+pub struct OmegaNetwork {
+    k: usize,
+    stages: usize,
+    n: usize,
+    elements: Vec<Vec<Element>>,
+    delivered: Vec<Cell>,
+    latencies: Vec<u64>,
+    /// Per-stage pipeline registers.
+    pipe: Vec<Vec<Option<Cell>>>,
+}
+
+impl OmegaNetwork {
+    /// Build an omega network for `k^stages` terminals with per-element
+    /// pool capacity `element_capacity`.
+    pub fn new(k: usize, stages: usize, element_capacity: Option<usize>) -> Self {
+        assert!(k >= 2 && stages >= 1);
+        let n = k.pow(stages as u32);
+        OmegaNetwork {
+            k,
+            stages,
+            n,
+            elements: (0..stages)
+                .map(|_| {
+                    (0..n / k)
+                        .map(|_| Element::new(k, element_capacity))
+                        .collect()
+                })
+                .collect(),
+            delivered: Vec::new(),
+            latencies: Vec::new(),
+            pipe: vec![vec![None; n]; stages],
+        }
+    }
+
+    /// Number of terminals.
+    pub fn terminals(&self) -> usize {
+        self.n
+    }
+
+    /// Perfect-shuffle wiring into every stage: line `i` connects to
+    /// position `shuffle(i)` of the next stage's input side.
+    fn shuffle(&self, i: usize) -> usize {
+        // Rotate the base-k representation left by one digit.
+        (i * self.k) % self.n + (i * self.k) / self.n
+    }
+
+    /// The destination digit consumed at `stage` (most significant
+    /// first).
+    fn digit(&self, dest: usize, stage: usize) -> usize {
+        let shift = self.stages - 1 - stage;
+        (dest / self.k.pow(shift as u32)) % self.k
+    }
+
+    /// Advance one slot: `arrivals[t]` is the cell entering at terminal
+    /// `t`; returns cells delivered to terminals this slot via the
+    /// internal `delivered` log.
+    pub fn tick(&mut self, now: Cycle, arrivals: &[Option<Cell>]) {
+        assert_eq!(arrivals.len(), self.n);
+        let k = self.k;
+        // Feed each stage from its pipeline register (stage 0 from the
+        // terminals), routing by the stage's destination digit.
+        let mut stage_in: Vec<Option<Cell>> = arrivals.to_vec();
+        for s in 0..self.stages {
+            // Shuffle into the stage.
+            let mut shuffled: Vec<Option<Cell>> = vec![None; self.n];
+            for (i, c) in stage_in.iter().enumerate() {
+                if c.is_some() {
+                    shuffled[self.shuffle(i)] = *c;
+                }
+            }
+            // Route lookup (one destination digit per stage), then each
+            // element of the stage switches its k lines.
+            let routed: Vec<Option<(Cell, usize)>> = shuffled
+                .iter()
+                .map(|c| c.map(|c| (c, self.digit(c.dst.index(), s))))
+                .collect();
+            let mut stage_out: Vec<Option<Cell>> = vec![None; self.n];
+            for (e, elem) in self.elements[s].iter_mut().enumerate() {
+                let base = e * k;
+                let mut out = vec![None; k];
+                elem.tick(&routed[base..base + k], &mut out);
+                for (j, c) in out.into_iter().enumerate() {
+                    stage_out[base + j] = c;
+                }
+            }
+            // Latch this stage's output; what the register previously
+            // held (stage `s`'s output of the last slot) feeds stage
+            // `s + 1` on the next loop iteration.
+            stage_in = std::mem::replace(&mut self.pipe[s], stage_out);
+        }
+        // What fell out of the last pipeline register is delivered.
+        for c in stage_in.into_iter().flatten() {
+            self.latencies.push(now.saturating_sub(c.birth));
+            self.delivered.push(c);
+        }
+    }
+
+    /// Total cells delivered to terminals.
+    pub fn delivered(&self) -> &[Cell] {
+        &self.delivered
+    }
+
+    /// Mean terminal-to-terminal latency in slots.
+    pub fn mean_latency(&self) -> f64 {
+        if self.latencies.is_empty() {
+            return 0.0;
+        }
+        self.latencies.iter().sum::<u64>() as f64 / self.latencies.len() as f64
+    }
+
+    /// Cells dropped inside elements.
+    pub fn dropped(&self) -> u64 {
+        self.elements
+            .iter()
+            .flat_map(|s| s.iter())
+            .map(|e| e.dropped)
+            .sum()
+    }
+
+    /// Cells buffered inside the fabric.
+    pub fn occupancy(&self) -> usize {
+        self.elements
+            .iter()
+            .flat_map(|s| s.iter())
+            .map(|e| e.pool)
+            .sum::<usize>()
+            + self
+                .pipe
+                .iter()
+                .flat_map(|p| p.iter())
+                .filter(|c| c.is_some())
+                .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(id: u64, src: usize, dst: usize, birth: Cycle) -> Cell {
+        Cell::new(id, src, dst, birth)
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let net = OmegaNetwork::new(2, 3, None);
+        let mut seen = [false; 8];
+        for i in 0..8 {
+            let s = net.shuffle(i);
+            assert!(!seen[s], "shuffle collides at {i}→{s}");
+            seen[s] = true;
+        }
+    }
+
+    #[test]
+    fn single_cell_routes_to_its_terminal() {
+        let mut net = OmegaNetwork::new(2, 3, None);
+        for dst in 0..8 {
+            let mut arr = vec![None; 8];
+            arr[5] = Some(cell(dst as u64, 5, dst, 0));
+            net.tick(0, &arr);
+            for now in 1..20 {
+                net.tick(now, &vec![None; 8]);
+            }
+        }
+        assert_eq!(net.delivered().len(), 8);
+        for c in net.delivered() {
+            assert_eq!(
+                c.id.0 as usize,
+                c.dst.index(),
+                "cell mis-routed: id {} arrived at {}",
+                c.id.0,
+                c.dst
+            );
+        }
+    }
+
+    #[test]
+    fn latency_is_stage_count_when_uncontended() {
+        let mut net = OmegaNetwork::new(2, 3, None);
+        let mut arr = vec![None; 8];
+        arr[0] = Some(cell(1, 0, 7, 0));
+        net.tick(0, &arr);
+        for now in 1..10 {
+            net.tick(now, &vec![None; 8]);
+        }
+        assert_eq!(net.delivered().len(), 1);
+        assert_eq!(net.mean_latency(), 3.0, "3 stages = 3 slots");
+    }
+
+    #[test]
+    fn contention_buffers_inside_fabric() {
+        // Two cells to the same terminal in the same slot: one is
+        // buffered in a shared element, both arrive, one slot apart.
+        let mut net = OmegaNetwork::new(2, 2, None);
+        let mut arr = vec![None; 4];
+        arr[0] = Some(cell(1, 0, 3, 0));
+        arr[1] = Some(cell(2, 1, 3, 0));
+        net.tick(0, &arr);
+        for now in 1..10 {
+            net.tick(now, &[None; 4]);
+        }
+        assert_eq!(net.delivered().len(), 2);
+        let lat: Vec<u64> = net.latencies.clone();
+        assert_eq!(lat.len(), 2);
+        assert_eq!((lat[0] as i64 - lat[1] as i64).abs(), 1);
+    }
+
+    #[test]
+    fn conservation_under_random_traffic() {
+        let mut net = OmegaNetwork::new(2, 4, None);
+        let n = net.terminals();
+        let mut rng = simkernel::SplitMix64::new(4);
+        let mut offered = 0u64;
+        for now in 0..2000u64 {
+            let arr: Vec<Option<Cell>> = (0..n)
+                .map(|i| {
+                    rng.chance(0.5).then(|| {
+                        offered += 1;
+                        cell(offered, i, rng.below_usize(n), now)
+                    })
+                })
+                .collect();
+            net.tick(now, &arr);
+        }
+        for now in 2000..2200u64 {
+            net.tick(now, &vec![None; n]);
+        }
+        assert_eq!(
+            offered,
+            net.delivered().len() as u64 + net.dropped() + net.occupancy() as u64
+        );
+        assert_eq!(net.dropped(), 0, "unbounded elements never drop");
+    }
+}

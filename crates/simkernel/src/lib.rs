@@ -1,0 +1,49 @@
+//! # simkernel — cycle-accurate synchronous simulation kernel
+//!
+//! This crate is the substrate every other crate in the workspace builds on.
+//! It models *synchronous digital hardware* the way an RTL designer thinks
+//! about it:
+//!
+//! * time advances in integer [`Cycle`]s of a single clock;
+//! * state lives in [`reg::Reg`] registers with **two-phase** semantics —
+//!   combinational logic computes `next` values during a cycle, and a clock
+//!   edge ([`reg::Reg::tick`]) commits them atomically;
+//! * anything that owns registers implements [`Clocked`] and is ticked once
+//!   per cycle by a [`sim::Simulator`];
+//! * randomness comes only from the seedable, reproducible
+//!   [`rng::SplitMix64`], so every simulation in the workspace is
+//!   deterministic given its seed.
+//!
+//! The kernel also carries the small vocabulary types shared across the
+//! workspace ([`ids`], [`cell`]) and the [`wave`] bookkeeping used by the
+//! pipelined-memory model of the paper: a *wave* is an operation that starts
+//! at pipeline stage 0 in some cycle and visits stage `k` exactly `k` cycles
+//! later — the central mechanism of Katevenis et al., SIGCOMM 1995.
+//!
+//! ## Design notes
+//!
+//! The kernel is deliberately synchronous and single-threaded: the paper's
+//! claims are *cycle-level logical* properties (wave chasing, cut-through
+//! timing, staggered initiation), and a deterministic synchronous model is
+//! both the most faithful and the most testable way to express them. There
+//! is no event queue — every component is evaluated every cycle, exactly as
+//! every flip-flop in a chip sees every clock edge.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cell;
+pub mod ids;
+pub mod reg;
+pub mod rng;
+pub mod sim;
+pub mod trace;
+pub mod wave;
+
+pub use cell::{Cell, CellId, Packet, PacketId};
+pub use ids::{Addr, Cycle, PortId, StageId};
+pub use reg::Reg;
+pub use rng::SplitMix64;
+pub use sim::{Clocked, Simulator};
+pub use trace::{Trace, TraceEntry};
+pub use wave::{Wave, WaveKind};

@@ -1,0 +1,227 @@
+//! Two-phase registers: the flip-flops of the simulator.
+//!
+//! An RTL design separates *combinational* evaluation (compute what every
+//! register will hold next) from the *clock edge* (all registers update
+//! simultaneously). Getting this wrong — letting one component see another's
+//! already-updated state within the same cycle — is the classic source of
+//! "works in simulation, impossible in hardware" bugs. [`Reg`] makes the
+//! separation explicit: reads always return the value committed at the last
+//! clock edge; writes go to a shadow `next` and take effect only at
+//! [`Reg::tick`].
+
+/// A clocked register holding a value of type `T`.
+///
+/// * [`Reg::get`] / `Deref`-like access returns the *current* (committed)
+///   value.
+/// * [`Reg::set`] schedules a value for the next clock edge.
+/// * [`Reg::tick`] commits: `cur ← next`. If no `set` happened since the
+///   last edge the register holds its value (like a flip-flop with a
+///   load-enable that wasn't asserted).
+/// ```
+/// use simkernel::Reg;
+///
+/// let mut q = Reg::new(0u32);
+/// q.set(7);                 // combinational phase: schedule next value
+/// assert_eq!(*q.get(), 0);  // downstream logic still sees the old value
+/// q.tick();                 // clock edge
+/// assert_eq!(*q.get(), 7);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Reg<T: Clone> {
+    cur: T,
+    next: Option<T>,
+}
+
+impl<T: Clone> Reg<T> {
+    /// A register with reset value `v`.
+    pub fn new(v: T) -> Self {
+        Reg { cur: v, next: None }
+    }
+
+    /// The committed value (what downstream logic sees this cycle).
+    #[inline]
+    pub fn get(&self) -> &T {
+        &self.cur
+    }
+
+    /// Schedule `v` to be committed at the next clock edge. Calling `set`
+    /// twice in one cycle models two drivers racing for the same flip-flop;
+    /// the later call wins, matching "last assignment wins" RTL semantics,
+    /// but [`Reg::set_checked`] is available where a double drive is a bug.
+    #[inline]
+    pub fn set(&mut self, v: T) {
+        self.next = Some(v);
+    }
+
+    /// Like [`Reg::set`] but panics if the register was already driven this
+    /// cycle — use for buses where a double drive means a real conflict.
+    pub fn set_checked(&mut self, v: T) {
+        assert!(
+            self.next.is_none(),
+            "register driven twice in one cycle (bus conflict)"
+        );
+        self.next = Some(v);
+    }
+
+    /// True if some driver has scheduled a value this cycle.
+    #[inline]
+    pub fn is_driven(&self) -> bool {
+        self.next.is_some()
+    }
+
+    /// Clock edge: commit the pending value, if any.
+    #[inline]
+    pub fn tick(&mut self) {
+        if let Some(v) = self.next.take() {
+            self.cur = v;
+        }
+    }
+
+    /// Peek at the pending value (for assertions in tests; real
+    /// combinational logic must not read this).
+    pub fn pending(&self) -> Option<&T> {
+        self.next.as_ref()
+    }
+}
+
+impl<T: Clone + Default> Default for Reg<T> {
+    fn default() -> Self {
+        Reg::new(T::default())
+    }
+}
+
+/// A fixed-depth shift register: value written this cycle appears at the
+/// output `depth` cycles later. This is exactly the "control signals for
+/// subsequent stages are delayed versions of the former" structure of
+/// fig. 5 in the paper.
+#[derive(Debug, Clone)]
+pub struct DelayLine<T: Clone + Default> {
+    slots: Vec<Reg<T>>,
+}
+
+impl<T: Clone + Default> DelayLine<T> {
+    /// A delay line of `depth ≥ 1` stages, reset to `T::default()`.
+    pub fn new(depth: usize) -> Self {
+        assert!(depth >= 1, "delay line needs at least one stage");
+        DelayLine {
+            slots: (0..depth).map(|_| Reg::default()).collect(),
+        }
+    }
+
+    /// Number of stages.
+    pub fn depth(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Drive the input of the line for this cycle.
+    pub fn push(&mut self, v: T) {
+        self.slots[0].set(v);
+    }
+
+    /// The committed value at stage `k` (0 = one cycle of delay after the
+    /// `push` that produced it, k = `k+1` cycles of delay).
+    pub fn stage(&self, k: usize) -> &T {
+        self.slots[k].get()
+    }
+
+    /// The committed output of the final stage.
+    pub fn output(&self) -> &T {
+        self.slots.last().expect("non-empty").get()
+    }
+
+    /// Clock edge: every stage latches the previous stage's committed value;
+    /// stage 0 latches the pushed input (or `T::default()` if none was
+    /// pushed, modeling a control pipeline that idles with NOPs).
+    pub fn tick(&mut self) {
+        // Propagate from the far end backwards so each stage reads the
+        // *committed* value of its predecessor.
+        for k in (1..self.slots.len()).rev() {
+            let v = self.slots[k - 1].get().clone();
+            self.slots[k].set(v);
+        }
+        if !self.slots[0].is_driven() {
+            self.slots[0].set(T::default());
+        }
+        for s in &mut self.slots {
+            s.tick();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reg_holds_until_tick() {
+        let mut r = Reg::new(1u32);
+        r.set(2);
+        assert_eq!(*r.get(), 1, "value must not change before the edge");
+        r.tick();
+        assert_eq!(*r.get(), 2);
+    }
+
+    #[test]
+    fn reg_holds_without_drive() {
+        let mut r = Reg::new(7u32);
+        r.tick();
+        r.tick();
+        assert_eq!(*r.get(), 7);
+    }
+
+    #[test]
+    fn last_set_wins() {
+        let mut r = Reg::new(0u32);
+        r.set(1);
+        r.set(2);
+        r.tick();
+        assert_eq!(*r.get(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "bus conflict")]
+    fn set_checked_panics_on_double_drive() {
+        let mut r = Reg::new(0u32);
+        r.set_checked(1);
+        r.set_checked(2);
+    }
+
+    #[test]
+    fn delay_line_delays_by_depth() {
+        let mut dl = DelayLine::<u32>::new(3);
+        // Push 10, then idle. 10 should appear at the output after 3 ticks.
+        dl.push(10);
+        dl.tick(); // now at stage 0
+        assert_eq!(*dl.stage(0), 10);
+        assert_eq!(*dl.output(), 0);
+        dl.tick(); // stage 1
+        assert_eq!(*dl.stage(1), 10);
+        dl.tick(); // stage 2 == output
+        assert_eq!(*dl.output(), 10);
+        dl.tick(); // flushed out, replaced by default
+        assert_eq!(*dl.output(), 0);
+    }
+
+    #[test]
+    fn delay_line_streams_back_to_back() {
+        let mut dl = DelayLine::<u32>::new(2);
+        let mut out = Vec::new();
+        for v in 1..=5u32 {
+            dl.push(v);
+            dl.tick();
+            out.push(*dl.output());
+        }
+        // depth-2: first pushed value appears after 2 ticks.
+        assert_eq!(out, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn delay_line_idles_with_default() {
+        let mut dl = DelayLine::<u32>::new(2);
+        dl.push(9);
+        for _ in 0..5 {
+            dl.tick();
+        }
+        assert_eq!(*dl.output(), 0, "NOPs must flush the pipeline");
+    }
+}

@@ -1,0 +1,191 @@
+//! Cycle-stamped event traces.
+//!
+//! Traces serve two purposes in this workspace: (1) the fig. 5 reproduction
+//! prints a literal cycle-by-cycle control-signal table from a trace, and
+//! (2) tests assert on exact event timing (e.g. "the cut-through word left
+//! on the output link exactly 2 cycles after it arrived").
+
+use crate::ids::Cycle;
+use std::fmt;
+
+/// One trace record: an event of type `E` observed at a cycle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEntry<E> {
+    /// Cycle at which the event was observed.
+    pub cycle: Cycle,
+    /// The event payload.
+    pub event: E,
+}
+
+/// An append-only, optionally bounded event trace.
+///
+/// When constructed with a capacity, the trace keeps only the most recent
+/// `capacity` entries (a flight recorder); unbounded traces keep everything
+/// (for short directed tests).
+#[derive(Debug, Clone)]
+pub struct Trace<E> {
+    entries: Vec<TraceEntry<E>>,
+    capacity: Option<usize>,
+    dropped: u64,
+    enabled: bool,
+}
+
+impl<E> Default for Trace<E> {
+    fn default() -> Self {
+        Self::unbounded()
+    }
+}
+
+impl<E> Trace<E> {
+    /// A trace that keeps every entry.
+    pub fn unbounded() -> Self {
+        Trace {
+            entries: Vec::new(),
+            capacity: None,
+            dropped: 0,
+            enabled: true,
+        }
+    }
+
+    /// A flight-recorder trace keeping only the last `capacity` entries.
+    pub fn bounded(capacity: usize) -> Self {
+        assert!(capacity > 0, "bounded trace needs capacity > 0");
+        Trace {
+            entries: Vec::with_capacity(capacity),
+            capacity: Some(capacity),
+            dropped: 0,
+            enabled: true,
+        }
+    }
+
+    /// A disabled trace: records nothing, costs (almost) nothing. Used by
+    /// long statistical runs where tracing would dominate runtime.
+    pub fn disabled() -> Self {
+        Trace {
+            entries: Vec::new(),
+            capacity: None,
+            dropped: 0,
+            enabled: false,
+        }
+    }
+
+    /// Whether this trace records events.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Record an event.
+    pub fn record(&mut self, cycle: Cycle, event: E) {
+        if !self.enabled {
+            self.dropped += 1;
+            return;
+        }
+        if let Some(cap) = self.capacity {
+            if self.entries.len() == cap {
+                self.entries.remove(0);
+                self.dropped += 1;
+            }
+        }
+        self.entries.push(TraceEntry { cycle, event });
+    }
+
+    /// All retained entries, oldest first.
+    pub fn entries(&self) -> &[TraceEntry<E>] {
+        &self.entries
+    }
+
+    /// Number of events not retained (evicted or disabled).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Retained entries at a given cycle.
+    pub fn at(&self, cycle: Cycle) -> impl Iterator<Item = &E> {
+        self.entries
+            .iter()
+            .filter(move |e| e.cycle == cycle)
+            .map(|e| &e.event)
+    }
+
+    /// First retained entry matching a predicate.
+    pub fn find(&self, mut pred: impl FnMut(&E) -> bool) -> Option<&TraceEntry<E>> {
+        self.entries.iter().find(|e| pred(&e.event))
+    }
+
+    /// Drop all retained entries (counters keep accumulating).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+impl<E: fmt::Display> Trace<E> {
+    /// Render the trace as a simple `cycle: event` listing.
+    pub fn render(&self) -> String {
+        use fmt::Write as _;
+        let mut s = String::new();
+        for e in &self.entries {
+            let _ = writeln!(s, "{:>8}: {}", e.cycle, e.event);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbounded_keeps_all() {
+        let mut t = Trace::unbounded();
+        for c in 0..100u64 {
+            t.record(c, c * 2);
+        }
+        assert_eq!(t.entries().len(), 100);
+        assert_eq!(t.dropped(), 0);
+    }
+
+    #[test]
+    fn bounded_evicts_oldest() {
+        let mut t = Trace::bounded(3);
+        for c in 0..5u64 {
+            t.record(c, c);
+        }
+        assert_eq!(t.dropped(), 2);
+        let kept: Vec<u64> = t.entries().iter().map(|e| e.event).collect();
+        assert_eq!(kept, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn disabled_records_nothing() {
+        let mut t = Trace::disabled();
+        t.record(1, "x");
+        assert!(t.entries().is_empty());
+        assert_eq!(t.dropped(), 1);
+    }
+
+    #[test]
+    fn at_filters_by_cycle() {
+        let mut t = Trace::unbounded();
+        t.record(5, "a");
+        t.record(5, "b");
+        t.record(6, "c");
+        let at5: Vec<&&str> = t.at(5).collect();
+        assert_eq!(at5.len(), 2);
+    }
+
+    #[test]
+    fn find_locates_entry() {
+        let mut t = Trace::unbounded();
+        t.record(1, 10);
+        t.record(2, 20);
+        assert_eq!(t.find(|e| *e == 20).unwrap().cycle, 2);
+        assert!(t.find(|e| *e == 99).is_none());
+    }
+
+    #[test]
+    fn render_formats_lines() {
+        let mut t = Trace::unbounded();
+        t.record(3, "hello");
+        assert!(t.render().contains("3: hello"));
+    }
+}

@@ -1,0 +1,207 @@
+//! Wave bookkeeping for pipelined memories.
+//!
+//! The defining idea of the paper (§3.2): an operation initiated at memory
+//! stage `M0` in cycle `t` is repeated, with identical address and link
+//! binding, at stage `Mk` in cycle `t + k`. We call the whole sweep a
+//! *wave*. This module provides the pure arithmetic of waves — which stage
+//! a wave occupies at a cycle, whether two waves ever collide on a stage —
+//! so both the RTL model and its tests can reason about them.
+
+use crate::ids::{Addr, Cycle, PortId, StageId};
+
+/// What a wave does at each stage it visits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WaveKind {
+    /// Store an incoming packet: at stage `k`, write input-latch word `k`
+    /// of the bound incoming link into the bank at the wave's address.
+    Write,
+    /// Retrieve an outgoing packet: at stage `k`, read the bank at the
+    /// wave's address into output register `k`, to be transmitted on the
+    /// bound outgoing link one cycle later.
+    Read,
+}
+
+/// One operation wave sweeping the bank chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Wave {
+    /// Read or write.
+    pub kind: WaveKind,
+    /// Cycle in which the wave performs its stage-0 operation.
+    pub start: Cycle,
+    /// Buffer address used at *every* stage (one packet slot).
+    pub addr: Addr,
+    /// The link bound to the wave: incoming link for writes, outgoing link
+    /// for reads.
+    pub link: PortId,
+    /// Number of stages the wave visits (the switch's `stages`).
+    pub stages: usize,
+}
+
+impl Wave {
+    /// The stage this wave operates on during `cycle`, if it is active then.
+    pub fn stage_at(&self, cycle: Cycle) -> Option<StageId> {
+        if cycle < self.start {
+            return None;
+        }
+        let k = (cycle - self.start) as usize;
+        (k < self.stages).then_some(StageId(k))
+    }
+
+    /// The cycle at which this wave operates on stage `k`.
+    pub fn cycle_at(&self, k: StageId) -> Option<Cycle> {
+        (k.index() < self.stages).then(|| self.start + k.index() as Cycle)
+    }
+
+    /// Cycle of the last stage operation.
+    pub fn end(&self) -> Cycle {
+        self.start + (self.stages as Cycle) - 1
+    }
+
+    /// True while the wave still has stage operations to perform at or
+    /// after `cycle`.
+    pub fn active_at(&self, cycle: Cycle) -> bool {
+        cycle >= self.start && cycle <= self.end()
+    }
+
+    /// Two waves collide iff they would ever use the same stage in the same
+    /// cycle. Because every wave moves right one stage per cycle, this
+    /// happens exactly when they start in the same cycle — the key property
+    /// that makes "one initiation per cycle" a sufficient safety rule.
+    pub fn collides_with(&self, other: &Wave) -> bool {
+        self.start == other.start
+    }
+}
+
+/// A set of in-flight waves with collision checking; the RTL model keeps
+/// one of these as its ground truth for assertions.
+#[derive(Debug, Default, Clone)]
+pub struct WaveLog {
+    waves: Vec<Wave>,
+}
+
+impl WaveLog {
+    /// Empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Admit a wave; panics if it collides with any in-flight wave
+    /// (a violated "one initiation per cycle" invariant).
+    pub fn launch(&mut self, w: Wave) {
+        for existing in &self.waves {
+            assert!(
+                !existing.collides_with(&w),
+                "wave collision: {existing:?} vs {w:?}"
+            );
+        }
+        self.waves.push(w);
+    }
+
+    /// Remove waves fully completed before `cycle`.
+    pub fn retire_before(&mut self, cycle: Cycle) {
+        self.waves.retain(|w| w.end() >= cycle);
+    }
+
+    /// Waves active in `cycle`, together with the stage each occupies.
+    pub fn active(&self, cycle: Cycle) -> impl Iterator<Item = (&Wave, StageId)> {
+        self.waves
+            .iter()
+            .filter_map(move |w| w.stage_at(cycle).map(|s| (w, s)))
+    }
+
+    /// Number of tracked waves.
+    pub fn len(&self) -> usize {
+        self.waves.len()
+    }
+
+    /// True if no waves are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.waves.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wave(kind: WaveKind, start: Cycle) -> Wave {
+        Wave {
+            kind,
+            start,
+            addr: Addr(0),
+            link: PortId(0),
+            stages: 4,
+        }
+    }
+
+    #[test]
+    fn stage_progression() {
+        let w = wave(WaveKind::Read, 10);
+        assert_eq!(w.stage_at(9), None);
+        assert_eq!(w.stage_at(10), Some(StageId(0)));
+        assert_eq!(w.stage_at(12), Some(StageId(2)));
+        assert_eq!(w.stage_at(13), Some(StageId(3)));
+        assert_eq!(w.stage_at(14), None);
+        assert_eq!(w.end(), 13);
+    }
+
+    #[test]
+    fn cycle_at_inverts_stage_at() {
+        let w = wave(WaveKind::Write, 5);
+        for k in 0..4 {
+            let c = w.cycle_at(StageId(k)).unwrap();
+            assert_eq!(w.stage_at(c), Some(StageId(k)));
+        }
+        assert_eq!(w.cycle_at(StageId(4)), None);
+    }
+
+    #[test]
+    fn same_start_collides_different_start_does_not() {
+        let a = wave(WaveKind::Read, 3);
+        let b = wave(WaveKind::Write, 3);
+        let c = wave(WaveKind::Write, 4);
+        assert!(a.collides_with(&b));
+        assert!(!a.collides_with(&c));
+    }
+
+    #[test]
+    fn staggered_waves_never_share_a_stage() {
+        // Exhaustively check the claim behind `collides_with`: waves with
+        // different starts never occupy the same stage in the same cycle.
+        let a = wave(WaveKind::Read, 7);
+        let b = wave(WaveKind::Write, 9);
+        for c in 0..30 {
+            if let (Some(sa), Some(sb)) = (a.stage_at(c), b.stage_at(c)) {
+                assert_ne!(sa, sb, "cycle {c}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "wave collision")]
+    fn log_rejects_collision() {
+        let mut log = WaveLog::new();
+        log.launch(wave(WaveKind::Read, 1));
+        log.launch(wave(WaveKind::Write, 1));
+    }
+
+    #[test]
+    fn log_retires_completed() {
+        let mut log = WaveLog::new();
+        log.launch(wave(WaveKind::Read, 0)); // ends at 3
+        log.launch(wave(WaveKind::Write, 2)); // ends at 5
+        log.retire_before(4);
+        assert_eq!(log.len(), 1);
+        log.retire_before(6);
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn active_reports_stage() {
+        let mut log = WaveLog::new();
+        log.launch(wave(WaveKind::Read, 0));
+        log.launch(wave(WaveKind::Write, 1));
+        let active: Vec<StageId> = log.active(2).map(|(_, s)| s).collect();
+        assert_eq!(active, vec![StageId(2), StageId(1)]);
+    }
+}

@@ -1,0 +1,154 @@
+//! Batch-means confidence intervals.
+//!
+//! The standard single-run method for steady-state simulation output
+//! analysis: split the (post-warmup) observation stream into `k` equal
+//! batches, treat batch means as approximately i.i.d. normal, and form a
+//! Student-t confidence interval on the grand mean.
+
+use crate::welford::Welford;
+
+/// Accumulates observations into fixed-size batches and reports a
+/// confidence interval over the batch means.
+#[derive(Debug, Clone)]
+pub struct BatchMeans {
+    batch_size: u64,
+    current: Welford,
+    batch_means: Vec<f64>,
+}
+
+impl BatchMeans {
+    /// Collector with the given batch size (observations per batch).
+    pub fn new(batch_size: u64) -> Self {
+        assert!(batch_size > 0);
+        BatchMeans {
+            batch_size,
+            current: Welford::new(),
+            batch_means: Vec::new(),
+        }
+    }
+
+    /// Add an observation.
+    pub fn push(&mut self, x: f64) {
+        self.current.push(x);
+        if self.current.count() == self.batch_size {
+            self.batch_means.push(self.current.mean());
+            self.current = Welford::new();
+        }
+    }
+
+    /// Number of completed batches.
+    pub fn batches(&self) -> usize {
+        self.batch_means.len()
+    }
+
+    /// Grand mean over completed batches (`None` if no batch completed).
+    pub fn mean(&self) -> Option<f64> {
+        if self.batch_means.is_empty() {
+            return None;
+        }
+        Some(self.batch_means.iter().sum::<f64>() / self.batch_means.len() as f64)
+    }
+
+    /// 95 % confidence half-width over completed batch means (`None` with
+    /// fewer than 2 batches).
+    pub fn half_width_95(&self) -> Option<f64> {
+        let k = self.batch_means.len();
+        if k < 2 {
+            return None;
+        }
+        let mean = self.mean()?;
+        let var = self
+            .batch_means
+            .iter()
+            .map(|m| (m - mean) * (m - mean))
+            .sum::<f64>()
+            / (k - 1) as f64;
+        let t = t_975(k - 1);
+        Some(t * (var / k as f64).sqrt())
+    }
+
+    /// `(mean, half_width)` if at least 2 batches completed.
+    pub fn interval_95(&self) -> Option<(f64, f64)> {
+        Some((self.mean()?, self.half_width_95()?))
+    }
+}
+
+/// Two-sided 97.5 % Student-t quantile for `df` degrees of freedom
+/// (tabulated for small df, asymptotic 1.96 beyond).
+fn t_975(df: usize) -> f64 {
+    const TABLE: [f64; 30] = [
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+        2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+        2.052, 2.048, 2.045, 2.042,
+    ];
+    if df == 0 {
+        f64::INFINITY
+    } else if df <= 30 {
+        TABLE[df - 1]
+    } else if df <= 60 {
+        2.000
+    } else {
+        1.96
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batches_complete_at_size() {
+        let mut b = BatchMeans::new(10);
+        for i in 0..35 {
+            b.push(i as f64);
+        }
+        assert_eq!(b.batches(), 3);
+        // Batch means: 4.5, 14.5, 24.5 → grand mean 14.5.
+        assert!((b.mean().unwrap() - 14.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_interval_below_two_batches() {
+        let mut b = BatchMeans::new(100);
+        for i in 0..150 {
+            b.push(i as f64);
+        }
+        assert_eq!(b.batches(), 1);
+        assert!(b.half_width_95().is_none());
+    }
+
+    #[test]
+    fn constant_stream_zero_width() {
+        let mut b = BatchMeans::new(5);
+        for _ in 0..50 {
+            b.push(3.0);
+        }
+        let (m, hw) = b.interval_95().unwrap();
+        assert_eq!(m, 3.0);
+        assert_eq!(hw, 0.0);
+    }
+
+    #[test]
+    fn interval_covers_true_mean_for_iid_noise() {
+        // Deterministic pseudo-noise around 10.0.
+        let mut b = BatchMeans::new(50);
+        let mut x = 1u64;
+        for _ in 0..5000 {
+            // xorshift
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let u = (x >> 11) as f64 / (1u64 << 53) as f64;
+            b.push(10.0 + (u - 0.5));
+        }
+        let (m, hw) = b.interval_95().unwrap();
+        assert!((m - 10.0).abs() < hw + 0.05, "mean {m} hw {hw}");
+    }
+
+    #[test]
+    fn t_table_sane() {
+        assert!(t_975(1) > t_975(2));
+        assert!((t_975(1000) - 1.96).abs() < 1e-9);
+        assert_eq!(t_975(0), f64::INFINITY);
+    }
+}

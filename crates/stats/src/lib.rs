@@ -1,0 +1,33 @@
+//! # stats — measurement utilities for switch simulations
+//!
+//! Every experiment in the workspace reports one or more of: carried
+//! throughput, packet/cell latency, and loss probability. This crate holds
+//! the collectors those experiments share:
+//!
+//! * [`Welford`] — numerically stable online mean/variance;
+//! * [`Histogram`] — integer-valued histogram with exact percentiles;
+//! * [`LatencyStats`] — latency collector (mean, max, percentiles) with
+//!   warmup filtering;
+//! * [`ThroughputMeter`] / [`LossMeter`] — offered vs carried accounting;
+//! * [`BatchMeans`] — confidence intervals for steady-state means from a
+//!   single run (the standard batch-means method);
+//! * [`saturation_search`] — bisection for the saturation load of a switch,
+//!   the quantity behind the paper's "input queueing saturates at ≈ 58.6 %"
+//!   claim.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod batch;
+pub mod histogram;
+pub mod latency;
+pub mod meters;
+pub mod saturation;
+pub mod welford;
+
+pub use batch::BatchMeans;
+pub use histogram::Histogram;
+pub use latency::LatencyStats;
+pub use meters::{LossMeter, ThroughputMeter};
+pub use saturation::{saturation_search, SaturationResult};
+pub use welford::Welford;

@@ -1,0 +1,182 @@
+//! Offered vs carried throughput and loss accounting.
+
+/// Measures throughput of a switch: cells offered (arrivals), carried
+/// (departures), and the utilization these imply per port.
+#[derive(Debug, Clone, Default)]
+pub struct ThroughputMeter {
+    offered: u64,
+    carried: u64,
+    measured_slots: u64,
+    ports: usize,
+    warmup: u64,
+}
+
+impl ThroughputMeter {
+    /// A meter for an `ports`-output switch; slots before `warmup` are not
+    /// counted in the measurement window.
+    pub fn new(ports: usize, warmup: u64) -> Self {
+        ThroughputMeter {
+            ports,
+            warmup,
+            ..Default::default()
+        }
+    }
+
+    /// Note the passing of slot `now` (call once per slot).
+    pub fn slot(&mut self, now: u64) {
+        if now >= self.warmup {
+            self.measured_slots += 1;
+        }
+    }
+
+    /// Record `n` arrivals in slot `now`.
+    pub fn arrivals(&mut self, now: u64, n: u64) {
+        if now >= self.warmup {
+            self.offered += n;
+        }
+    }
+
+    /// Record `n` departures in slot `now`.
+    pub fn departures(&mut self, now: u64, n: u64) {
+        if now >= self.warmup {
+            self.carried += n;
+        }
+    }
+
+    /// Total cells offered in the window.
+    pub fn offered(&self) -> u64 {
+        self.offered
+    }
+
+    /// Total cells carried in the window.
+    pub fn carried(&self) -> u64 {
+        self.carried
+    }
+
+    /// Carried load per output port per slot (the paper's "link
+    /// utilization"): `carried / (slots × ports)`.
+    pub fn utilization(&self) -> f64 {
+        if self.measured_slots == 0 || self.ports == 0 {
+            0.0
+        } else {
+            self.carried as f64 / (self.measured_slots * self.ports as u64) as f64
+        }
+    }
+
+    /// Offered load per input port per slot.
+    pub fn offered_load(&self) -> f64 {
+        if self.measured_slots == 0 || self.ports == 0 {
+            0.0
+        } else {
+            self.offered as f64 / (self.measured_slots * self.ports as u64) as f64
+        }
+    }
+
+    /// Slots in the measurement window so far.
+    pub fn slots(&self) -> u64 {
+        self.measured_slots
+    }
+}
+
+/// Loss probability accounting: accepted vs dropped cells.
+#[derive(Debug, Clone, Default)]
+pub struct LossMeter {
+    accepted: u64,
+    dropped: u64,
+    warmup: u64,
+}
+
+impl LossMeter {
+    /// A loss meter ignoring events before `warmup`.
+    pub fn new(warmup: u64) -> Self {
+        LossMeter {
+            warmup,
+            ..Default::default()
+        }
+    }
+
+    /// Record `n` cells accepted into the buffer in slot `now`.
+    pub fn accept(&mut self, now: u64, n: u64) {
+        if now >= self.warmup {
+            self.accepted += n;
+        }
+    }
+
+    /// Record `n` cells dropped (buffer full / knocked out) in slot `now`.
+    pub fn drop(&mut self, now: u64, n: u64) {
+        if now >= self.warmup {
+            self.dropped += n;
+        }
+    }
+
+    /// Cells accepted in the window.
+    pub fn accepted(&self) -> u64 {
+        self.accepted
+    }
+
+    /// Cells dropped in the window.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Loss probability `dropped / (accepted + dropped)`; 0 when no
+    /// traffic was observed.
+    pub fn loss_probability(&self) -> f64 {
+        let total = self.accepted + self.dropped;
+        if total == 0 {
+            0.0
+        } else {
+            self.dropped as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilization_counts_window_only() {
+        let mut m = ThroughputMeter::new(4, 10);
+        for now in 0..20 {
+            m.slot(now);
+            m.arrivals(now, 4);
+            m.departures(now, 2);
+        }
+        assert_eq!(m.slots(), 10);
+        assert_eq!(m.offered(), 40);
+        assert_eq!(m.carried(), 20);
+        assert!((m.utilization() - 0.5).abs() < 1e-12);
+        assert!((m.offered_load() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_meter_is_zero() {
+        let m = ThroughputMeter::new(4, 0);
+        assert_eq!(m.utilization(), 0.0);
+        assert_eq!(m.offered_load(), 0.0);
+    }
+
+    #[test]
+    fn loss_probability() {
+        let mut l = LossMeter::new(0);
+        l.accept(1, 999);
+        l.drop(1, 1);
+        assert!((l.loss_probability() - 0.001).abs() < 1e-12);
+    }
+
+    #[test]
+    fn loss_warmup_ignored() {
+        let mut l = LossMeter::new(5);
+        l.drop(0, 100);
+        l.accept(10, 10);
+        assert_eq!(l.dropped(), 0);
+        assert_eq!(l.loss_probability(), 0.0);
+    }
+
+    #[test]
+    fn no_traffic_no_loss() {
+        let l = LossMeter::new(0);
+        assert_eq!(l.loss_probability(), 0.0);
+    }
+}

@@ -1,0 +1,110 @@
+//! Saturation-point search.
+//!
+//! The saturation throughput of a switch is the largest offered load it can
+//! carry without queues growing unboundedly. Empirically we detect
+//! saturation as *carried < offered − tolerance* over a long measurement
+//! window (an unstable switch cannot carry what is offered). A bisection
+//! over offered load brackets the saturation point; this is how E1/E2
+//! reproduce the 58.6 % (uniform iid input queueing) and ≈25 % (wormhole)
+//! figures.
+
+/// Result of a saturation search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SaturationResult {
+    /// Highest offered load that was still carried (stable).
+    pub stable_load: f64,
+    /// Lowest offered load observed unstable.
+    pub unstable_load: f64,
+    /// Number of simulation evaluations performed.
+    pub evaluations: usize,
+}
+
+impl SaturationResult {
+    /// Midpoint estimate of the saturation load.
+    pub fn estimate(&self) -> f64 {
+        0.5 * (self.stable_load + self.unstable_load)
+    }
+}
+
+/// Bisect for the saturation load in `(lo, hi)`.
+///
+/// `carries(load)` must run the system at the given offered load and return
+/// the *carried* load (per input, same units). The system is judged stable
+/// at `load` when `carries(load) ≥ load − tol`.
+///
+/// Preconditions: the system must be stable at `lo` and unstable at `hi`
+/// (checked; panics otherwise — a misconfigured experiment should fail
+/// loudly, not return a plausible number).
+pub fn saturation_search(
+    mut lo: f64,
+    mut hi: f64,
+    tol: f64,
+    resolution: f64,
+    mut carries: impl FnMut(f64) -> f64,
+) -> SaturationResult {
+    assert!(lo < hi && tol > 0.0 && resolution > 0.0);
+    let mut evals = 0;
+    let mut eval = |load: f64, evals: &mut usize| {
+        *evals += 1;
+        carries(load) >= load - tol
+    };
+    assert!(
+        eval(lo, &mut evals),
+        "system must be stable at the lower bracket {lo}"
+    );
+    assert!(
+        !eval(hi, &mut evals),
+        "system must be unstable at the upper bracket {hi}"
+    );
+    while hi - lo > resolution {
+        let mid = 0.5 * (lo + hi);
+        if eval(mid, &mut evals) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    SaturationResult {
+        stable_load: lo,
+        unstable_load: hi,
+        evaluations: evals,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_known_threshold() {
+        // A synthetic system that saturates at exactly 0.586.
+        let sat = 0.586;
+        let r = saturation_search(0.1, 0.99, 1e-6, 0.001, |load| load.min(sat));
+        assert!(
+            (r.estimate() - sat).abs() < 0.002,
+            "estimate {}",
+            r.estimate()
+        );
+        assert!(r.stable_load <= sat + 1e-9);
+        assert!(r.unstable_load >= sat - 0.001);
+    }
+
+    #[test]
+    fn evaluation_count_is_logarithmic() {
+        let r = saturation_search(0.1, 0.9, 1e-6, 0.01, |load| load.min(0.5));
+        // 2 bracket checks + ~log2(0.8/0.01) ≈ 7 bisections.
+        assert!(r.evaluations <= 12, "{} evaluations", r.evaluations);
+    }
+
+    #[test]
+    #[should_panic(expected = "stable at the lower bracket")]
+    fn panics_if_lo_unstable() {
+        saturation_search(0.5, 0.9, 1e-6, 0.01, |_| 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unstable at the upper bracket")]
+    fn panics_if_hi_stable() {
+        saturation_search(0.1, 0.9, 1e-6, 0.01, |load| load);
+    }
+}

@@ -1,0 +1,241 @@
+//! Word-level link feeder for the RTL models.
+//!
+//! The RTL switch consumes one `Option<u64>` word per input link per cycle.
+//! A [`PacketFeeder`] drives one link: it generates whole [`Packet`]s
+//! (randomly at a configured load, or from an explicit queue for directed
+//! tests) and serializes them word by word, with geometric idle gaps tuned
+//! so the long-run link utilization matches the requested load.
+
+use crate::dest::DestDist;
+use simkernel::cell::Packet;
+use simkernel::ids::Cycle;
+use simkernel::SplitMix64;
+use std::collections::VecDeque;
+
+/// Record of a packet this feeder put on the wire (for conservation and
+/// integrity checks at the far end).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SentRecord {
+    /// Packet id.
+    pub id: u64,
+    /// Destination output port.
+    pub dst: usize,
+    /// Cycle in which word 0 was driven.
+    pub birth: Cycle,
+}
+
+/// Serializes packets onto one input link, one word per cycle.
+#[derive(Debug, Clone)]
+pub struct PacketFeeder {
+    port: usize,
+    packet_words: usize,
+    start_prob: f64,
+    dist: Option<DestDist>,
+    rng: SplitMix64,
+    next_id: u64,
+    id_stride: u64,
+    queue: VecDeque<Packet>,
+    current: Option<(Packet, usize)>,
+    sent: Vec<SentRecord>,
+}
+
+impl PacketFeeder {
+    /// A random feeder for input `port`: packets of `packet_words` words,
+    /// long-run link load `load`, destinations from `dist`. Packet ids are
+    /// `port + k·id_stride` so feeders sharing an `id_stride` equal to the
+    /// port count generate globally unique ids.
+    pub fn random(
+        port: usize,
+        packet_words: usize,
+        load: f64,
+        dist: DestDist,
+        seed: u64,
+        id_stride: u64,
+    ) -> Self {
+        assert!(packet_words >= 1);
+        assert!((0.0..=1.0).contains(&load));
+        assert!(id_stride as usize > port || id_stride == 0 && port == 0 || id_stride > 0);
+        // With geometric idle gaps of mean g, utilization = L/(L+g);
+        // solve g for the requested load, then the per-idle-cycle start
+        // probability q satisfies g = (1-q)/q.
+        let start_prob = if load >= 1.0 {
+            1.0
+        } else if load <= 0.0 {
+            0.0
+        } else {
+            let l = packet_words as f64;
+            let g = l * (1.0 - load) / load;
+            1.0 / (1.0 + g)
+        };
+        PacketFeeder {
+            port,
+            packet_words,
+            start_prob,
+            dist: Some(dist),
+            rng: SplitMix64::new(seed ^ (port as u64).wrapping_mul(0x9e37_79b9)),
+            next_id: port as u64,
+            id_stride,
+            queue: VecDeque::new(),
+            current: None,
+            sent: Vec::new(),
+        }
+    }
+
+    /// A directed feeder that only transmits explicitly queued packets.
+    pub fn scripted(port: usize, packet_words: usize) -> Self {
+        PacketFeeder {
+            port,
+            packet_words,
+            start_prob: 0.0,
+            dist: None,
+            rng: SplitMix64::new(port as u64),
+            next_id: 0,
+            id_stride: 0,
+            queue: VecDeque::new(),
+            current: None,
+            sent: Vec::new(),
+        }
+    }
+
+    /// Queue a packet for transmission (takes precedence over random
+    /// generation). Panics if its size does not match the feeder's.
+    pub fn push(&mut self, p: Packet) {
+        assert_eq!(p.size_words, self.packet_words, "packet size mismatch");
+        self.queue.push_back(p);
+    }
+
+    /// The input port this feeder drives.
+    pub fn port(&self) -> usize {
+        self.port
+    }
+
+    /// Stop generating new random packets. The packet currently on the
+    /// wire (and anything explicitly queued) still completes — a feeder
+    /// must never cut a packet short, because the link protocol forbids
+    /// idles inside a packet.
+    pub fn halt(&mut self) {
+        self.dist = None;
+    }
+
+    /// Packets put on the wire so far.
+    pub fn sent(&self) -> &[SentRecord] {
+        &self.sent
+    }
+
+    /// True if a packet is mid-transmission or queued.
+    pub fn busy(&self) -> bool {
+        self.current.is_some() || !self.queue.is_empty()
+    }
+
+    /// The word on the link in cycle `now` (`None` = idle).
+    pub fn tick(&mut self, now: Cycle) -> Option<u64> {
+        if self.current.is_none() {
+            // Start the next queued packet, or generate one at random.
+            if let Some(p) = self.queue.pop_front() {
+                self.current = Some((p, 0));
+            } else if let Some(dist) = self.dist.as_ref() {
+                if !self.rng.chance(self.start_prob) {
+                    return None;
+                }
+                let dst = dist.draw(&mut self.rng);
+                let id = self.next_id;
+                self.next_id += self.id_stride.max(1);
+                let p = Packet::synth(id, self.port, dst, self.packet_words, now);
+                self.current = Some((p, 0));
+            }
+        }
+        let (p, k) = self.current.as_mut()?;
+        if *k == 0 {
+            self.sent.push(SentRecord {
+                id: p.id.0,
+                dst: p.dst.index(),
+                birth: now,
+            });
+        }
+        let w = p.words[*k];
+        *k += 1;
+        if *k == p.size_words {
+            self.current = None;
+        }
+        Some(w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scripted_feeder_serializes_in_order() {
+        let mut f = PacketFeeder::scripted(0, 4);
+        let p = Packet::synth(5, 0, 2, 4, 0);
+        f.push(p.clone());
+        let words: Vec<Option<u64>> = (0..6).map(|c| f.tick(c)).collect();
+        assert_eq!(words[0], Some(p.words[0]));
+        assert_eq!(words[3], Some(p.words[3]));
+        assert_eq!(words[4], None);
+        assert_eq!(f.sent().len(), 1);
+        assert_eq!(f.sent()[0].birth, 0);
+    }
+
+    #[test]
+    fn packets_are_contiguous_on_the_wire() {
+        let mut f = PacketFeeder::random(0, 8, 0.7, DestDist::uniform(4), 11, 4);
+        let mut in_packet = 0usize;
+        for c in 0..50_000u64 {
+            match f.tick(c) {
+                Some(_) => in_packet += 1,
+                None => {
+                    assert!(
+                        in_packet.is_multiple_of(8),
+                        "idle mid-packet after {in_packet} words"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn measured_load_matches() {
+        for load in [0.2, 0.5, 0.9] {
+            let mut f = PacketFeeder::random(1, 8, load, DestDist::uniform(4), 3, 4);
+            let busy = (0..200_000u64).filter(|&c| f.tick(c).is_some()).count();
+            let l = busy as f64 / 200_000.0;
+            assert!((l - load).abs() < 0.02, "target {load}, measured {l}");
+        }
+    }
+
+    #[test]
+    fn ids_unique_across_feeders() {
+        let mut ids = std::collections::HashSet::new();
+        for port in 0..4 {
+            let mut f = PacketFeeder::random(port, 4, 0.9, DestDist::uniform(4), 7, 4);
+            for c in 0..1000 {
+                f.tick(c);
+            }
+            for r in f.sent() {
+                assert!(ids.insert(r.id), "duplicate id {}", r.id);
+            }
+        }
+        assert!(ids.len() > 100);
+    }
+
+    #[test]
+    fn zero_load_stays_idle() {
+        let mut f = PacketFeeder::random(0, 4, 0.0, DestDist::uniform(4), 1, 4);
+        assert!((0..1000u64).all(|c| f.tick(c).is_none()));
+    }
+
+    #[test]
+    fn full_load_never_idles() {
+        let mut f = PacketFeeder::random(0, 4, 1.0, DestDist::uniform(4), 1, 4);
+        assert!((0..1000u64).all(|c| f.tick(c).is_some()));
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn push_checks_size() {
+        let mut f = PacketFeeder::scripted(0, 4);
+        f.push(Packet::synth(0, 0, 0, 8, 0));
+    }
+}

@@ -1,0 +1,33 @@
+//! # traffic — workload generators for switch simulations
+//!
+//! The performance claims the paper builds on (§2) all come from the
+//! standard workloads of the switching literature, which this crate
+//! reproduces:
+//!
+//! * [`Bernoulli`] — independent, identically distributed arrivals with a
+//!   configurable destination distribution (\[KaHM87\], \[HlKa88\], \[AOST93\]);
+//! * [`BurstyOnOff`] — geometrically distributed bursts to a single
+//!   destination (the "bursty traffic larger than the buffers" regime of
+//!   §2.1);
+//! * [`PermutationSource`] — fixed input→output permutations (best case,
+//!   no output contention);
+//! * [`TraceSource`] — replay of explicit arrival schedules for directed
+//!   tests;
+//! * [`PacketFeeder`] — serializes whole multi-word packets onto a link,
+//!   one word per cycle, for the word-level RTL models.
+//!
+//! All generators draw from [`simkernel::SplitMix64`], so every workload is
+//! reproducible from its seed. Destination draws are factored into
+//! [`DestDist`] so each source supports uniform, hotspot, and arbitrary
+//! weighted destination patterns.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dest;
+pub mod feeder;
+pub mod sources;
+
+pub use dest::DestDist;
+pub use feeder::PacketFeeder;
+pub use sources::{Bernoulli, BurstyOnOff, CellSource, PermutationSource, TraceSource};

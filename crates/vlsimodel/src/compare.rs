@@ -1,0 +1,76 @@
+//! The §5 comparisons: pipelined vs wide (§5.2) and vs PRIZMA (§5.3).
+
+use crate::periph::{peripheral_area_mm2, Organization};
+use crate::tech::Technology;
+
+/// §5.2: peripheral area of the wide-memory organization vs the pipelined
+/// one at the same geometry/technology. Returns `(wide_mm2,
+/// pipelined_mm2, pipelined_savings_fraction)`.
+///
+/// The paper's data point: \[KaSC91\]'s wide-memory peripherals, adjusted
+/// to Telegraphos III parameters, would be 13 mm² vs the 9 mm² built —
+/// "pipelined memory has about 30 % smaller peripheral area".
+pub fn wide_vs_pipelined(n: usize, w: u32, slots: usize, tech: &Technology) -> (f64, f64, f64) {
+    let wide = peripheral_area_mm2(Organization::Wide, n, w, slots, tech);
+    let pipe = peripheral_area_mm2(Organization::Pipelined, n, w, slots, tech);
+    (wide, pipe, 1.0 - pipe / wide)
+}
+
+/// §5.3: cost ratio of the PRIZMA router/selector crossbars (`n × M`
+/// each) to the pipelined organization's input/output datapath blocks
+/// (`n × 2n` each), at equal word width.
+///
+/// For Telegraphos III (`2n = 16`, `M = 256`) this is 16×.
+pub fn prizma_crossbar_ratio(n: usize, m_banks: usize) -> f64 {
+    (m_banks as f64) / (2.0 * n as f64)
+}
+
+/// §5.3: relative storage-cell areas. One dynamic shift-register bit is
+/// ≈ 4× one 3-transistor dynamic RAM bit — why shift-register banks don't
+/// rescue the interleaved organization.
+pub fn shift_register_vs_dram3t_bit() -> f64 {
+    4.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tech::Technology;
+
+    #[test]
+    fn wide_peripherals_about_13_mm2_pipelined_9() {
+        let (wide, pipe, savings) =
+            wide_vs_pipelined(8, 16, 256, &Technology::es2_100_full_custom());
+        assert!((wide - 13.0).abs() / 13.0 < 0.08, "wide {wide} vs paper 13");
+        assert!(
+            (pipe - 9.0).abs() / 9.0 < 0.08,
+            "pipelined {pipe} vs paper 9"
+        );
+        assert!(
+            (0.25..=0.37).contains(&savings),
+            "savings {savings} vs paper ≈ 0.30"
+        );
+    }
+
+    #[test]
+    fn prizma_ratio_is_16x_at_telegraphos_iii_geometry() {
+        // §5.3: "in Telegraphos III, 2n = 16, while M = 256; thus, the
+        // shared-buffer crossbars would cost 16 times more in the PRIZMA
+        // architecture".
+        assert!((prizma_crossbar_ratio(8, 256) - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn prizma_ratio_shrinks_with_fewer_banks() {
+        // The paper's caveat: "the PRIZMA crossbar cost could be reduced
+        // by placing more than one packet per bank" — fewer banks, lower
+        // ratio.
+        assert!(prizma_crossbar_ratio(8, 64) < prizma_crossbar_ratio(8, 256));
+        assert!((prizma_crossbar_ratio(8, 16) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shift_register_bit_factor() {
+        assert_eq!(shift_register_vs_dram3t_bit(), 4.0);
+    }
+}

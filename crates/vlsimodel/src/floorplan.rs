@@ -1,0 +1,180 @@
+//! Floorplan composition — figures 6, 8 and 9.
+
+use crate::periph::{peripheral_area_mm2, Organization};
+use crate::sram::sram_macro_area_mm2;
+use crate::tech::Technology;
+
+/// Area report for a shared-buffer switch floorplan (the fig. 6
+/// accounting of §4.2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FloorplanReport {
+    /// SRAM macro area, mm² (all stages).
+    pub sram_mm2: f64,
+    /// Peripheral datapath area, mm².
+    pub peripheral_mm2: f64,
+    /// Memory-bus routing area, mm².
+    pub routing_mm2: f64,
+}
+
+impl FloorplanReport {
+    /// Total shared-buffer area.
+    pub fn total_mm2(&self) -> f64 {
+        self.sram_mm2 + self.peripheral_mm2 + self.routing_mm2
+    }
+}
+
+/// Routing-area estimate for the stage buses: `S` buses of `w` wires each
+/// crossing the datapath, length proportional to the total bank span.
+///
+/// Calibrated to Telegraphos II's reported 5.5 mm²: `S·w = 128` wires at
+/// 2.1 µm pitch crossing a ≈ 20 mm span → 0.2688 mm² per wire·cm; the
+/// constant below folds the span.
+pub fn routing_area_mm2(n: usize, w: u32, tech: &Technology) -> f64 {
+    let s = 2 * n;
+    let wires = (s as f64) * (w as f64);
+    // The buses run the length of the bank row: ≈ 2.5 mm per stage in the
+    // fig. 6 floorplan (eight 1.5 mm macros plus inter-macro channels,
+    // folded into two rows).
+    let span_um = 2.5e3 * s as f64;
+    wires * tech.wire_pitch_um * span_um / 1e6
+}
+
+/// The Telegraphos II shared-buffer floorplan (fig. 6): 4×4 switch,
+/// 16-bit words, 8 stages of 256×16 compiled SRAM, 0.7 µm standard cell.
+pub fn telegraphos_ii_floorplan() -> FloorplanReport {
+    let tech = Technology::es2_070_std_cell();
+    let stages = 8;
+    FloorplanReport {
+        sram_mm2: stages as f64 * sram_macro_area_mm2(256, 16, &tech),
+        peripheral_mm2: peripheral_area_mm2(Organization::Pipelined, 4, 16, 256, &tech),
+        routing_mm2: routing_area_mm2(4, 16, &tech),
+    }
+}
+
+/// §5.1 / fig. 9: first-order width/height comparison of input buffering
+/// vs shared buffering, in abstract cell units.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig9Comparison {
+    /// Total buffer-array width, both designs (units of bit cells): `2nw`.
+    pub buffer_width_cells: u64,
+    /// Crossbar/datapath block dimensions, both designs: `2nw × nw`
+    /// (length in cell units × height in wire units).
+    pub crossbar_block: (u64, u64),
+    /// Number of crossbar-sized blocks. Input buffering: the crossbar
+    /// plus the (non-FIFO) scheduler with its control wiring — §5.1: "the
+    /// single crossbar and the scheduler of the input buffers occupy
+    /// comparable area with the two crossbars of the shared buffer".
+    /// Shared buffering: input datapath + output datapath.
+    pub blocks_input: u32,
+    /// See `blocks_input`.
+    pub blocks_shared: u32,
+    /// Buffer heights for equal loss (cells): `H_i` for input buffering,
+    /// `H_s` for shared — `H_s < H_i` is the shared buffer's net win.
+    pub h_input: u64,
+    /// See `h_input`.
+    pub h_shared: u64,
+}
+
+impl Fig9Comparison {
+    /// Build the comparison for an `n×n`, `w`-bit switch, given the
+    /// per-port buffer depths that equalize loss (from an E3-style
+    /// simulation; \[HlKa88\] gives shared ≈ 5.4/port vs input-side ≈
+    /// 80/port at 16×16, load 0.8, loss 10⁻³).
+    pub fn new(n: usize, w: u32, h_input: u64, h_shared: u64) -> Self {
+        let width = 2 * (n as u64) * (w as u64);
+        Fig9Comparison {
+            buffer_width_cells: width,
+            crossbar_block: (width, (n as u64) * (w as u64)),
+            blocks_input: 2,
+            blocks_shared: 2,
+            h_input,
+            h_shared,
+        }
+    }
+
+    /// Buffer storage area in cell units: `width × height`.
+    pub fn buffer_area_input(&self) -> u64 {
+        self.buffer_width_cells * self.h_input
+    }
+
+    /// See [`Fig9Comparison::buffer_area_input`].
+    pub fn buffer_area_shared(&self) -> u64 {
+        self.buffer_width_cells * self.h_shared
+    }
+
+    /// Total area including crossbar blocks, in cell units (one wire unit
+    /// treated as `wire_per_cell` cell units).
+    pub fn total_area(&self, shared: bool, wire_per_cell: f64) -> f64 {
+        let (len, wires) = self.crossbar_block;
+        let blk = len as f64 * wires as f64 * wire_per_cell;
+        let (blocks, buf) = if shared {
+            (self.blocks_shared, self.buffer_area_shared())
+        } else {
+            (self.blocks_input, self.buffer_area_input())
+        };
+        buf as f64 + blocks as f64 * blk
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn telegraphos_ii_matches_paper_accounting() {
+        // §4.2: SRAM 11, peripherals 15, routing 5.5 → total 32 mm².
+        let fp = telegraphos_ii_floorplan();
+        assert!(
+            (fp.sram_mm2 - 11.0).abs() / 11.0 < 0.05,
+            "sram {}",
+            fp.sram_mm2
+        );
+        assert!(
+            (fp.peripheral_mm2 - 15.0).abs() / 15.0 < 0.10,
+            "periph {}",
+            fp.peripheral_mm2
+        );
+        assert!(
+            (fp.routing_mm2 - 5.5).abs() / 5.5 < 0.10,
+            "routing {}",
+            fp.routing_mm2
+        );
+        assert!(
+            (fp.total_mm2() - 32.0).abs() / 32.0 < 0.08,
+            "total {}",
+            fp.total_mm2()
+        );
+    }
+
+    #[test]
+    fn buffer_fits_on_the_telegraphos_ii_die() {
+        // The chip is 8.5 × 8.5 mm² = 72.25 mm²; the buffer's 32 mm² is
+        // under half the die, as fig. 6 shows.
+        let fp = telegraphos_ii_floorplan();
+        assert!(fp.total_mm2() < 72.25 / 2.0 + 5.0);
+    }
+
+    #[test]
+    fn fig9_same_width_fewer_bits_for_shared() {
+        // §5.1: both designs have total width 2nw; H_s < H_i means the
+        // shared buffer wins on storage area outright, and its extra
+        // crossbar block is offset by the input design's scheduler.
+        let cmp = Fig9Comparison::new(16, 16, 80, 11);
+        assert_eq!(cmp.buffer_width_cells, 512);
+        assert_eq!(cmp.crossbar_block, (512, 256));
+        assert!(cmp.buffer_area_shared() < cmp.buffer_area_input());
+        let ratio = cmp.buffer_area_input() as f64 / cmp.buffer_area_shared() as f64;
+        assert!(ratio > 5.0, "storage ratio {ratio}");
+    }
+
+    #[test]
+    fn fig9_total_area_shared_wins_when_heights_differ_enough() {
+        let cmp = Fig9Comparison::new(16, 16, 80, 11);
+        let shared = cmp.total_area(true, 0.5);
+        let input = cmp.total_area(false, 0.5);
+        assert!(
+            shared < input,
+            "shared {shared} must beat input {input} at [HlKa88] sizing"
+        );
+    }
+}

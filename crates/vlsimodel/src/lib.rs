@@ -1,0 +1,48 @@
+//! # vlsimodel — first-order silicon cost model for switch buffers
+//!
+//! Sections 4 and 5 of the paper argue in silicon area and wire delay:
+//! SRAM megacell areas, peripheral datapath areas, routing, word-line RC,
+//! and cross-organization area ratios. This crate is that arithmetic made
+//! executable. It is a **first-order model, calibrated to the paper's own
+//! reported data points** (the Telegraphos II floorplan, the Telegraphos
+//! III peripheral area, the \[KaSC91\] wide-memory adjustment), and its
+//! tests assert that the model reproduces every mm²/ns/ratio figure in the
+//! paper within tolerance:
+//!
+//! * Telegraphos II (0.7 µm std-cell): 8 SRAM megacells ≈ 11 mm²,
+//!   peripherals ≈ 15 mm², bus routing ≈ 5.5 mm², total ≈ 32 mm² (§4.2);
+//! * Telegraphos III (1.0 µm full-custom): peripherals ≈ 9 mm², 16 ns
+//!   worst-case cycle → 1 Gb/s per link at 16 wires/link (§4.4);
+//! * standard-cell 4×4 equivalent ≈ 41 mm² (the paper's "4.5× smaller"),
+//!   8×8 standard-cell ≈ 18× the full-custom area (§4.4);
+//! * wide-memory peripherals at Telegraphos III parameters ≈ 13 mm², i.e.
+//!   pipelined ≈ 30 % smaller (§5.2);
+//! * PRIZMA crossbar cost `n×M` vs pipelined `n×2n` → 16× at
+//!   `M = 256, 2n = 16`; shift-register bit 4× a 3T DRAM bit (§5.3);
+//! * word-line RC: the pipelined organization's short word lines and
+//!   decoded-address pipeline registers (2.3× smaller than a decoder) vs
+//!   the wide memory's long lines (§4.3, fig. 7).
+//!
+//! Where the paper's figure is itself an estimate, the model documents the
+//! calibration in the item's doc comment.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod compare;
+pub mod floorplan;
+pub mod periph;
+pub mod quantum;
+pub mod rc;
+pub mod sram;
+pub mod tech;
+pub mod telegraphos;
+
+pub use compare::{prizma_crossbar_ratio, wide_vs_pipelined};
+pub use floorplan::{telegraphos_ii_floorplan, FloorplanReport};
+pub use periph::{peripheral_area_mm2, Organization, PeripheralBreakdown};
+pub use quantum::{quantum_table, QuantumRow};
+pub use rc::{decoder_vs_pipe_register, word_line_delay_ns, RcLine};
+pub use sram::sram_macro_area_mm2;
+pub use tech::{Style, Technology};
+pub use telegraphos::{telegraphos_table, Prototype};

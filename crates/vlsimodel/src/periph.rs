@@ -1,0 +1,210 @@
+//! Peripheral-datapath area: the circuits *around* the buffer banks.
+//!
+//! §3.2's claim (iii): the pipelined memory "significantly reduces the
+//! size of the peripheral circuitry relative to the wide memory". The
+//! peripheral datapath comprises the input latch rows, the output register
+//! row, the tristate bus drivers, and the control-signal pipeline
+//! registers (the address decoders live inside the SRAM macros; see
+//! `sram`). This module counts those bits per organization and converts
+//! to area through the technology's calibrated per-bit constant.
+
+use crate::tech::Technology;
+
+/// Buffer organization whose peripherals are being costed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Organization {
+    /// The paper's pipelined memory (fig. 4): single input latch row,
+    /// shared output register row, no cut-through hardware.
+    Pipelined,
+    /// Wide memory (fig. 3, \[KaSC91\]): double input buffering, per-output
+    /// double buffering, plus the cut-through bypass crossbar.
+    Wide,
+    /// PRIZMA-style interleaving (\[DeEI95\]): router and selector
+    /// crossbars of size `n × M` each (costed in `compare`; the
+    /// latch/register complement here is like the pipelined case).
+    Interleaved,
+}
+
+/// Bit-level census of one organization's peripheral datapath for an
+/// `n×n` switch with `w`-bit words and `S = 2n` stages.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PeripheralBreakdown {
+    /// Input latch bits (`n·S·w`; doubled for wide memory).
+    pub latch_bits: u64,
+    /// Output register bits (`S·w` shared row; wide memory uses per-link
+    /// double rows, `2·n·S·w`... modeled as `2·S·w` per the \[KaSC91\]
+    /// floorplan where rows are shared per bus).
+    pub outreg_bits: u64,
+    /// Tristate driver bits on the stage buses (`S·(n+1)·w`: n input
+    /// drivers and one output tap per stage).
+    pub driver_bits: u64,
+    /// Control pipeline register bits (`S · (addr + linkid + op)`).
+    pub ctrl_bits: u64,
+    /// Extra crossbar driver bits for wide-memory cut-through
+    /// (`n²·w`, the bypass paths of fig. 3).
+    pub crossbar_bits: u64,
+}
+
+impl PeripheralBreakdown {
+    /// Census for the given geometry.
+    pub fn new(org: Organization, n: usize, w: u32, slots: usize) -> Self {
+        let s = 2 * n as u64;
+        let (n, w) = (n as u64, w as u64);
+        let addr_bits = (usize::BITS - (slots.max(2) - 1).leading_zeros()) as u64;
+        let linkid_bits = (usize::BITS - (n.max(2) as usize - 1).leading_zeros()) as u64;
+        let ctrl_word = addr_bits + linkid_bits + 2; // + op/valid bits
+        match org {
+            Organization::Pipelined | Organization::Interleaved => PeripheralBreakdown {
+                latch_bits: n * s * w,
+                outreg_bits: s * w,
+                driver_bits: s * (n + 1) * w,
+                ctrl_bits: s * ctrl_word,
+                crossbar_bits: 0,
+            },
+            Organization::Wide => PeripheralBreakdown {
+                // Double input buffering (§3.2: "double buffering is
+                // needed on the input side").
+                latch_bits: 2 * n * s * w,
+                outreg_bits: 2 * s * w,
+                driver_bits: s * (n + 1) * w,
+                ctrl_bits: s * ctrl_word,
+                // Cut-through bypass: one extra row of tristate drivers
+                // tapping the input buses (fig. 3); the dominant crossbar
+                // cost is wiring, which lands in the routing estimate.
+                crossbar_bits: n * w,
+            },
+        }
+    }
+
+    /// Total datapath bits.
+    pub fn total_bits(&self) -> u64 {
+        self.latch_bits + self.outreg_bits + self.driver_bits + self.ctrl_bits + self.crossbar_bits
+    }
+}
+
+/// Peripheral area in mm² for an organization at a geometry, in a
+/// technology.
+pub fn peripheral_area_mm2(
+    org: Organization,
+    n: usize,
+    w: u32,
+    slots: usize,
+    tech: &Technology,
+) -> f64 {
+    let bits = PeripheralBreakdown::new(org, n, w, slots).total_bits();
+    bits as f64 * tech.datapath_bit_um2 / 1e6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tech::Technology;
+
+    #[test]
+    fn telegraphos_iii_peripheral_is_about_9_mm2() {
+        // §4.4: "The peripheral circuitry area is just about 9 mm²".
+        let a = peripheral_area_mm2(
+            Organization::Pipelined,
+            8,
+            16,
+            256,
+            &Technology::es2_100_full_custom(),
+        );
+        assert!((a - 9.0).abs() / 9.0 < 0.10, "model {a} mm² vs paper 9 mm²");
+    }
+
+    #[test]
+    fn std_cell_4x4_is_about_41_mm2() {
+        // §4.4: "41 mm² that the standard-cell design would occupy in
+        // this 1.0 µm technology for the half-sized (4×4) switch".
+        let a = peripheral_area_mm2(
+            Organization::Pipelined,
+            4,
+            16,
+            256,
+            &Technology::es2_100_std_cell(),
+        );
+        assert!(
+            (a - 41.0).abs() / 41.0 < 0.10,
+            "model {a} mm² vs paper 41 mm²"
+        );
+    }
+
+    #[test]
+    fn full_custom_factor_4_5_with_twice_the_links() {
+        // §4.4: full-custom 8×8 peripherals are ≈ 4.5× smaller than the
+        // std-cell 4×4 ones (at twice the links).
+        let fc8 = peripheral_area_mm2(
+            Organization::Pipelined,
+            8,
+            16,
+            256,
+            &Technology::es2_100_full_custom(),
+        );
+        let sc4 = peripheral_area_mm2(
+            Organization::Pipelined,
+            4,
+            16,
+            256,
+            &Technology::es2_100_std_cell(),
+        );
+        let ratio = sc4 / fc8;
+        assert!((ratio - 4.5).abs() < 0.5, "ratio {ratio} vs paper 4.5");
+    }
+
+    #[test]
+    fn std_cell_8x8_about_18x_full_custom() {
+        // §4.4: "an 8×8 standard-cell design would be about 18 times
+        // larger than this same configuration in full-custom." The paper
+        // assumes exact quadratic growth; the census has a small linear
+        // component, so the tolerance is wider here.
+        let fc8 = peripheral_area_mm2(
+            Organization::Pipelined,
+            8,
+            16,
+            256,
+            &Technology::es2_100_full_custom(),
+        );
+        let sc8 = peripheral_area_mm2(
+            Organization::Pipelined,
+            8,
+            16,
+            256,
+            &Technology::es2_100_std_cell(),
+        );
+        let ratio = sc8 / fc8;
+        assert!((13.0..=20.0).contains(&ratio), "ratio {ratio} vs paper ≈18");
+    }
+
+    #[test]
+    fn peripheral_area_grows_quadratically_in_links() {
+        // §4.4: "the peripheral circuit area grows with the square of the
+        // number of links".
+        let t = Technology::es2_100_full_custom();
+        let a4 = peripheral_area_mm2(Organization::Pipelined, 4, 16, 256, &t);
+        let a8 = peripheral_area_mm2(Organization::Pipelined, 8, 16, 256, &t);
+        let a16 = peripheral_area_mm2(Organization::Pipelined, 16, 16, 256, &t);
+        let g1 = a8 / a4;
+        let g2 = a16 / a8;
+        assert!((3.2..=4.2).contains(&g1), "4→8 growth {g1}");
+        assert!((3.2..=4.2).contains(&g2), "8→16 growth {g2}");
+    }
+
+    #[test]
+    fn wide_needs_more_peripheral_bits_than_pipelined() {
+        let p = PeripheralBreakdown::new(Organization::Pipelined, 8, 16, 256);
+        let w = PeripheralBreakdown::new(Organization::Wide, 8, 16, 256);
+        assert_eq!(w.latch_bits, 2 * p.latch_bits, "double input buffering");
+        assert!(w.crossbar_bits > 0, "cut-through crossbar present");
+        assert!(w.total_bits() > p.total_bits());
+    }
+
+    #[test]
+    fn breakdown_census_matches_geometry() {
+        let p = PeripheralBreakdown::new(Organization::Pipelined, 8, 16, 256);
+        assert_eq!(p.latch_bits, 8 * 16 * 16); // n · S · w = 2048
+        assert_eq!(p.outreg_bits, 16 * 16); // S · w = 256
+        assert_eq!(p.driver_bits, 16 * 9 * 16); // S · (n+1) · w = 2304
+        assert_eq!(p.ctrl_bits, 16 * (8 + 3 + 2)); // S · ctrl word = 208
+    }
+}

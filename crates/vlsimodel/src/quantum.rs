@@ -1,0 +1,75 @@
+//! The §3.5 packet-size-quantum arithmetic.
+//!
+//! "Consider a quantum as small as 32 to 64 bytes … this corresponds to
+//! buffer widths of 256 to 1024 bits. With an (on-chip) memory cycle time
+//! of 5 ns … the aggregate throughput of such a buffer is 50 to 200
+//! Gbits/s (12 to 25 GBytes/s) — enough for 16 incoming and 16 outgoing
+//! links near the Giga-Byte per second range, each."
+
+/// One row of the quantum/throughput table.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuantumRow {
+    /// Packet-size quantum in bytes.
+    pub quantum_bytes: u32,
+    /// Buffer width in bits (= quantum × 8, or half of it with the §3.5
+    /// dual-memory split).
+    pub buffer_width_bits: u32,
+    /// Memory cycle time, ns.
+    pub cycle_ns: f64,
+    /// Aggregate buffer throughput, Gb/s.
+    pub aggregate_gbps: f64,
+    /// Per-link throughput with 16+16 links, Gb/s.
+    pub per_link_gbps: f64,
+}
+
+/// Build the §3.5 table for the given quanta and cycle time.
+pub fn quantum_table(quanta_bytes: &[u32], cycle_ns: f64, links_per_side: u32) -> Vec<QuantumRow> {
+    quanta_bytes
+        .iter()
+        .map(|&q| {
+            let width = q * 8;
+            let aggregate = width as f64 / cycle_ns; // bits per ns = Gb/s
+            QuantumRow {
+                quantum_bytes: q,
+                buffer_width_bits: width,
+                cycle_ns,
+                aggregate_gbps: aggregate,
+                per_link_gbps: aggregate / (2.0 * links_per_side as f64),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_range_50_to_200_gbps() {
+        let rows = quantum_table(&[32, 64, 128], 5.0, 16);
+        assert_eq!(rows[0].buffer_width_bits, 256);
+        assert_eq!(rows[2].buffer_width_bits, 1024);
+        assert!((rows[0].aggregate_gbps - 51.2).abs() < 1e-9, "≈ 50 Gb/s");
+        assert!((rows[2].aggregate_gbps - 204.8).abs() < 1e-9, "≈ 200 Gb/s");
+    }
+
+    #[test]
+    fn per_link_near_gigabyte_range() {
+        // 1024-bit buffer at 5 ns, 16+16 links → 6.4 Gb/s ≈ 0.8 GB/s per
+        // link — "near the Giga-Byte per second range".
+        let rows = quantum_table(&[128], 5.0, 16);
+        let gbytes = rows[0].per_link_gbps / 8.0;
+        assert!((0.5..1.2).contains(&gbytes), "{gbytes} GB/s");
+    }
+
+    #[test]
+    fn atm_cell_fits_two_quanta_of_32() {
+        // ATM cells are 53 bytes: with a 32-byte quantum a cell pads to
+        // 64 bytes (2 quanta); the §3.5 half-size trick brings the
+        // quantum down without widening the memory.
+        let quantum = 32u32;
+        let atm = 53u32;
+        let padded = atm.div_ceil(quantum) * quantum;
+        assert_eq!(padded, 64);
+    }
+}

@@ -1,0 +1,101 @@
+//! Word-line RC delay — the §4.3 / fig. 7 argument.
+//!
+//! A distributed RC line of length `L` with per-unit resistance `r` and
+//! capacitance `c` has Elmore delay `≈ 0.38·r·c·L²` (50 % point). The
+//! quadratic dependence is why the wide memory's `2n·w`-cell word lines
+//! are slow, why real wide memories split into blocks with repeated
+//! decoders — "thus arriving at a floorplan and area similar to fig. 7(a)"
+//! — and why the pipelined memory, whose word lines span only one stage's
+//! `w` cells, is inherently faster. Fig. 7(b)'s further optimization
+//! replaces per-stage decoders with decoded-address pipeline registers,
+//! which §4.4 measures at 2.3× smaller than the decoder they replace.
+
+/// A distributed RC line.
+#[derive(Debug, Clone, Copy)]
+pub struct RcLine {
+    /// Resistance per µm, Ω.
+    pub r_ohm_per_um: f64,
+    /// Capacitance per µm, fF.
+    pub c_ff_per_um: f64,
+}
+
+impl RcLine {
+    /// Elmore 50 % delay of a line of `length_um`, in ns:
+    /// `0.38 · (r·L) · (c·L)`, with r·c in Ω·fF = 10⁻¹⁵ s.
+    pub fn elmore_ns(&self, length_um: f64) -> f64 {
+        0.38 * self.r_ohm_per_um * self.c_ff_per_um * length_um * length_um * 1e-6
+    }
+
+    /// Delay when the line is split into `k` equal blocks, each driven by
+    /// its own (re)decoder or pipeline register: the RC term shrinks by
+    /// `k²`, at the cost of `k` decoders.
+    pub fn split_elmore_ns(&self, length_um: f64, k: usize) -> f64 {
+        assert!(k >= 1);
+        self.elmore_ns(length_um / k as f64)
+    }
+}
+
+/// Word-line delay of a buffer organization: a line spanning
+/// `cells_spanned` storage cells of `cell_pitch_um`.
+pub fn word_line_delay_ns(cells_spanned: usize, cell_pitch_um: f64, line: RcLine) -> f64 {
+    line.elmore_ns(cells_spanned as f64 * cell_pitch_um)
+}
+
+/// Relative area of the fig. 7(b) decoded-address pipeline register vs
+/// the address decoder it replaces (§4.4: the register is 2.3× smaller).
+///
+/// Returned as `(decoder_units, register_units)` for a bank of `rows`
+/// word lines: a decoder is modeled at 2.3 units per row, the register
+/// file at 1.0 unit per row.
+pub fn decoder_vs_pipe_register(rows: usize) -> (f64, f64) {
+    let register = rows as f64;
+    (2.3 * register, register)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LINE: RcLine = RcLine {
+        r_ohm_per_um: 25.0,
+        c_ff_per_um: 0.22,
+    };
+
+    #[test]
+    fn delay_quadratic_in_length() {
+        let d1 = LINE.elmore_ns(100.0);
+        let d2 = LINE.elmore_ns(200.0);
+        assert!((d2 / d1 - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pipelined_word_lines_much_faster_than_wide() {
+        // Telegraphos III geometry: pipelined word line spans w = 16
+        // cells; an unsplit wide-memory line spans 2n·w = 256 cells.
+        let pitch = 16.0;
+        let pipelined = word_line_delay_ns(16, pitch, LINE);
+        let wide = word_line_delay_ns(256, pitch, LINE);
+        assert!((wide / pipelined - 256.0).abs() < 1e-6, "(2n)² = 256×");
+        // And the wide line is material against a 16 ns cycle, the
+        // pipelined one is not.
+        assert!(wide > 16.0, "unsplit wide word line: {wide} ns");
+        assert!(pipelined < 0.5, "pipelined word line: {pipelined} ns");
+    }
+
+    #[test]
+    fn splitting_recovers_speed_at_decoder_cost() {
+        // Splitting the wide line into 16 blocks (= one per stage) makes
+        // its delay equal to the pipelined organization's — "arriving at
+        // a floorplan and area similar to figure 7(a)".
+        let pitch = 16.0;
+        let wide_split = LINE.split_elmore_ns(256.0 * pitch, 16);
+        let pipelined = word_line_delay_ns(16, pitch, LINE);
+        assert!((wide_split - pipelined).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pipe_register_2_3x_smaller_than_decoder() {
+        let (dec, reg) = decoder_vs_pipe_register(256);
+        assert!((dec / reg - 2.3).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,39 @@
+//! SRAM macro area.
+
+use crate::tech::Technology;
+
+/// Area of one SRAM macro of `words × bits`, mm², including its amortized
+/// decoder and sense circuitry (the calibration point is the Telegraphos
+/// II compiled 256×16 macro: 1.5 × 0.9 mm² = 1.35 mm² at 0.7 µm).
+pub fn sram_macro_area_mm2(words: usize, bits: u32, tech: &Technology) -> f64 {
+    (words as f64) * (bits as f64) * tech.sram_bit_um2 / 1e6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tech::Technology;
+
+    #[test]
+    fn telegraphos_ii_macro_is_1_35_mm2() {
+        // §4.2: "Each memory stage, DB0 to DB7, is a 256×16 compiled SRAM
+        // of size 1.5 × 0.9 mm²."
+        let a = sram_macro_area_mm2(256, 16, &Technology::es2_070_std_cell());
+        assert!((a - 1.35).abs() / 1.35 < 0.01, "{a}");
+    }
+
+    #[test]
+    fn eight_macros_are_about_11_mm2() {
+        // §4.2: "All eight SRAM megacells occupy 11 mm²."
+        let a = 8.0 * sram_macro_area_mm2(256, 16, &Technology::es2_070_std_cell());
+        assert!((a - 11.0).abs() / 11.0 < 0.05, "{a}");
+    }
+
+    #[test]
+    fn area_scales_with_bits() {
+        let t = Technology::es2_070_std_cell();
+        let a1 = sram_macro_area_mm2(256, 16, &t);
+        let a2 = sram_macro_area_mm2(512, 16, &t);
+        assert!((a2 / a1 - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,185 @@
+//! Technology presets.
+//!
+//! The paper's prototypes use the ES2 (European Silicon Structures)
+//! processes: 0.7 µm standard cell for Telegraphos II, 1.0 µm full custom
+//! for Telegraphos III; Telegraphos I is Xilinx 3000-series FPGAs. Each
+//! preset carries the handful of per-technology constants the area and
+//! delay models need. Constants are calibrated against the paper's
+//! reported silicon figures (see the field docs); this is a first-order
+//! model, not a PDK.
+
+/// Implementation style — the paper's §4.4 comparison axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Style {
+    /// Standard cells, automatic place and route.
+    StandardCell,
+    /// Full-custom layout with datapath/wiring overlap, dynamic latches,
+    /// precharged buses (§4.4's list of where the gains come from).
+    FullCustom,
+    /// FPGA (Telegraphos I).
+    Fpga,
+}
+
+/// A fabrication technology for the cost model.
+#[derive(Debug, Clone)]
+pub struct Technology {
+    /// Human-readable name.
+    pub name: &'static str,
+    /// Minimum drawn feature size, µm.
+    pub feature_um: f64,
+    /// Layout style the constants were calibrated for.
+    pub style: Style,
+    /// Effective area of one peripheral-datapath bit (latch/driver/mux
+    /// with its share of wiring), µm². Calibrated: the 4×4, 16-bit
+    /// standard-cell datapath = 41 mm² (§4.4) gives ≈ 29 600 µm²/bit for
+    /// 1.0 µm standard cell; the 8×8 full-custom datapath = 9 mm² gives
+    /// ≈ 1 870 µm²/bit — the paper's "4.5× smaller at twice the links".
+    pub datapath_bit_um2: f64,
+    /// Area of one bit of a compiled/custom SRAM macro *including* its
+    /// amortized decoder and sense overhead, µm². Calibrated: the
+    /// Telegraphos II 256×16 compiled SRAM is 1.5 × 0.9 mm² = 1.35 mm²
+    /// for 4096 bits → ≈ 330 µm²/bit at 0.7 µm.
+    pub sram_bit_um2: f64,
+    /// Wire pitch (metal, µm) for routing-area estimates.
+    pub wire_pitch_um: f64,
+    /// Word-line resistance per µm of a polysilicon/strapped line, Ω/µm.
+    pub r_ohm_per_um: f64,
+    /// Word-line capacitance per µm, fF/µm.
+    pub c_ff_per_um: f64,
+    /// Pitch of one storage cell along a word line, µm.
+    pub cell_pitch_um: f64,
+    /// Worst-case clock cycle achievable by the pipelined buffer, ns
+    /// (§4: 75 ns Telegraphos I, 40 ns on-chip Telegraphos II, 16 ns
+    /// Telegraphos III worst case).
+    pub cycle_worst_ns: f64,
+    /// Typical-case clock cycle, ns (10 ns for Telegraphos III).
+    pub cycle_typ_ns: f64,
+}
+
+impl Technology {
+    /// ES2 0.7 µm CMOS standard cell — Telegraphos II (§4.2).
+    pub fn es2_070_std_cell() -> Self {
+        Technology {
+            name: "ES2 0.7um std-cell",
+            feature_um: 0.7,
+            style: Style::StandardCell,
+            // Telegraphos II peripherals: 15 mm² for the 4×4, 16-bit
+            // datapath (1384 datapath bits; see `periph`): ≈ 10 840.
+            datapath_bit_um2: 10_840.0,
+            sram_bit_um2: 330.0,
+            wire_pitch_um: 2.1,
+            r_ohm_per_um: 20.0,
+            c_ff_per_um: 0.20,
+            cell_pitch_um: 12.0,
+            cycle_worst_ns: 40.0,
+            cycle_typ_ns: 25.0,
+        }
+    }
+
+    /// ES2 1.0 µm CMOS standard cell — the hypothetical §4.4 comparison
+    /// point ("41 mm² that the standard-cell design would occupy in this
+    /// 1.0 µm technology for the half-sized 4×4 switch").
+    pub fn es2_100_std_cell() -> Self {
+        Technology {
+            name: "ES2 1.0um std-cell",
+            feature_um: 1.0,
+            style: Style::StandardCell,
+            // 41 mm² / 1384 bits ≈ 29 600 µm²/bit.
+            datapath_bit_um2: 29_600.0,
+            sram_bit_um2: 620.0,
+            wire_pitch_um: 3.0,
+            r_ohm_per_um: 25.0,
+            c_ff_per_um: 0.22,
+            cell_pitch_um: 16.0,
+            cycle_worst_ns: 40.0,
+            cycle_typ_ns: 25.0,
+        }
+    }
+
+    /// ES2 1.0 µm CMOS full custom — Telegraphos III (§4.4): one poly,
+    /// two metal, 5 V.
+    pub fn es2_100_full_custom() -> Self {
+        Technology {
+            name: "ES2 1.0um full-custom",
+            feature_um: 1.0,
+            style: Style::FullCustom,
+            // 9 mm² / 4816 bits ≈ 1 870 µm²/bit (dynamic latches,
+            // precharged buses, wiring overlapped with active area).
+            datapath_bit_um2: 1_870.0,
+            sram_bit_um2: 400.0,
+            wire_pitch_um: 3.0,
+            r_ohm_per_um: 25.0,
+            c_ff_per_um: 0.22,
+            cell_pitch_um: 16.0,
+            cycle_worst_ns: 16.0,
+            cycle_typ_ns: 10.0,
+        }
+    }
+
+    /// Xilinx 3000-series FPGA boards — Telegraphos I (§4.1). Area
+    /// figures are not meaningful; only timing is used.
+    pub fn xilinx_3000() -> Self {
+        Technology {
+            name: "Xilinx 3000 FPGA",
+            feature_um: 1.0,
+            style: Style::Fpga,
+            datapath_bit_um2: f64::NAN,
+            sram_bit_um2: f64::NAN,
+            wire_pitch_um: f64::NAN,
+            r_ohm_per_um: f64::NAN,
+            c_ff_per_um: f64::NAN,
+            cell_pitch_um: f64::NAN,
+            cycle_worst_ns: 75.0, // 13.3 MHz
+            cycle_typ_ns: 75.0,
+        }
+    }
+
+    /// Per-link throughput in Gb/s given `wires` on-chip wires per link
+    /// (one bit per wire per cycle).
+    pub fn link_gbps(&self, wires: u32, worst_case: bool) -> f64 {
+        let cycle = if worst_case {
+            self.cycle_worst_ns
+        } else {
+            self.cycle_typ_ns
+        };
+        wires as f64 / cycle
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn telegraphos_iii_link_rates() {
+        // §4.4: "8 incoming and 8 outgoing links, with worst-case
+        // throughput of 1 Gbps/link (1.6 Gbps/link typical) … each link
+        // consists of 16 wires".
+        let t = Technology::es2_100_full_custom();
+        assert!((t.link_gbps(16, true) - 1.0).abs() < 1e-9);
+        assert!((t.link_gbps(16, false) - 1.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn telegraphos_ii_link_rate() {
+        // §4.2: 400 Mb/s — 16 bits / 40 ns on-chip.
+        let t = Technology::es2_070_std_cell();
+        assert!((t.link_gbps(16, true) - 0.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn telegraphos_i_link_rate() {
+        // §4.1: 8 bits at 13.3 MHz ≈ 107 Mb/s.
+        let t = Technology::xilinx_3000();
+        let gbps = t.link_gbps(8, true);
+        assert!((gbps - 0.1067).abs() < 0.001, "{gbps}");
+    }
+
+    #[test]
+    fn full_custom_datapath_denser_than_std_cell() {
+        let fc = Technology::es2_100_full_custom();
+        let sc = Technology::es2_100_std_cell();
+        let ratio = sc.datapath_bit_um2 / fc.datapath_bit_um2;
+        assert!(ratio > 10.0, "per-bit density ratio {ratio}");
+    }
+}

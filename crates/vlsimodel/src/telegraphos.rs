@@ -1,0 +1,163 @@
+//! The three Telegraphos prototypes (§4) as configuration records.
+
+use crate::periph::{peripheral_area_mm2, Organization};
+use crate::tech::{Style, Technology};
+
+/// One Telegraphos prototype with its paper-reported parameters and the
+/// model's derived metrics.
+#[derive(Debug, Clone)]
+pub struct Prototype {
+    /// Name as used in the paper.
+    pub name: &'static str,
+    /// Ports per side (n of the n×n crossbar).
+    pub n: usize,
+    /// On-chip link width in bits (= word width).
+    pub word_bits: u32,
+    /// Pipeline stages (= packet size in words).
+    pub stages: usize,
+    /// Packet size in bytes.
+    pub packet_bytes: u32,
+    /// Buffer slots (packets).
+    pub slots: usize,
+    /// Technology.
+    pub tech: Technology,
+}
+
+impl Prototype {
+    /// Telegraphos I (§4.1): 4×4 FPGA prototype, 8-bit links at
+    /// 13.3 MHz (107 Mb/s), 8-byte packets, 8 SRAM-chip stages.
+    pub fn telegraphos_i() -> Self {
+        Prototype {
+            name: "Telegraphos I",
+            n: 4,
+            word_bits: 8,
+            stages: 8,
+            packet_bytes: 8,
+            slots: 256,
+            tech: Technology::xilinx_3000(),
+        }
+    }
+
+    /// Telegraphos II (§4.2): 4×4 standard-cell ASIC, 16-bit on-chip
+    /// words at 40 ns (400 Mb/s), 16-byte packets, eight 256×16 SRAMs.
+    pub fn telegraphos_ii() -> Self {
+        Prototype {
+            name: "Telegraphos II",
+            n: 4,
+            word_bits: 16,
+            stages: 8,
+            packet_bytes: 16,
+            slots: 256,
+            tech: Technology::es2_070_std_cell(),
+        }
+    }
+
+    /// Telegraphos III (§4.4): 8×8 full-custom buffer, 16 stages, 256
+    /// packets × 256 bits = 64 Kbit, 16 ns worst case → 1 Gb/s/link.
+    pub fn telegraphos_iii() -> Self {
+        Prototype {
+            name: "Telegraphos III",
+            n: 8,
+            word_bits: 16,
+            stages: 16,
+            packet_bytes: 32,
+            slots: 256,
+            tech: Technology::es2_100_full_custom(),
+        }
+    }
+
+    /// Buffer capacity in bits.
+    pub fn capacity_bits(&self) -> u64 {
+        (self.stages * self.slots) as u64 * self.word_bits as u64
+    }
+
+    /// Worst-case per-link rate, Gb/s.
+    pub fn link_gbps_worst(&self) -> f64 {
+        self.tech.link_gbps(self.word_bits, true)
+    }
+
+    /// Typical per-link rate, Gb/s.
+    pub fn link_gbps_typ(&self) -> f64 {
+        self.tech.link_gbps(self.word_bits, false)
+    }
+
+    /// Aggregate buffer throughput, Gb/s (all stages busy every cycle).
+    pub fn aggregate_gbps_worst(&self) -> f64 {
+        self.stages as f64 * self.word_bits as f64 / self.tech.cycle_worst_ns
+    }
+
+    /// Peripheral datapath area, mm² (NaN for the FPGA prototype).
+    pub fn peripheral_mm2(&self) -> f64 {
+        if matches!(self.tech.style, Style::Fpga) {
+            f64::NAN
+        } else {
+            peripheral_area_mm2(
+                Organization::Pipelined,
+                self.n,
+                self.word_bits,
+                self.slots,
+                &self.tech,
+            )
+        }
+    }
+
+    /// Consistency: packet bytes must equal stages × word bytes.
+    pub fn validate(&self) {
+        assert_eq!(
+            self.packet_bytes as usize,
+            self.stages * (self.word_bits as usize / 8),
+            "{}: packet size must equal stages × word bytes",
+            self.name
+        );
+        assert_eq!(self.stages, 2 * self.n, "{}: stages = 2n", self.name);
+    }
+}
+
+/// All three prototypes (E8's table).
+pub fn telegraphos_table() -> Vec<Prototype> {
+    vec![
+        Prototype::telegraphos_i(),
+        Prototype::telegraphos_ii(),
+        Prototype::telegraphos_iii(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_prototypes_internally_consistent() {
+        for p in telegraphos_table() {
+            p.validate();
+        }
+    }
+
+    #[test]
+    fn telegraphos_iii_headline_numbers() {
+        let p = Prototype::telegraphos_iii();
+        assert_eq!(p.capacity_bits(), 65_536, "64 Kbit central buffer");
+        assert!((p.link_gbps_worst() - 1.0).abs() < 1e-9, "1 Gb/s worst");
+        assert!((p.link_gbps_typ() - 1.6).abs() < 1e-9, "1.6 Gb/s typical");
+        // Fig. 8 caption: "16 Gbps, 64 Kbit pipelined buffer" —
+        // aggregate = 16 links' worth at 1 Gb/s.
+        assert!((p.aggregate_gbps_worst() - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn telegraphos_ii_and_i_rates() {
+        let p2 = Prototype::telegraphos_ii();
+        assert!((p2.link_gbps_worst() - 0.4).abs() < 1e-9, "400 Mb/s");
+        let p1 = Prototype::telegraphos_i();
+        assert!((p1.link_gbps_worst() - 0.1067).abs() < 0.001, "107 Mb/s");
+        assert!(p1.peripheral_mm2().is_nan(), "no area model for FPGAs");
+    }
+
+    #[test]
+    fn packet_sizes_match_paper() {
+        assert_eq!(Prototype::telegraphos_i().packet_bytes, 8);
+        assert_eq!(Prototype::telegraphos_ii().packet_bytes, 16);
+        // Telegraphos III: 256-bit packets = 32 bytes.
+        assert_eq!(Prototype::telegraphos_iii().packet_bytes, 32);
+    }
+}

@@ -1,0 +1,98 @@
+//! A gigabit LAN fabric for clustered workstations — the Telegraphos
+//! use case from the paper's introduction ("gigabit local area networks
+//! for high performance distributed computing").
+//!
+//! 64 workstations connect through an omega network of 2×2 shared-buffer
+//! switch elements (6 stages); link-level credit flow control paces the
+//! hosts. We measure end-to-end latency and fabric throughput, then show
+//! what credits buy: zero loss with bounded element buffers.
+//!
+//! ```sh
+//! cargo run --release --example lan_fabric
+//! ```
+
+use telegraphos::netsim::multistage::OmegaNetwork;
+use telegraphos::simkernel::cell::Cell;
+use telegraphos::simkernel::SplitMix64;
+use telegraphos::switch_core::credit::CreditedInput;
+
+fn main() {
+    let k = 2;
+    let stages = 6;
+    let hosts = 64;
+    println!("LAN fabric: {hosts} hosts, omega network of {stages} stages of {k}x{k} shared-buffer elements\n");
+
+    // Unpaced hosts against bounded element pools: elements drop.
+    let loss_unpaced = run_fabric(k, stages, hosts, 0.6, None, 20_000);
+    // Credit-paced hosts: each host may have at most `credits` cells in
+    // flight; returned when its cell is delivered.
+    let loss_paced = run_fabric(k, stages, hosts, 0.6, Some(4), 20_000);
+    println!(
+        "\nWith bounded element pools (4 cells): unpaced hosts lose {:.2e} of cells;\n\
+         credit-paced hosts (4 end-to-end credits each) lose {:.2e} — roughly two\n\
+         orders of magnitude less, at the price of pacing sources below fabric\n\
+         capacity. (Telegraphos uses per-LINK credits sized to the downstream\n\
+         buffer, which make loss impossible by construction — demonstrated on a\n\
+         single switch in tests/credit_flow.rs; end-to-end credits shown here are\n\
+         the weaker, cheaper variant.)",
+        loss_unpaced, loss_paced
+    );
+}
+
+/// Returns the measured loss fraction.
+fn run_fabric(
+    k: usize,
+    stages: usize,
+    hosts: usize,
+    load: f64,
+    credits: Option<u32>,
+    slots: u64,
+) -> f64 {
+    let mut net = OmegaNetwork::new(k, stages, Some(4));
+    assert_eq!(net.terminals(), hosts);
+    let mut rng = SplitMix64::new(7);
+    let mut senders: Vec<CreditedInput<usize>> = (0..hosts)
+        .map(|_| CreditedInput::new(credits.unwrap_or(u32::MAX), 0))
+        .collect();
+    let mut offered = 0u64;
+    let mut next_id = 0u64;
+    let mut in_flight_src: Vec<u64> = vec![0; hosts]; // cells in fabric per source
+    let mut delivered_seen = 0usize;
+
+    for now in 0..slots {
+        // Hosts generate demand; the credited sender releases it.
+        let mut arr: Vec<Option<Cell>> = vec![None; hosts];
+        for (h, sender) in senders.iter_mut().enumerate() {
+            if rng.chance(load) {
+                offered += 1;
+                sender.offer(rng.below_usize(hosts));
+            }
+            if let Some(dst) = sender.poll(now) {
+                next_id += 1;
+                arr[h] = Some(Cell::new(next_id, h, dst, now));
+                in_flight_src[h] += 1;
+            }
+        }
+        net.tick(now, &arr);
+        // Return credits for cells delivered this slot.
+        for c in &net.delivered()[delivered_seen..] {
+            senders[c.src.index()].return_credit(now);
+            in_flight_src[c.src.index()] -= 1;
+        }
+        delivered_seen = net.delivered().len();
+    }
+    // Drain.
+    for now in slots..slots + 500 {
+        net.tick(now, &vec![None; hosts]);
+    }
+    let delivered = net.delivered().len() as u64;
+    let dropped = net.dropped();
+    println!(
+        "  load {load}, credits {:?}: offered {offered}, delivered {delivered}, \
+         dropped-in-fabric {dropped}, mean latency {:.1} slots, backlog at hosts {}",
+        credits,
+        net.mean_latency(),
+        senders.iter().map(|s| s.backlog()).sum::<usize>(),
+    );
+    dropped as f64 / (delivered + dropped).max(1) as f64
+}

@@ -1,0 +1,89 @@
+//! The Telegraphos chip family (§4): run each prototype's geometry on
+//! the RTL model and print the silicon story next to it.
+//!
+//! ```sh
+//! cargo run --release --example telegraphos_chip
+//! ```
+
+use telegraphos::simkernel::SplitMix64;
+use telegraphos::switch_core::config::SwitchConfig;
+use telegraphos::switch_core::rtl::{OutputCollector, PipelinedSwitch};
+use telegraphos::traffic::{DestDist, PacketFeeder};
+use telegraphos::vlsimodel::floorplan::telegraphos_ii_floorplan;
+use telegraphos::vlsimodel::telegraphos::telegraphos_table;
+
+fn main() {
+    println!("The Telegraphos prototype family (paper §4)\n");
+    for p in telegraphos_table() {
+        p.validate();
+        println!("== {} ==", p.name);
+        println!(
+            "  {}x{} crossbar, {}-bit words, {} stages, {}-byte packets, {} slots \
+             ({} Kbit buffer)",
+            p.n,
+            p.n,
+            p.word_bits,
+            p.stages,
+            p.packet_bytes,
+            p.slots,
+            p.capacity_bits() / 1024
+        );
+        println!(
+            "  technology: {} — {:.0} ns worst-case cycle -> {:.3} Gb/s per link \
+             ({:.1} Gb/s aggregate)",
+            p.tech.name,
+            p.tech.cycle_worst_ns,
+            p.link_gbps_worst(),
+            p.aggregate_gbps_worst()
+        );
+        let periph = p.peripheral_mm2();
+        if periph.is_nan() {
+            println!("  peripheral area: n/a (FPGA prototype: 4x Xilinx 3164 + 1x 3130)");
+        } else {
+            println!("  peripheral datapath area (model): {periph:.1} mm2");
+        }
+
+        // Functional shakeout of the geometry at 90 % load.
+        let mut cfg = SwitchConfig::symmetric(p.n, 64);
+        cfg.word_bits = p.word_bits;
+        let s = cfg.stages();
+        let n = cfg.n_in;
+        let mut sw = PipelinedSwitch::new(cfg);
+        let mut feeders: Vec<PacketFeeder> = (0..n)
+            .map(|i| PacketFeeder::random(i, s, 0.9, DestDist::uniform(n), 17, n as u64))
+            .collect();
+        let mut col = OutputCollector::new(n, s);
+        let mut wire = vec![None; n];
+        for _ in 0..20_000 {
+            for (i, f) in feeders.iter_mut().enumerate() {
+                wire[i] = f.tick(sw.now());
+            }
+            let now = sw.now();
+            let out = sw.tick(&wire);
+            col.observe(now, &out);
+        }
+        let delivered = col.take();
+        let intact = delivered.iter().all(|d| d.verify_payload());
+        let ctr = sw.counters();
+        println!(
+            "  RTL shakeout @ 90% load: {} packets delivered, payloads intact: {intact}, \
+             fused cut-throughs: {}, latch overruns: {} (must be 0)\n",
+            delivered.len(),
+            ctr.fused_reads,
+            ctr.latch_overruns
+        );
+        assert!(intact);
+        assert_eq!(ctr.latch_overruns, 0);
+    }
+
+    let fp = telegraphos_ii_floorplan();
+    println!(
+        "Telegraphos II floorplan (fig 6): SRAM {:.1} + peripherals {:.1} + routing {:.1} \
+         = {:.1} mm2 (paper: 11 + 15 + 5.5 = 32)",
+        fp.sram_mm2,
+        fp.peripheral_mm2,
+        fp.routing_mm2,
+        fp.total_mm2()
+    );
+    let _ = SplitMix64::new(0);
+}

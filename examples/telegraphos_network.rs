@@ -1,0 +1,55 @@
+//! A Telegraphos network in miniature: three word-level pipelined
+//! switches in a chain, virtual circuits set up hop by hop, packets cut
+//! through every switch — the whole §3 story composed into a system.
+//!
+//! ```sh
+//! cargo run --release --example telegraphos_network
+//! ```
+
+use telegraphos::netsim::rtlnet::{host_packet, RtlChain};
+use telegraphos::simkernel::cell::Packet;
+use telegraphos::switch_core::config::SwitchConfig;
+
+fn main() {
+    let cfg = SwitchConfig::symmetric(2, 16);
+    let s = cfg.stages();
+    let hops = 3;
+    let mut chain = RtlChain::new(cfg, hops, 64);
+    println!("Chain of {hops} pipelined 2x2 switches ({s}-word packets), registered wires.\n");
+
+    // Two circuits: one zig-zagging (labels 5→9→13→21), one straight
+    // (labels 30→31→32→33).
+    chain.install_circuit(&[5, 9, 13, 21], &[1, 0, 1]);
+    chain.install_circuit(&[30, 31, 32, 33], &[0, 1, 0]);
+    println!("Circuit A: label 5 -> 9 -> 13 -> 21, path out1/out0/out1");
+    println!("Circuit B: label 30 -> 31 -> 32 -> 33, path out0/out1/out0\n");
+
+    // Launch one packet per circuit, simultaneously.
+    let pa = host_packet(100, 5, s);
+    let pb = host_packet(200, 30, s);
+    for k in 0..s {
+        chain.tick(&[Some(pa[k]), Some(pb[k])]);
+    }
+    let mut guard = 0;
+    while !chain.is_quiescent() && guard < 500 {
+        chain.tick(&[None, None]);
+        guard += 1;
+    }
+    for d in chain.take_deliveries() {
+        let intact = d.words[1..]
+            .iter()
+            .enumerate()
+            .all(|(i, &w)| w == Packet::payload_word(d.id, i + 1));
+        println!(
+            "packet {:>3}: egress link {} with label {:>2}, head word at cycle {:>2} \
+             (3 hops x ~2-cycle cut-through + 2 wire cycles), payload intact: {intact}",
+            d.id, d.egress, d.vc, d.head_cycle
+        );
+        assert!(intact);
+    }
+    println!(
+        "\nEvery hop swapped the label (fig. 6's RT), every buffer cut the packet\n\
+         through in ~2 cycles (fig. 4/5), and no word was stored twice anywhere —\n\
+         the pipelined shared buffer doing what the paper built it for."
+    );
+}

@@ -1,0 +1,115 @@
+//! Virtual circuits, label swapping, multicast, and weighted service —
+//! the full Telegraphos feature set on top of the pipelined buffer.
+//!
+//! A two-switch chain forwards a virtual circuit with per-hop label
+//! swapping (the RT block of fig. 6); a multicast packet fans out of one
+//! stored copy; and a WRR multiplexer (\[KaSC91\]) arbitrates an output
+//! between two flows at 3:1 weights.
+//!
+//! ```sh
+//! cargo run --example vc_multicast
+//! ```
+
+use telegraphos::simkernel::cell::Packet;
+use telegraphos::switch_core::config::SwitchConfig;
+use telegraphos::switch_core::rtl::{OutputCollector, PipelinedSwitch};
+use telegraphos::switch_core::vcroute::{decode_delivery, synth_vc_packet, TranslatedSwitch};
+use telegraphos::switch_core::wrr::WrrMux;
+
+fn main() {
+    // ---------------------------------------------------------------
+    // 1. Virtual-circuit forwarding across two switches.
+    // ---------------------------------------------------------------
+    println!("1. Virtual circuit across two switches (label swapping)\n");
+    let mut sw_a = TranslatedSwitch::new(SwitchConfig::symmetric(2, 8), 64);
+    let mut sw_b = TranslatedSwitch::new(SwitchConfig::symmetric(2, 8), 64);
+    sw_a.rt().install(3, 1, 11); // at A: vc 3 → output 1, relabel 11
+    sw_b.rt().install(11, 0, 42); // at B: vc 11 → output 0, relabel 42
+    let s = sw_a.inner().config().stages();
+
+    let hop = |sw: &mut TranslatedSwitch, words: &[u64]| {
+        let mut col = OutputCollector::new(2, s);
+        for w in words.iter().take(s) {
+            let now = sw.inner().now();
+            let out = sw.tick(&[Some(*w), None]);
+            col.observe(now, &out);
+        }
+        while !sw.inner().is_quiescent() {
+            let now = sw.inner().now();
+            let out = sw.tick(&[None, None]);
+            col.observe(now, &out);
+        }
+        col.take().remove(0)
+    };
+
+    let p = synth_vc_packet(7, 0, 3, s, 0);
+    let d1 = hop(&mut sw_a, &p.words);
+    let (vc1, id1) = decode_delivery(&d1);
+    println!(
+        "   hop A: arrived vc 3 -> departed output {} with label {vc1} (id {id1})",
+        d1.output
+    );
+    let mut w2 = d1.words.clone();
+    w2[0] = telegraphos::switch_core::vcroute::encode_header_vc(vc1, id1);
+    let d2 = hop(&mut sw_b, &w2);
+    let (vc2, id2) = decode_delivery(&d2);
+    println!(
+        "   hop B: arrived vc {vc1} -> departed output {} with label {vc2} (id {id2})",
+        d2.output
+    );
+    assert_eq!((vc2, id2), (42, 7));
+    println!("   circuit forwarded end-to-end, payload intact.\n");
+
+    // ---------------------------------------------------------------
+    // 2. Multicast: one stored copy, three read waves.
+    // ---------------------------------------------------------------
+    println!("2. Multicast from one buffered copy\n");
+    let cfg = SwitchConfig::symmetric(4, 16);
+    let s = cfg.stages();
+    let mut sw = PipelinedSwitch::new(cfg);
+    sw.enable_trace();
+    let mc = Packet::synth_multicast(9, 0, 0b1101, s, 0);
+    let mut col = OutputCollector::new(4, s);
+    for k in 0..s {
+        let now = sw.now();
+        let out = sw.tick(&[Some(mc.words[k]), None, None, None]);
+        col.observe(now, &out);
+    }
+    while !sw.is_quiescent() {
+        let now = sw.now();
+        let out = sw.tick(&[None; 4]);
+        col.observe(now, &out);
+    }
+    for d in col.take() {
+        println!(
+            "   copy on output {}: first word at cycle {}, payload intact: {}",
+            d.output,
+            d.first_cycle,
+            d.verify_payload()
+        );
+    }
+    println!("   buffer held ONE copy; the slot freed at the last read initiation.\n");
+
+    // ---------------------------------------------------------------
+    // 3. WRR cell multiplexing at an output ([KaSC91]).
+    // ---------------------------------------------------------------
+    println!("3. Weighted round-robin output multiplexing (weights 3:1)\n");
+    let mut mux: WrrMux<&'static str> = WrrMux::new(&[3, 1]);
+    let mut served = [0u32; 2];
+    for slot in 0..16 {
+        for f in 0..2 {
+            if mux.queue_len(f) < 2 {
+                mux.enqueue(f, if f == 0 { "A" } else { "B" });
+            }
+        }
+        if let Some((f, tag)) = mux.dequeue() {
+            served[f] += 1;
+            print!("{tag}");
+            let _ = slot;
+        }
+    }
+    println!(
+        "\n   flow A served {} slots, flow B {} — 3:1 as configured.",
+        served[0], served[1]
+    );
+}

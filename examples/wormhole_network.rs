@@ -1,0 +1,47 @@
+//! Wormhole-routed multicomputer network — the §2.1 \[Dally90\] scenario.
+//!
+//! A 16×16 mesh carrying 20-flit messages through routers with 16 flits
+//! of buffering per link: with one virtual-channel lane the network
+//! saturates far below capacity (blocked worms kill every channel they
+//! sit on); adding lanes recovers throughput.
+//!
+//! ```sh
+//! cargo run --release --example wormhole_network
+//! ```
+
+use telegraphos::netsim::wormhole::{MeshConfig, WormholeMesh};
+
+fn main() {
+    let k = 16;
+    println!(
+        "Wormhole mesh {k}x{k}, 20-flit messages, 16 flits of buffering per link\n\
+         (paper §2.1 quoting [Dally90 fig 8])\n"
+    );
+    println!(
+        "{:>5}  {:>14}  {:>16}  {:>9}  {:>9}",
+        "lanes", "offered f/n/c", "delivered f/n/c", "cap frac", "latency"
+    );
+    let cap = 4.0 / k as f64; // DOR capacity bound, flits/node/cycle
+    for lanes in [1usize, 2, 4] {
+        for frac in [0.3, 0.6, 1.2] {
+            let rate = frac * cap / 20.0;
+            let mut mesh = WormholeMesh::new(MeshConfig::dally(k, lanes, rate, 2026));
+            mesh.run(25_000);
+            println!(
+                "{:>5}  {:>14.4}  {:>16.4}  {:>9.2}  {:>9.0}",
+                lanes,
+                rate * 20.0,
+                mesh.flits_per_node_cycle(),
+                mesh.flits_per_node_cycle() / cap,
+                mesh.mean_latency()
+            );
+        }
+        println!();
+    }
+    println!(
+        "One lane saturates well below the dimension-order capacity bound; more\n\
+         lanes let worms pass blocked worms. This is why §2.1 says bursty traffic\n\
+         larger than the buffers makes input-queued networks saturate early — and\n\
+         why buffering organization matters."
+    );
+}

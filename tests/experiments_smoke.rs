@@ -1,0 +1,23 @@
+//! Smoke test: every experiment module runs to completion in quick mode
+//! and produces a non-trivial report mentioning what it measured.
+
+use bench_harness::{run_experiment, ALL};
+
+#[test]
+fn every_experiment_runs_quick() {
+    for id in ALL {
+        let out = run_experiment(id, true).unwrap_or_else(|| panic!("{id} unknown"));
+        assert!(out.len() > 100, "{id}: report suspiciously short:\n{out}");
+        let cites = out.to_lowercase();
+        assert!(
+            cites.contains("paper") || cites.contains("extension"),
+            "{id}: report must cite the paper claim it regenerates (or be \
+             marked an extension)"
+        );
+    }
+}
+
+#[test]
+fn unknown_experiment_rejected() {
+    assert!(run_experiment("e99", true).is_none());
+}

@@ -1,0 +1,140 @@
+//! Word-level head-to-head: the pipelined switch (fig. 4) vs the
+//! wide-memory switch (fig. 3) under identical workloads.
+//!
+//! The paper's §3.2 comparison in executable form: both organizations
+//! carry the same traffic without loss, but the wide memory needs double
+//! input buffering and a bypass crossbar to do it, and without the
+//! bypass its cut-through latency degrades by a full packet time.
+
+use telegraphos::simkernel::cell::Packet;
+use telegraphos::simkernel::SplitMix64;
+use telegraphos::switch_core::config::SwitchConfig;
+use telegraphos::switch_core::rtl::{DeliveredPacket, OutputCollector, PipelinedSwitch};
+use telegraphos::switch_core::widemem::{WideMemorySwitchRtl, WideSwitchConfig};
+
+/// Generate a deterministic word schedule: per input, contiguous packets
+/// with random gaps and destinations.
+#[allow(clippy::needless_range_loop)]
+fn schedule(n: usize, s: usize, cycles: u64, load: f64, seed: u64) -> Vec<Vec<Option<u64>>> {
+    let mut rng = SplitMix64::new(seed);
+    let mut wires = vec![vec![None; n]; cycles as usize];
+    let q = load / (load + s as f64 * (1.0 - load));
+    let mut next_id = 1u64;
+    for i in 0..n {
+        let mut t = 0usize;
+        while t < cycles as usize {
+            if rng.chance(q) {
+                if t + s > cycles as usize {
+                    break;
+                }
+                let p = Packet::synth(next_id, i, rng.below_usize(n), s, t as u64);
+                next_id += 1;
+                for (k, w) in p.words.iter().enumerate() {
+                    wires[t + k][i] = Some(*w);
+                }
+                t += s;
+            } else {
+                t += 1;
+            }
+        }
+    }
+    wires
+}
+
+fn run_pipelined(wires: &[Vec<Option<u64>>], n: usize, s: usize) -> Vec<DeliveredPacket> {
+    let mut sw = PipelinedSwitch::new(SwitchConfig::symmetric(n, 64));
+    let mut col = OutputCollector::new(n, s);
+    for row in wires {
+        let now = sw.now();
+        let out = sw.tick(row);
+        col.observe(now, &out);
+    }
+    let mut guard = 0;
+    while !sw.is_quiescent() && guard < 10_000 {
+        let now = sw.now();
+        let out = sw.tick(&vec![None; n]);
+        col.observe(now, &out);
+        guard += 1;
+    }
+    assert_eq!(sw.counters().latch_overruns, 0);
+    assert_eq!(sw.counters().dropped_buffer_full, 0);
+    col.take()
+}
+
+fn run_wide(
+    wires: &[Vec<Option<u64>>],
+    n: usize,
+    s: usize,
+    crossbar: bool,
+) -> Vec<DeliveredPacket> {
+    let mut cfg = WideSwitchConfig::fig3(n, 64);
+    cfg.cut_through_crossbar = crossbar;
+    let mut sw = WideMemorySwitchRtl::new(cfg);
+    let mut col = OutputCollector::new(n, s);
+    for row in wires {
+        let now = sw.now();
+        let out = sw.tick(row);
+        col.observe(now, &out);
+    }
+    let mut guard = 0;
+    while !sw.is_quiescent() && guard < 10_000 {
+        let now = sw.now();
+        let out = sw.tick(&vec![None; n]);
+        col.observe(now, &out);
+        guard += 1;
+    }
+    assert_eq!(sw.counters().latch_overruns, 0, "double buffering suffices");
+    assert_eq!(sw.counters().dropped_buffer_full, 0);
+    col.take()
+}
+
+#[test]
+fn both_deliver_everything_intact() {
+    let (n, s) = (4, 8);
+    let wires = schedule(n, s, 8_000, 0.6, 11);
+    let pipe = run_pipelined(&wires, n, s);
+    let wide = run_wide(&wires, n, s, true);
+    assert_eq!(pipe.len(), wide.len(), "same packets in, same packets out");
+    assert!(pipe.iter().all(|d| d.verify_payload()));
+    assert!(wide.iter().all(|d| d.verify_payload()));
+    assert!(pipe.len() > 300, "workload too thin: {}", pipe.len());
+}
+
+#[test]
+fn pipelined_latency_never_worse_than_wide_without_crossbar() {
+    // Identical workloads, so comparing mean first-word cycles compares
+    // mean head latency directly.
+    let (n, s) = (4, 8);
+    let wires = schedule(n, s, 8_000, 0.4, 13);
+    let pipe = run_pipelined(&wires, n, s);
+    let wide_nc = run_wide(&wires, n, s, false);
+    let mean_first = |pkts: &[DeliveredPacket]| {
+        pkts.iter().map(|d| d.first_cycle).sum::<u64>() as f64 / pkts.len() as f64
+    };
+    assert_eq!(pipe.len(), wide_nc.len());
+    let mp = mean_first(&pipe);
+    let mw = mean_first(&wide_nc);
+    assert!(
+        mw > mp + (s as f64) * 0.5,
+        "wide memory without the bypass crossbar must pay ≈ a packet time \
+         of extra latency (pipelined {mp:.1} vs wide {mw:.1})"
+    );
+}
+
+#[test]
+fn wide_with_crossbar_approaches_pipelined_latency() {
+    let (n, s) = (4, 8);
+    let wires = schedule(n, s, 8_000, 0.3, 17);
+    let pipe = run_pipelined(&wires, n, s);
+    let wide = run_wide(&wires, n, s, true);
+    let mean_first = |pkts: &[DeliveredPacket]| {
+        pkts.iter().map(|d| d.first_cycle).sum::<u64>() as f64 / pkts.len() as f64
+    };
+    let gap = mean_first(&wide) - mean_first(&pipe);
+    assert!(
+        gap.abs() < s as f64,
+        "with its extra crossbar the wide memory should be within a packet \
+         time of the pipelined switch (gap {gap:.1}); the pipelined one gets \
+         this latency with no bypass hardware at all"
+    );
+}
