@@ -30,6 +30,11 @@ pub trait Scheduler {
 pub struct PimScheduler {
     iters: usize,
     rng: SplitMix64,
+    // Per-call scratch, reused across slots (schedule runs every slot of
+    // every VOQ simulation — the hot path must not allocate).
+    out_matched: Vec<bool>,
+    grants: Vec<Vec<usize>>,
+    cands: Vec<usize>,
 }
 
 impl PimScheduler {
@@ -39,6 +44,9 @@ impl PimScheduler {
         PimScheduler {
             iters,
             rng: SplitMix64::new(seed),
+            out_matched: Vec::new(),
+            grants: Vec::new(),
+            cands: Vec::new(),
         }
     }
 }
@@ -49,38 +57,39 @@ impl Scheduler for PimScheduler {
         for m in match_out.iter_mut() {
             *m = None;
         }
-        let mut out_matched = vec![false; n];
-        let mut grants: Vec<Vec<usize>> = vec![Vec::new(); n]; // per input
+        self.out_matched.clear();
+        self.out_matched.resize(n, false);
+        self.grants.resize_with(n, Vec::new); // per input
         for _ in 0..self.iters {
-            for g in grants.iter_mut() {
+            for g in self.grants.iter_mut() {
                 g.clear();
             }
             // Grant phase: each unmatched output grants one random
             // requesting unmatched input.
             for j in 0..n {
-                if out_matched[j] {
+                if self.out_matched[j] {
                     continue;
                 }
-                let mut cands: Vec<usize> = Vec::new();
+                self.cands.clear();
                 for (i, m) in match_out.iter().enumerate() {
                     if m.is_none() && requests[i * n + j] {
-                        cands.push(i);
+                        self.cands.push(i);
                     }
                 }
-                if !cands.is_empty() {
-                    let i = cands[self.rng.below_usize(cands.len())];
-                    grants[i].push(j);
+                if !self.cands.is_empty() {
+                    let i = self.cands[self.rng.below_usize(self.cands.len())];
+                    self.grants[i].push(j);
                 }
             }
             // Accept phase: each input accepts one random grant.
             let mut progress = false;
-            for (i, g) in grants.iter().enumerate() {
+            for (i, g) in self.grants.iter().enumerate() {
                 if g.is_empty() || match_out[i].is_some() {
                     continue;
                 }
                 let j = g[self.rng.below_usize(g.len())];
                 match_out[i] = Some(j);
-                out_matched[j] = true;
+                self.out_matched[j] = true;
                 progress = true;
             }
             if !progress {
@@ -103,6 +112,11 @@ pub struct IslipScheduler {
     iters: usize,
     grant_ptr: Vec<usize>,
     accept_ptr: Vec<usize>,
+    // Per-call scratch, reused across slots.
+    out_matched: Vec<bool>,
+    in_cands: Vec<bool>,
+    grants_to: Vec<bool>,
+    granted: Vec<Option<usize>>,
 }
 
 impl IslipScheduler {
@@ -113,6 +127,10 @@ impl IslipScheduler {
             iters,
             grant_ptr: vec![0; n],
             accept_ptr: vec![0; n],
+            out_matched: Vec::with_capacity(n),
+            in_cands: Vec::with_capacity(n),
+            grants_to: Vec::with_capacity(n),
+            granted: Vec::with_capacity(n),
         }
     }
 
@@ -129,20 +147,24 @@ impl Scheduler for IslipScheduler {
         for m in match_out.iter_mut() {
             *m = None;
         }
-        let mut out_matched = vec![false; n];
-        let mut in_cands = vec![false; n];
-        let mut grants_to = vec![false; n];
+        self.out_matched.clear();
+        self.out_matched.resize(n, false);
+        self.in_cands.clear();
+        self.in_cands.resize(n, false);
+        self.grants_to.clear();
+        self.grants_to.resize(n, false);
         for iter in 0..self.iters {
             // Grant phase.
-            let mut granted: Vec<Option<usize>> = vec![None; n]; // output -> input
+            self.granted.clear();
+            self.granted.resize(n, None); // output -> input
             for j in 0..n {
-                if out_matched[j] {
+                if self.out_matched[j] {
                     continue;
                 }
-                for (i, c) in in_cands.iter_mut().enumerate() {
+                for (i, c) in self.in_cands.iter_mut().enumerate() {
                     *c = match_out[i].is_none() && requests[i * n + j];
                 }
-                granted[j] = Self::rr_pick(self.grant_ptr[j], &in_cands);
+                self.granted[j] = Self::rr_pick(self.grant_ptr[j], &self.in_cands);
             }
             // Accept phase.
             let mut progress = false;
@@ -150,12 +172,12 @@ impl Scheduler for IslipScheduler {
                 if match_out[i].is_some() {
                     continue;
                 }
-                for (j, g) in grants_to.iter_mut().enumerate() {
-                    *g = granted[j] == Some(i);
+                for (j, g) in self.grants_to.iter_mut().enumerate() {
+                    *g = self.granted[j] == Some(i);
                 }
-                if let Some(j) = Self::rr_pick(self.accept_ptr[i], &grants_to) {
+                if let Some(j) = Self::rr_pick(self.accept_ptr[i], &self.grants_to) {
                     match_out[i] = Some(j);
-                    out_matched[j] = true;
+                    self.out_matched[j] = true;
                     progress = true;
                     if iter == 0 {
                         // Pointer update rule: only on first-iteration
@@ -182,12 +204,17 @@ impl Scheduler for IslipScheduler {
 #[derive(Debug)]
 pub struct Rr2dScheduler {
     phase: usize,
+    // Per-call scratch, reused across slots.
+    out_matched: Vec<bool>,
 }
 
 impl Rr2dScheduler {
     /// A 2DRR scheduler.
     pub fn new() -> Self {
-        Rr2dScheduler { phase: 0 }
+        Rr2dScheduler {
+            phase: 0,
+            out_matched: Vec::new(),
+        }
     }
 }
 
@@ -203,7 +230,8 @@ impl Scheduler for Rr2dScheduler {
         for m in match_out.iter_mut() {
             *m = None;
         }
-        let mut out_matched = vec![false; n];
+        self.out_matched.clear();
+        self.out_matched.resize(n, false);
         // Serve diagonals d, d+1, ... (offset by the rotating phase): the
         // k-th diagonal pairs input i with output (i + d) mod n. A full
         // sweep of n diagonals guarantees a maximal-diagonal matching.
@@ -211,9 +239,9 @@ impl Scheduler for Rr2dScheduler {
             let d = (self.phase + k) % n;
             for i in 0..n {
                 let j = (i + d) % n;
-                if match_out[i].is_none() && !out_matched[j] && requests[i * n + j] {
+                if match_out[i].is_none() && !self.out_matched[j] && requests[i * n + j] {
                     match_out[i] = Some(j);
-                    out_matched[j] = true;
+                    self.out_matched[j] = true;
                 }
             }
         }

@@ -1,0 +1,53 @@
+//! Single-cycle cost of the behavioral switch's hot path — the loop the
+//! allocation-hoisting work targets. Unlike `behavioral.rs` (which
+//! sweeps sizes), this pins the steady-state per-tick cost at a
+//! representative operating point, including the mask-translation path
+//! (`tick`) and the direct mask path (`tick_masks`), so regressions in
+//! either show up as cycles/second.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use simkernel::SplitMix64;
+use switch_core::behavioral::BehavioralSwitch;
+use switch_core::config::SwitchConfig;
+
+fn bench_behavioral_cycle(c: &mut Criterion) {
+    let n = 16;
+    let mut g = c.benchmark_group("behavioral_cycle_n16");
+    g.throughput(Throughput::Elements(1));
+
+    g.bench_function("tick_load_0.4", |b| {
+        let mut sw = BehavioralSwitch::new(SwitchConfig::symmetric(n, 4 * n));
+        let mut rng = SplitMix64::new(7);
+        let mut arr = vec![None; n];
+        b.iter(|| {
+            for (i, a) in arr.iter_mut().enumerate() {
+                *a = (sw.input_free(i) && rng.chance(0.4)).then(|| rng.below_usize(n));
+            }
+            std::hint::black_box(sw.tick(&arr).len())
+        });
+    });
+
+    g.bench_function("tick_masks_load_0.4", |b| {
+        let mut sw = BehavioralSwitch::new(SwitchConfig::symmetric(n, 4 * n));
+        let mut rng = SplitMix64::new(7);
+        let mut arr: Vec<Option<u32>> = vec![None; n];
+        b.iter(|| {
+            for (i, a) in arr.iter_mut().enumerate() {
+                *a = (sw.input_free(i) && rng.chance(0.4)).then(|| 1u32 << rng.below_usize(n));
+            }
+            std::hint::black_box(sw.tick_masks(&arr).len())
+        });
+    });
+
+    g.bench_function("tick_idle", |b| {
+        // Pure overhead floor: no arrivals, drained switch.
+        let mut sw = BehavioralSwitch::new(SwitchConfig::symmetric(n, 4 * n));
+        let arr = vec![None; n];
+        b.iter(|| std::hint::black_box(sw.tick(&arr).len()));
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_behavioral_cycle);
+criterion_main!(benches);

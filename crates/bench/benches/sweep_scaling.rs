@@ -1,0 +1,45 @@
+//! Scaling of the deterministic sweep engine: the same fixed grid of
+//! independent simulation points executed with 1/2/4/8 workers. On a
+//! multi-core host, points/second should scale close to linearly until
+//! the core count is reached; on a single-core host the curve is flat —
+//! the interesting check there is that the parallel paths add no
+//! overhead beyond thread spawn.
+
+use bench_harness::sweep;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use simkernel::SplitMix64;
+
+/// One grid point: a small self-contained RNG-driven workload, shaped
+/// like the real experiments (own stream, hundreds of microseconds).
+fn point_work(stream: u64) -> u64 {
+    let mut g = SplitMix64::stream(0xBE7C, stream);
+    let mut acc = 0u64;
+    for _ in 0..200_000 {
+        acc = acc.wrapping_add(g.next_u64() >> 32);
+    }
+    acc
+}
+
+fn bench_sweep_scaling(c: &mut Criterion) {
+    let points: Vec<u64> = (0..16).collect();
+    let mut g = c.benchmark_group("sweep_scaling");
+    g.throughput(Throughput::Elements(points.len() as u64));
+    for &workers in &[1usize, 2, 4, 8] {
+        g.bench_with_input(
+            BenchmarkId::new("workers", workers),
+            &workers,
+            |b, &workers| {
+                sweep::set_jobs(workers);
+                b.iter(|| {
+                    let out = sweep::map(&points, |&p| point_work(p));
+                    std::hint::black_box(out.len())
+                });
+                sweep::set_jobs(0);
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_sweep_scaling);
+criterion_main!(benches);

@@ -1,26 +1,62 @@
 //! `expt` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! expt <id>...      run specific experiments (e1..e15)
+//! expt <id>...      run specific experiments (e1..e15, x1..x5)
 //! expt all          run everything
 //! expt --quick ...  shrink run lengths (CI-sized)
+//! expt --jobs N     sweep-engine worker count (default: all cores)
+//! expt --seq        fully sequential (same as --jobs 1)
 //! expt --list       list experiments
 //! ```
+//!
+//! Experiment grids run through the deterministic parallel engine in
+//! `bench_harness::sweep`; output is bit-identical for every `--jobs`
+//! value. Running `all` also writes `BENCH_sweeps.json` (wall-clock and
+//! points/sec per experiment) to the current directory.
 
+use std::fmt::Write as _;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick" || a == "-q");
     let list = args.iter().any(|a| a == "--list" || a == "-l");
-    let ids: Vec<String> = args
-        .iter()
-        .filter(|a| !a.starts_with('-'))
-        .map(|a| a.to_lowercase())
-        .collect();
+    let seq = args.iter().any(|a| a == "--seq");
+    let mut jobs: Option<usize> = None;
+    let mut ids: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--jobs" || a == "-j" {
+            let v = it.next().map(|s| s.as_str()).unwrap_or("");
+            match v.parse::<usize>() {
+                Ok(n) if n >= 1 => jobs = Some(n),
+                _ => {
+                    eprintln!("--jobs needs a positive integer, got '{v}'");
+                    return ExitCode::from(2);
+                }
+            }
+        } else if let Some(v) = a.strip_prefix("--jobs=") {
+            match v.parse::<usize>() {
+                Ok(n) if n >= 1 => jobs = Some(n),
+                _ => {
+                    eprintln!("--jobs needs a positive integer, got '{v}'");
+                    return ExitCode::from(2);
+                }
+            }
+        } else if !a.starts_with('-') {
+            ids.push(a.to_lowercase());
+        }
+    }
+    if seq && jobs.map(|j| j > 1) == Some(true) {
+        eprintln!("--seq contradicts --jobs {}", jobs.unwrap());
+        return ExitCode::from(2);
+    }
+    bench_harness::sweep::set_jobs(if seq { 1 } else { jobs.unwrap_or(0) });
 
     if list || ids.is_empty() {
-        eprintln!("usage: expt [--quick] <e1..e15 | all>...\n\nexperiments:");
+        eprintln!(
+            "usage: expt [--quick] [--jobs N | --seq] <e1..e15 | x1..x5 | all>...\n\nexperiments:"
+        );
         for id in bench_harness::ALL {
             eprintln!("  {id}");
         }
@@ -31,7 +67,8 @@ fn main() -> ExitCode {
         };
     }
 
-    let selected: Vec<&str> = if ids.iter().any(|i| i == "all") {
+    let run_all = ids.iter().any(|i| i == "all");
+    let selected: Vec<&str> = if run_all {
         bench_harness::ALL.to_vec()
     } else {
         let mut v = Vec::new();
@@ -51,14 +88,60 @@ fn main() -> ExitCode {
         v
     };
 
+    let wall_start = std::time::Instant::now();
+    let mut timings: Vec<(&str, f64, u64)> = Vec::new(); // (id, secs, points)
     for (i, id) in selected.iter().enumerate() {
         if i > 0 {
             println!("\n{}\n", "=".repeat(90));
         }
         let t0 = std::time::Instant::now();
+        let points_before = bench_harness::sweep::points_run();
         let report = bench_harness::run_experiment(id, quick).expect("validated id");
+        let secs = t0.elapsed().as_secs_f64();
+        let points = bench_harness::sweep::points_run() - points_before;
         println!("{report}");
-        println!("[{id} completed in {:.1}s]", t0.elapsed().as_secs_f64());
+        println!("[{id} completed in {secs:.1}s]");
+        timings.push((id, secs, points));
+    }
+
+    if run_all {
+        let path = "BENCH_sweeps.json";
+        match std::fs::write(
+            path,
+            sweeps_json(&timings, wall_start.elapsed().as_secs_f64(), quick),
+        ) {
+            Ok(()) => eprintln!("[wrote {path}]"),
+            Err(e) => eprintln!("[could not write {path}: {e}]"),
+        }
     }
     ExitCode::SUCCESS
+}
+
+/// Render the machine-readable sweep report (hand-rolled JSON: the
+/// workspace builds offline, without serde).
+fn sweeps_json(timings: &[(&str, f64, u64)], total_secs: f64, quick: bool) -> String {
+    let total_points: u64 = timings.iter().map(|t| t.2).sum();
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"threads\": {},", bench_harness::sweep::jobs());
+    let _ = writeln!(s, "  \"quick\": {quick},");
+    let _ = writeln!(s, "  \"total_seconds\": {total_secs:.3},");
+    let _ = writeln!(s, "  \"total_points\": {total_points},");
+    let _ = writeln!(
+        s,
+        "  \"points_per_second\": {:.3},",
+        total_points as f64 / total_secs.max(1e-9)
+    );
+    s.push_str("  \"experiments\": [\n");
+    for (k, (id, secs, points)) in timings.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"id\": \"{id}\", \"seconds\": {secs:.3}, \"points\": {points}, \
+             \"points_per_second\": {:.3}}}",
+            *points as f64 / secs.max(1e-9)
+        );
+        s.push_str(if k + 1 < timings.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ]\n}\n");
+    s
 }

@@ -7,13 +7,13 @@
 //! al., Table I) are: n=2: 0.7500, n=4: 0.6553, n=8: 0.6184, n=16:
 //! 0.6013, n=32: 0.5930, n→∞: 0.5858.
 
-use crate::table;
+use crate::{sweep, table};
 use baselines::harness::carried_at_load;
 use baselines::input_fifo::InputFifoSwitch;
 use stats::saturation_search;
 
 /// One row of the saturation table.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct E1Row {
     /// Switch size.
     pub n: usize,
@@ -54,21 +54,19 @@ pub fn measure(n: usize, slots: u64, seed: u64) -> f64 {
     .estimate()
 }
 
-/// Run the experiment.
+/// Run the experiment. Each switch size is one sweep point (a whole
+/// saturation bisection), executed through the parallel engine.
 pub fn rows(quick: bool) -> Vec<E1Row> {
     let (sizes, slots): (&[usize], u64) = if quick {
         (&[4, 8], 15_000)
     } else {
         (&[2, 4, 8, 16, 32], 60_000)
     };
-    sizes
-        .iter()
-        .map(|&n| E1Row {
-            n,
-            measured: measure(n, slots, 0xE1),
-            theory: karol_table(n),
-        })
-        .collect()
+    sweep::map(sizes, |&n| E1Row {
+        n,
+        measured: measure(n, slots, 0xE1),
+        theory: karol_table(n),
+    })
 }
 
 /// Render the report.

@@ -10,7 +10,7 @@
 //! dimension-order-routing capacity bound; the paper-relevant *shape* is
 //! that one lane saturates far below capacity and extra lanes recover it.
 
-use crate::table;
+use crate::{sweep as engine, table};
 use netsim::wormhole::{MeshConfig, WormholeMesh};
 
 /// One row: a (lanes, injection rate) operating point.
@@ -36,25 +36,23 @@ pub fn dor_capacity(k: usize) -> f64 {
     4.0 / k as f64
 }
 
-/// Sweep injection rates at a lane count.
+/// Sweep injection rates at a lane count. Each operating point is an
+/// independent mesh simulation, executed through the sweep engine.
 pub fn sweep(k: usize, lanes: usize, cycles: u64, seed: u64) -> Vec<E2Row> {
     let msg_flits = 20.0;
-    [0.1, 0.2, 0.4, 0.8, 1.2]
-        .iter()
-        .map(|&frac: &f64| {
-            // Offered as a fraction of DOR capacity.
-            let rate = frac * dor_capacity(k) / msg_flits;
-            let mut m = WormholeMesh::new(MeshConfig::dally(k, lanes, rate, seed));
-            m.run(cycles);
-            E2Row {
-                lanes,
-                offered: rate * msg_flits,
-                carried: m.flits_per_node_cycle(),
-                capacity_fraction: m.flits_per_node_cycle() / dor_capacity(k),
-                latency: m.mean_latency(),
-            }
-        })
-        .collect()
+    engine::map(&[0.1, 0.2, 0.4, 0.8, 1.2], |&frac: &f64| {
+        // Offered as a fraction of DOR capacity.
+        let rate = frac * dor_capacity(k) / msg_flits;
+        let mut m = WormholeMesh::new(MeshConfig::dally(k, lanes, rate, seed));
+        m.run(cycles);
+        E2Row {
+            lanes,
+            offered: rate * msg_flits,
+            carried: m.flits_per_node_cycle(),
+            capacity_fraction: m.flits_per_node_cycle() / dor_capacity(k),
+            latency: m.mean_latency(),
+        }
+    })
 }
 
 /// Saturation throughput (capacity fraction at the highest offered load).
@@ -98,10 +96,18 @@ pub fn run(quick: bool) -> String {
         &["lanes", "offered f/n/c", "carried f/n/c", "cap frac", "latency"],
         &body,
     );
-    let s1 = saturation_fraction(k, 1, cycles, 0xE2);
-    let s4 = saturation_fraction(k, 4, cycles, 0xE2);
-    let t2 = torus_saturation_fraction(k, 2, cycles, 0xE2);
-    let t4 = torus_saturation_fraction(k, 4, cycles, 0xE2);
+    // The four saturation points (mesh 1/4 lanes, torus 2/4 lanes) are
+    // independent full-length runs — one sweep point each.
+    let sat = engine::map(&[(false, 1usize), (false, 4), (true, 2), (true, 4)], {
+        |&(torus, lanes)| {
+            if torus {
+                torus_saturation_fraction(k, lanes, cycles, 0xE2)
+            } else {
+                saturation_fraction(k, lanes, cycles, 0xE2)
+            }
+        }
+    });
+    let (s1, s4, t2, t4) = (sat[0], sat[1], sat[2], sat[3]);
     s.push_str(&format!(
         "\nMesh: 1-lane saturation {:.2} of DOR capacity; 4-lane {:.2} (+{:.0}%).\n\
          TORUS (Dally's k-ary 2-cube proper, dateline VC classes): baseline\n\

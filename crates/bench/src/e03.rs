@@ -10,7 +10,7 @@
 //! We binary-search the smallest buffer size achieving the target loss
 //! for each architecture under the same workload.
 
-use crate::table;
+use crate::{sweep, table};
 use baselines::harness::run as harness_run;
 use baselines::input_smoothing::InputSmoothingSwitch;
 use baselines::model::CellSwitch;
@@ -84,56 +84,67 @@ pub fn rows(quick: bool) -> Vec<E3Row> {
     };
     let seed = 0xE3;
 
-    let (shared, shared_loss) = size_for_loss(
-        |b| Box::new(SharedBufferSwitch::new(n, Some(b))),
-        n,
-        load,
-        target,
-        8,
-        512,
-        slots,
-        seed,
-    );
-    let (per_out, oq_loss) = size_for_loss(
-        |b| Box::new(OutputQueuedSwitch::new(n, Some(b))),
-        n,
-        load,
-        target,
-        1,
-        128,
-        slots,
-        seed,
-    );
-    let (frame, is_loss) = size_for_loss(
-        |b| Box::new(InputSmoothingSwitch::new(n, b, seed)),
-        n,
-        load,
-        target,
-        2,
-        256,
-        slots,
-        seed,
-    );
-    vec![
-        E3Row {
-            arch: "shared buffering",
-            total_buffer: shared,
-            paper: 86,
-            loss_at_size: shared_loss,
+    // Each architecture's whole bisection is one (coarse) sweep point:
+    // the three searches are independent and run in parallel.
+    sweep::map(
+        &["shared buffering", "output queueing", "input smoothing"],
+        |&arch| match arch {
+            "shared buffering" => {
+                let (shared, loss) = size_for_loss(
+                    |b| Box::new(SharedBufferSwitch::new(n, Some(b))),
+                    n,
+                    load,
+                    target,
+                    8,
+                    512,
+                    slots,
+                    seed,
+                );
+                E3Row {
+                    arch,
+                    total_buffer: shared,
+                    paper: 86,
+                    loss_at_size: loss,
+                }
+            }
+            "output queueing" => {
+                let (per_out, loss) = size_for_loss(
+                    |b| Box::new(OutputQueuedSwitch::new(n, Some(b))),
+                    n,
+                    load,
+                    target,
+                    1,
+                    128,
+                    slots,
+                    seed,
+                );
+                E3Row {
+                    arch,
+                    total_buffer: per_out * n,
+                    paper: 178,
+                    loss_at_size: loss,
+                }
+            }
+            _ => {
+                let (frame, loss) = size_for_loss(
+                    |b| Box::new(InputSmoothingSwitch::new(n, b, seed)),
+                    n,
+                    load,
+                    target,
+                    2,
+                    256,
+                    slots,
+                    seed,
+                );
+                E3Row {
+                    arch,
+                    total_buffer: frame * n,
+                    paper: 1300,
+                    loss_at_size: loss,
+                }
+            }
         },
-        E3Row {
-            arch: "output queueing",
-            total_buffer: per_out * n,
-            paper: 178,
-            loss_at_size: oq_loss,
-        },
-        E3Row {
-            arch: "input smoothing",
-            total_buffer: frame * n,
-            paper: 1300,
-            loss_at_size: is_loss,
-        },
-    ]
+    )
 }
 
 /// Render the report.

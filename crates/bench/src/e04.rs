@@ -6,7 +6,7 @@
 //! than input buffering, under the particular scheduling algorithm that
 //! that paper uses, for link loads between 0.6 and 0.9."
 
-use crate::table;
+use crate::{sweep, table};
 use baselines::harness::run as harness_run;
 use baselines::output_queued::OutputQueuedSwitch;
 use baselines::sched::PimScheduler;
@@ -48,13 +48,10 @@ pub fn measure(n: usize, load: f64, slots: u64, seed: u64) -> E4Row {
     }
 }
 
-/// Sweep loads 0.5–0.9.
+/// Sweep loads 0.5–0.9 through the parallel engine, one point per load.
 pub fn rows(quick: bool) -> Vec<E4Row> {
     let slots = if quick { 30_000 } else { 200_000 };
-    [0.5, 0.6, 0.7, 0.8, 0.9]
-        .iter()
-        .map(|&l| measure(16, l, slots, 0xE4))
-        .collect()
+    sweep::map(&[0.5, 0.6, 0.7, 0.8, 0.9], |&l| measure(16, l, slots, 0xE4))
 }
 
 /// Render the report.

@@ -9,7 +9,7 @@
 //! compare the excess over the uncontended minimum (2 cycles) with the
 //! formula.
 
-use crate::table;
+use crate::{sweep, table};
 use simkernel::SplitMix64;
 use switch_core::behavioral::BehavioralSwitch;
 use switch_core::config::SwitchConfig;
@@ -67,22 +67,22 @@ pub fn measure(n: usize, p: f64, cycles: u64, seed: u64) -> f64 {
     sum / count as f64
 }
 
-/// Sweep.
+/// Sweep the `sizes × loads` grid, one parallel point per (n, p).
 pub fn rows(quick: bool) -> Vec<E6Row> {
     let cycles = if quick { 80_000 } else { 400_000 };
-    let mut out = Vec::new();
     let sizes: &[usize] = if quick { &[4, 8] } else { &[2, 4, 8, 16] };
+    let mut points = Vec::new();
     for &n in sizes {
         for &p in &[0.1, 0.2, 0.4] {
-            out.push(E6Row {
-                n,
-                load: p,
-                measured_extra: measure(n, p, cycles, 0xE6),
-                formula: formula(p, n),
-            });
+            points.push((n, p));
         }
     }
-    out
+    sweep::map(&points, |&(n, p)| E6Row {
+        n,
+        load: p,
+        measured_extra: measure(n, p, cycles, 0xE6),
+        formula: formula(p, n),
+    })
 }
 
 /// Render the report.

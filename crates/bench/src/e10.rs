@@ -1,6 +1,6 @@
 //! E10 — word-line RC delay: pipelined vs wide memory (§4.3, fig. 7).
 
-use crate::table;
+use crate::{sweep, table};
 use vlsimodel::rc::{decoder_vs_pipe_register, word_line_delay_ns, RcLine};
 use vlsimodel::tech::Technology;
 
@@ -23,17 +23,14 @@ pub fn rows() -> Vec<E10Row> {
         c_ff_per_um: t.c_ff_per_um,
     };
     let w = 16usize;
-    [1usize, 2, 4, 8, 16]
-        .iter()
-        .map(|&stages| {
-            let cells = stages * w;
-            E10Row {
-                cells,
-                unsplit_ns: word_line_delay_ns(cells, t.cell_pitch_um, line),
-                split_ns: line.split_elmore_ns(cells as f64 * t.cell_pitch_um, stages),
-            }
-        })
-        .collect()
+    sweep::map(&[1usize, 2, 4, 8, 16], |&stages| {
+        let cells = stages * w;
+        E10Row {
+            cells,
+            unsplit_ns: word_line_delay_ns(cells, t.cell_pitch_um, line),
+            split_ns: line.split_elmore_ns(cells as f64 * t.cell_pitch_um, stages),
+        }
+    })
 }
 
 /// Render the report.

@@ -7,35 +7,44 @@
 //! the heights from the E3-style loss-equalization simulation and feed
 //! them into the fig. 9 area model.
 
-use crate::table;
+use crate::{sweep, table};
 use baselines::sched::IslipScheduler;
 use baselines::shared::SharedBufferSwitch;
 use baselines::voq::VoqSwitch;
 use vlsimodel::floorplan::Fig9Comparison;
 
 /// Buffer cells per port needed for loss ≤ target at the given load,
-/// for the shared buffer and for (non-FIFO, VOQ) input buffering.
+/// for the shared buffer and for (non-FIFO, VOQ) input buffering. The
+/// two bisections are independent — one sweep point each.
 pub fn heights(n: usize, load: f64, target: f64, slots: u64, seed: u64) -> (u64, u64) {
-    let (shared_total, _) = crate::e03::size_for_loss(
-        |b| Box::new(SharedBufferSwitch::new(n, Some(b))),
-        n,
-        load,
-        target,
-        4,
-        1024,
-        slots,
-        seed,
-    );
-    let (per_input, _) = crate::e03::size_for_loss(
-        |b| Box::new(VoqSwitch::new(n, Some(b), IslipScheduler::new(n, 4))),
-        n,
-        load,
-        target,
-        1,
-        256,
-        slots,
-        seed,
-    );
+    let sizes = sweep::map(&[false, true], |&voq| {
+        if voq {
+            crate::e03::size_for_loss(
+                |b| Box::new(VoqSwitch::new(n, Some(b), IslipScheduler::new(n, 4))),
+                n,
+                load,
+                target,
+                1,
+                256,
+                slots,
+                seed,
+            )
+            .0
+        } else {
+            crate::e03::size_for_loss(
+                |b| Box::new(SharedBufferSwitch::new(n, Some(b))),
+                n,
+                load,
+                target,
+                4,
+                1024,
+                slots,
+                seed,
+            )
+            .0
+        }
+    });
+    let (shared_total, per_input) = (sizes[0], sizes[1]);
     // Heights in cells per port: shared spread over 2n ports of width w…
     // fig. 9 measures height over the common 2nw width, so per-port
     // height = total / n for both sides.

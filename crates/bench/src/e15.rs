@@ -5,7 +5,7 @@
 //! loss at a common operating point. This is the quantitative backdrop
 //! of the paper's §2 argument in one table.
 
-use crate::table;
+use crate::{sweep, table};
 use baselines::block_crosspoint::BlockCrosspointSwitch;
 use baselines::crosspoint::CrosspointSwitch;
 use baselines::harness::{carried_at_load, run as harness_run, RunStats};
@@ -33,7 +33,9 @@ pub struct E15Row {
     pub loss_tight: f64,
 }
 
-type ModelFactory = Box<dyn Fn(Option<usize>) -> Box<dyn CellSwitch>>;
+/// Factory closure for one architecture. `Send + Sync` so the zoo can be
+/// measured in parallel, one sweep point per architecture.
+type ModelFactory = Box<dyn Fn(Option<usize>) -> Box<dyn CellSwitch> + Send + Sync>;
 
 /// The architecture zoo: name → factory(buffer-per-port-ish).
 pub fn zoo(n: usize) -> Vec<(String, ModelFactory)> {
@@ -143,14 +145,11 @@ pub fn measure(name: &str, factory: &ModelFactory, n: usize, slots: u64) -> E15R
     }
 }
 
-/// All rows.
+/// All rows: one parallel sweep point per architecture.
 pub fn rows(quick: bool) -> Vec<E15Row> {
     let n = if quick { 8 } else { 16 };
     let slots = if quick { 15_000 } else { 80_000 };
-    zoo(n)
-        .iter()
-        .map(|(name, f)| measure(name, f, n, slots))
-        .collect()
+    sweep::map(&zoo(n), |(name, f)| measure(name, f, n, slots))
 }
 
 /// Render the report.

@@ -7,6 +7,12 @@
 //! parse text. `quick = true` shrinks run lengths for CI; the `expt`
 //! binary defaults to full runs.
 //!
+//! Experiment grids execute through the deterministic parallel engine
+//! in [`sweep`]: every module submits its independent points to
+//! [`sweep::map`], which fans them out over a worker pool (`expt
+//! --jobs N`, default all cores) and returns rows in canonical grid
+//! order — bit-identical to a sequential run (`expt --seq`).
+//!
 //! | Module | Paper locus | Claim regenerated |
 //! |--------|------------|-------------------|
 //! | [`e01`] | §2.1 \[KaHM87\] | input FIFO saturates ≈ 58.6 % |
@@ -42,6 +48,7 @@ pub mod e12;
 pub mod e13;
 pub mod e14;
 pub mod e15;
+pub mod sweep;
 pub mod table;
 pub mod x01;
 pub mod x02;

@@ -7,7 +7,7 @@
 //! overflow their hot partition early. This experiment quantifies that
 //! advantage — the same §2.2 argument, under less friendly traffic.
 
-use crate::table;
+use crate::{sweep, table};
 use baselines::crosspoint::CrosspointSwitch;
 use baselines::harness::run as harness_run;
 use baselines::model::CellSwitch;
@@ -60,42 +60,31 @@ pub fn rows(quick: bool) -> Vec<X1Row> {
     let total = 64usize;
     let load = 0.6;
     let slots = if quick { 40_000 } else { 200_000 };
-    let mut out = Vec::new();
+    // The grid is (hotspot fraction × architecture); the model is built
+    // *inside* the worker so every point is a self-contained simulation.
+    const ARCHS: [&str; 4] = [
+        "shared, unfenced",
+        "shared + threshold",
+        "output-queued",
+        "crosspoint",
+    ];
+    let mut points = Vec::new();
     for &hf in &[0.0, 0.03, 0.2] {
-        out.push(measure(
-            "shared, unfenced",
-            Box::new(SharedBufferSwitch::new(n, Some(total))),
-            n,
-            load,
-            hf,
-            slots,
-        ));
-        out.push(measure(
-            "shared + threshold",
-            Box::new(SharedBufferSwitch::new(n, Some(total)).with_threshold(total / 4)),
-            n,
-            load,
-            hf,
-            slots,
-        ));
-        out.push(measure(
-            "output-queued",
-            Box::new(OutputQueuedSwitch::new(n, Some(total / n))),
-            n,
-            load,
-            hf,
-            slots,
-        ));
-        out.push(measure(
-            "crosspoint",
-            Box::new(CrosspointSwitch::new(n, Some(total / (n * n) + 1))),
-            n,
-            load,
-            hf,
-            slots,
-        ));
+        for arch in ARCHS {
+            points.push((arch, hf));
+        }
     }
-    out
+    sweep::map(&points, |&(arch, hf)| {
+        let model: Box<dyn CellSwitch> = match arch {
+            "shared, unfenced" => Box::new(SharedBufferSwitch::new(n, Some(total))),
+            "shared + threshold" => {
+                Box::new(SharedBufferSwitch::new(n, Some(total)).with_threshold(total / 4))
+            }
+            "output-queued" => Box::new(OutputQueuedSwitch::new(n, Some(total / n))),
+            _ => Box::new(CrosspointSwitch::new(n, Some(total / (n * n) + 1))),
+        };
+        measure(arch, model, n, load, hf, slots)
+    })
 }
 
 /// Render the report.

@@ -5,7 +5,7 @@
 //! slot-level architectures: loss vs burst length at fixed load and
 //! fixed total memory.
 
-use crate::table;
+use crate::{sweep, table};
 use baselines::harness::run as harness_run;
 use baselines::input_fifo::InputFifoSwitch;
 use baselines::model::CellSwitch;
@@ -44,48 +44,36 @@ fn measure(
     }
 }
 
-/// Sweep burst lengths at equal total memory.
+/// Sweep burst lengths at equal total memory: the grid is
+/// (burst length × architecture), models built inside the workers.
 pub fn rows(quick: bool) -> Vec<X2Row> {
     let n = 16;
     let total = 128usize;
     let load = 0.6;
     let slots = if quick { 40_000 } else { 300_000 };
-    let mut out = Vec::new();
+    const ARCHS: [&str; 4] = [
+        "shared, unfenced",
+        "shared + threshold",
+        "output-queued",
+        "input-fifo",
+    ];
+    let mut points = Vec::new();
     for &b in &[1.0, 8.0, 32.0] {
-        out.push(measure(
-            "shared, unfenced",
-            Box::new(SharedBufferSwitch::new(n, Some(total))),
-            n,
-            load,
-            b,
-            slots,
-        ));
-        out.push(measure(
-            "shared + threshold",
-            Box::new(SharedBufferSwitch::new(n, Some(total)).with_threshold(total / 4)),
-            n,
-            load,
-            b,
-            slots,
-        ));
-        out.push(measure(
-            "output-queued",
-            Box::new(OutputQueuedSwitch::new(n, Some(total / n))),
-            n,
-            load,
-            b,
-            slots,
-        ));
-        out.push(measure(
-            "input-fifo",
-            Box::new(InputFifoSwitch::new(n, Some(total / n), 7)),
-            n,
-            load,
-            b,
-            slots,
-        ));
+        for arch in ARCHS {
+            points.push((arch, b));
+        }
     }
-    out
+    sweep::map(&points, |&(arch, b)| {
+        let model: Box<dyn CellSwitch> = match arch {
+            "shared, unfenced" => Box::new(SharedBufferSwitch::new(n, Some(total))),
+            "shared + threshold" => {
+                Box::new(SharedBufferSwitch::new(n, Some(total)).with_threshold(total / 4))
+            }
+            "output-queued" => Box::new(OutputQueuedSwitch::new(n, Some(total / n))),
+            _ => Box::new(InputFifoSwitch::new(n, Some(total / n), 7)),
+        };
+        measure(arch, model, n, load, b, slots)
+    })
 }
 
 /// Render the report.

@@ -6,7 +6,7 @@
 //! wide memory's cut-through crossbar; mean head latency and the
 //! machinery each needs to avoid loss.
 
-use crate::table;
+use crate::{sweep, table};
 use simkernel::cell::Packet;
 use simkernel::SplitMix64;
 use switch_core::config::SwitchConfig;
@@ -54,7 +54,8 @@ fn schedule(n: usize, s: usize, cycles: u64, load: f64, seed: u64) -> Vec<Vec<Op
     wires
 }
 
-/// Run all three organizations on the same schedule.
+/// Run all three organizations on the same schedule, one parallel sweep
+/// point per organization (they share the read-only word schedule).
 pub fn rows(quick: bool) -> Vec<X3Row> {
     let n = 4;
     let s = 2 * n;
@@ -64,69 +65,70 @@ pub fn rows(quick: bool) -> Vec<X3Row> {
         pkts.iter().map(|d| d.first_cycle).sum::<u64>() as f64 / pkts.len().max(1) as f64
     };
 
-    let mut out = Vec::new();
-    // Pipelined.
-    {
-        let mut sw = PipelinedSwitch::new(SwitchConfig::symmetric(n, 64));
-        let mut col = OutputCollector::new(n, s);
-        for row in &wires {
-            let now = sw.now();
-            let o = sw.tick(row);
-            col.observe(now, &o);
-        }
-        let mut guard = 0;
-        while !sw.is_quiescent() && guard < 10_000 {
-            let now = sw.now();
-            let o = sw.tick(&vec![None; n]);
-            col.observe(now, &o);
-            guard += 1;
-        }
-        let pkts = col.take();
-        let c = sw.counters();
-        out.push(X3Row {
-            org: "pipelined (fig 4, paper)",
-            delivered: pkts.len(),
-            mean_first: mean_first(&pkts),
-            lost: c.dropped_buffer_full + c.latch_overruns,
-            hardware: "single latch row, no bypass",
-        });
-    }
-    // Wide with / without crossbar.
-    for (org, crossbar, hardware) in [
+    const ORGS: [(&str, Option<bool>, &str); 3] = [
+        (
+            "pipelined (fig 4, paper)",
+            None,
+            "single latch row, no bypass",
+        ),
         (
             "wide + cut-through xbar (fig 3)",
-            true,
+            Some(true),
             "double latch rows + bypass xbar",
         ),
-        ("wide, no bypass", false, "double latch rows"),
-    ] {
-        let mut cfg = WideSwitchConfig::fig3(n, 64);
-        cfg.cut_through_crossbar = crossbar;
-        let mut sw = WideMemorySwitchRtl::new(cfg);
-        let mut col = OutputCollector::new(n, s);
-        for row in &wires {
-            let now = sw.now();
-            let o = sw.tick(row);
-            col.observe(now, &o);
-        }
-        let mut guard = 0;
-        while !sw.is_quiescent() && guard < 10_000 {
-            let now = sw.now();
-            let o = sw.tick(&vec![None; n]);
-            col.observe(now, &o);
-            guard += 1;
-        }
-        let pkts = col.take();
-        let c = sw.counters();
-        out.push(X3Row {
+        ("wide, no bypass", Some(false), "double latch rows"),
+    ];
+    sweep::map(&ORGS, |&(org, crossbar, hardware)| {
+        let (pkts, lost) = match crossbar {
+            None => {
+                let mut sw = PipelinedSwitch::new(SwitchConfig::symmetric(n, 64));
+                let mut col = OutputCollector::new(n, s);
+                let idle = vec![None; n];
+                for row in &wires {
+                    let now = sw.now();
+                    let o = sw.tick(row);
+                    col.observe(now, &o);
+                }
+                let mut guard = 0;
+                while !sw.is_quiescent() && guard < 10_000 {
+                    let now = sw.now();
+                    let o = sw.tick(&idle);
+                    col.observe(now, &o);
+                    guard += 1;
+                }
+                let c = sw.counters();
+                (col.take(), c.dropped_buffer_full + c.latch_overruns)
+            }
+            Some(xbar) => {
+                let mut cfg = WideSwitchConfig::fig3(n, 64);
+                cfg.cut_through_crossbar = xbar;
+                let mut sw = WideMemorySwitchRtl::new(cfg);
+                let mut col = OutputCollector::new(n, s);
+                let idle = vec![None; n];
+                for row in &wires {
+                    let now = sw.now();
+                    let o = sw.tick(row);
+                    col.observe(now, &o);
+                }
+                let mut guard = 0;
+                while !sw.is_quiescent() && guard < 10_000 {
+                    let now = sw.now();
+                    let o = sw.tick(&idle);
+                    col.observe(now, &o);
+                    guard += 1;
+                }
+                let c = sw.counters();
+                (col.take(), c.dropped_buffer_full + c.latch_overruns)
+            }
+        };
+        X3Row {
             org,
             delivered: pkts.len(),
             mean_first: mean_first(&pkts),
-            lost: c.dropped_buffer_full + c.latch_overruns,
+            lost,
             hardware,
-        });
-    }
-    out
+        }
+    })
 }
 
 /// Render the report.

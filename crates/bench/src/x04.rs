@@ -10,7 +10,7 @@
 //! links demand, and the (quadratic) peripheral area — showing where each
 //! constraint binds first.
 
-use crate::table;
+use crate::{sweep, table};
 use vlsimodel::periph::{peripheral_area_mm2, Organization};
 use vlsimodel::tech::Technology;
 
@@ -36,22 +36,19 @@ pub struct X4Row {
 pub fn rows() -> Vec<X4Row> {
     let tech = Technology::es2_100_full_custom();
     let w = 16u32;
-    [2usize, 4, 8, 16, 32]
-        .iter()
-        .map(|&n| {
-            let stages = 2 * n as u32;
-            let quantum_bits = stages * w;
-            let per_link = tech.link_gbps(w, true);
-            X4Row {
-                n,
-                quantum_bytes: quantum_bits / 8,
-                buffer_gbps: quantum_bits as f64 / tech.cycle_worst_ns,
-                chip_io_gbps: 2.0 * n as f64 * per_link,
-                periph_mm2: peripheral_area_mm2(Organization::Pipelined, n, w, 256, &tech),
-                half_quantum_bytes: quantum_bits / 16,
-            }
-        })
-        .collect()
+    sweep::map(&[2usize, 4, 8, 16, 32], |&n| {
+        let stages = 2 * n as u32;
+        let quantum_bits = stages * w;
+        let per_link = tech.link_gbps(w, true);
+        X4Row {
+            n,
+            quantum_bytes: quantum_bits / 8,
+            buffer_gbps: quantum_bits as f64 / tech.cycle_worst_ns,
+            chip_io_gbps: 2.0 * n as f64 * per_link,
+            periph_mm2: peripheral_area_mm2(Organization::Pipelined, n, w, 256, &tech),
+            half_quantum_bytes: quantum_bits / 16,
+        }
+    })
 }
 
 /// Render the report.

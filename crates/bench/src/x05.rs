@@ -1,14 +1,14 @@
 //! X5 (extension) — switches as building blocks for multistage fabrics.
 //!
 //! The paper's opening sentence: switches "are used to build
-//! interconnection networks for large-scale parallel computers [and]
+//! interconnection networks for large-scale parallel computers \[and\]
 //! gigabit local area networks". This experiment composes shared-buffer
 //! elements into omega networks (64 terminals = 6 stages of 2×2, or 3
 //! stages of 4×4) and measures delivered throughput and latency vs
 //! offered load — including the effect of element buffer depth, the
 //! fabric-level echo of the paper's buffer-sizing argument.
 
-use crate::table;
+use crate::{sweep, table};
 use netsim::multistage::OmegaNetwork;
 use simkernel::cell::Cell;
 use simkernel::SplitMix64;
@@ -44,20 +44,20 @@ pub fn measure(
     let mut rng = SplitMix64::new(seed);
     let mut offered = 0u64;
     let mut id = 0u64;
+    let mut arr: Vec<Option<Cell>> = vec![None; n];
     for now in 0..slots {
-        let arr: Vec<Option<Cell>> = (0..n)
-            .map(|t| {
-                rng.chance(load).then(|| {
-                    offered += 1;
-                    id += 1;
-                    Cell::new(id, t, rng.below_usize(n), now)
-                })
-            })
-            .collect();
+        for (t, a) in arr.iter_mut().enumerate() {
+            *a = rng.chance(load).then(|| {
+                offered += 1;
+                id += 1;
+                Cell::new(id, t, rng.below_usize(n), now)
+            });
+        }
         net.tick(now, &arr);
     }
+    let idle = vec![None; n];
     for now in slots..slots + 200 {
-        net.tick(now, &vec![None; n]);
+        net.tick(now, &idle);
     }
     let delivered = net.delivered().len() as u64;
     X5Row {
@@ -70,18 +70,21 @@ pub fn measure(
     }
 }
 
-/// Sweep loads for 64-terminal fabrics of 2×2 and 4×4 elements.
+/// Sweep loads for 64-terminal fabrics of 2×2 and 4×4 elements: the
+/// (element, pool, load) grid runs through the parallel engine.
 pub fn rows(quick: bool) -> Vec<X5Row> {
     let slots = if quick { 10_000 } else { 60_000 };
-    let mut out = Vec::new();
+    let mut points = Vec::new();
     for &(k, stages) in &[(2usize, 6usize), (4, 3)] {
         for &pool in &[Some(4usize), None] {
             for &load in &[0.3, 0.6, 0.9] {
-                out.push(measure(k, stages, pool, load, slots, 0x55));
+                points.push((k, stages, pool, load));
             }
         }
     }
-    out
+    sweep::map(&points, |&(k, stages, pool, load)| {
+        measure(k, stages, pool, load, slots, 0x55)
+    })
 }
 
 /// Render the report.

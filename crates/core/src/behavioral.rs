@@ -106,6 +106,12 @@ pub struct BehavioralSwitch {
     departures: Vec<BehavioralDeparture>,
     /// Read waves still transmitting: (done_cycle, departure).
     in_tx: Vec<BehavioralDeparture>,
+    /// Reusable per-cycle scratch (hot path: one `tick` per simulated
+    /// cycle, millions per experiment — these must not allocate).
+    scratch_masks: Vec<Option<u32>>,
+    scratch_done: Vec<BehavioralDeparture>,
+    scratch_reads: Vec<ReadReq>,
+    scratch_writes: Vec<WriteReq>,
 }
 
 impl BehavioralSwitch {
@@ -129,6 +135,10 @@ impl BehavioralSwitch {
             arrived: 0,
             departures: Vec::new(),
             in_tx: Vec::new(),
+            scratch_masks: Vec::with_capacity(cfg.n_in),
+            scratch_done: Vec::new(),
+            scratch_reads: Vec::with_capacity(cfg.n_out),
+            scratch_writes: Vec::with_capacity(cfg.n_in),
             cfg,
         }
     }
@@ -154,21 +164,36 @@ impl BehavioralSwitch {
     /// offering mid-packet panics — the caller owns link pacing, exactly
     /// as with the RTL model). `id` tagging is internal.
     ///
-    /// Returns the packets whose tail word completed this cycle.
-    pub fn tick(&mut self, arrivals: &[Option<usize>]) -> Vec<BehavioralDeparture> {
-        let masks: Vec<Option<u32>> = arrivals.iter().map(|a| a.map(|d| 1u32 << d)).collect();
-        self.tick_masks(&masks)
+    /// Returns the packets whose tail word completed this cycle. The
+    /// slice borrows internal scratch and is valid until the next tick.
+    pub fn tick(&mut self, arrivals: &[Option<usize>]) -> &[BehavioralDeparture] {
+        // Reuse the mask buffer across cycles; `mem::take` sidesteps the
+        // simultaneous borrow of the buffer and `&mut self`.
+        let mut masks = std::mem::take(&mut self.scratch_masks);
+        masks.clear();
+        masks.extend(arrivals.iter().map(|a| a.map(|d| 1u32 << d)));
+        self.advance(&masks);
+        self.scratch_masks = masks;
+        &self.scratch_done
     }
 
     /// Like [`BehavioralSwitch::tick`] but arrivals carry destination
     /// bitmasks (multicast parity with the RTL model).
-    pub fn tick_masks(&mut self, arrivals: &[Option<u32>]) -> Vec<BehavioralDeparture> {
+    pub fn tick_masks(&mut self, arrivals: &[Option<u32>]) -> &[BehavioralDeparture] {
+        self.advance(arrivals);
+        &self.scratch_done
+    }
+
+    /// One cycle of the model; completed departures land in
+    /// `scratch_done`.
+    fn advance(&mut self, arrivals: &[Option<u32>]) {
         assert_eq!(arrivals.len(), self.cfg.n_in);
         let c = self.cycle;
         let s = self.stages as Cycle;
 
         // 1. Completed transmissions.
-        let mut done = Vec::new();
+        let done = &mut self.scratch_done;
+        done.clear();
         self.in_tx.retain(|d| {
             if d.done == c {
                 done.push(*d);
@@ -188,10 +213,7 @@ impl BehavioralSwitch {
             }
             if let Some(mask) = a {
                 let excess = mask.checked_shr(self.cfg.n_out as u32).unwrap_or(0);
-                assert!(
-                    *mask != 0 && excess == 0,
-                    "bad destination mask {mask:#x}"
-                );
+                assert!(*mask != 0 && excess == 0, "bad destination mask {mask:#x}");
                 self.arriving[i] = self.stages - 1;
                 if self.buf_used == self.cfg.slots {
                     self.dropped += 1;
@@ -258,7 +280,8 @@ impl BehavioralSwitch {
         }
 
         // 4. Arbitration (identical structure to the RTL model).
-        let mut reads: Vec<ReadReq> = Vec::new();
+        let mut reads = std::mem::take(&mut self.scratch_reads);
+        reads.clear();
         for j in 0..self.cfg.n_out {
             if c < self.out_next_init[j] {
                 continue;
@@ -282,7 +305,8 @@ impl BehavioralSwitch {
                 }
             }
         }
-        let mut writes: Vec<WriteReq> = Vec::new();
+        let mut writes = std::mem::take(&mut self.scratch_writes);
+        writes.clear();
         for (i, q) in self.pending.iter().enumerate() {
             if let Some(front) = q.front() {
                 if front.eligible <= c {
@@ -318,9 +342,10 @@ impl BehavioralSwitch {
             }
             Decision::Idle => {}
         }
+        self.scratch_reads = reads;
+        self.scratch_writes = writes;
 
         self.cycle = c + 1;
-        done
     }
 
     fn start_read(&mut self, j: usize, c: Cycle, _fused: bool) {
@@ -384,7 +409,7 @@ mod tests {
     fn single_packet_cut_through_timing() {
         let mut sw = BehavioralSwitch::new(cfg2());
         let d = {
-            let mut out = sw.tick(&[Some(1), None]);
+            let mut out = sw.tick(&[Some(1), None]).to_vec();
             out.extend(drain(&mut sw));
             out
         };
@@ -401,7 +426,7 @@ mod tests {
         // §3.4: two heads in the same cycle to different outputs — one
         // initiates at a+1, the other at a+2 (one initiation per cycle).
         let mut sw = BehavioralSwitch::new(cfg2());
-        let mut d = sw.tick(&[Some(0), Some(1)]);
+        let mut d = sw.tick(&[Some(0), Some(1)]).to_vec();
         d.extend(drain(&mut sw));
         assert_eq!(d.len(), 2);
         let mut starts: Vec<Cycle> = d.iter().map(|x| x.read_start).collect();
@@ -412,7 +437,7 @@ mod tests {
     #[test]
     fn same_output_service_is_fifo_and_back_to_back() {
         let mut sw = BehavioralSwitch::new(cfg2());
-        let mut d = sw.tick(&[Some(0), Some(0)]);
+        let mut d = sw.tick(&[Some(0), Some(0)]).to_vec();
         d.extend(drain(&mut sw));
         assert_eq!(d.len(), 2);
         // Output 0 transmits [rs1+1, rs1+4] then [rs2+1, rs2+4] with
@@ -511,7 +536,7 @@ mod tests {
         cfg.cut_through = false;
         cfg.fused_cut_through = false;
         let mut sw = BehavioralSwitch::new(cfg);
-        let mut d = sw.tick(&[Some(1), None]);
+        let mut d = sw.tick(&[Some(1), None]).to_vec();
         d.extend(drain(&mut sw));
         // ws = 1, rs = ws + S = 5, head latency = 6 = 2 + S.
         assert_eq!(d[0].read_start, 5);

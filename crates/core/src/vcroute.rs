@@ -248,9 +248,10 @@ mod tests {
             col.observe(now, &out);
         }
         let mut guard = 0;
+        let idle = vec![None; n];
         while !sw.inner().is_quiescent() && guard < 50 * s {
             let now = sw.inner().now();
-            let out = sw.tick(&vec![None; n]);
+            let out = sw.tick(&idle);
             col.observe(now, &out);
             guard += 1;
         }

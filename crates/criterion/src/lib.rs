@@ -1,0 +1,359 @@
+//! A dependency-free, API-compatible subset of the Criterion.rs
+//! benchmarking harness.
+//!
+//! This workspace builds in environments with no crates.io access, so the
+//! real Criterion cannot be a dependency. The benches only use a small
+//! slice of its API — groups, `bench_function` / `bench_with_input`,
+//! throughput annotation, and the `criterion_group!` / `criterion_main!`
+//! macros — which this crate reimplements over `std::time::Instant`.
+//!
+//! Measurement model: each bench warms up briefly, then runs
+//! [`SAMPLES`](Criterion) timed batches sized so one batch lasts roughly
+//! `measurement_time / samples`, and reports the per-iteration mean of
+//! the fastest batch (minimum-of-batches is robust against scheduler
+//! noise). No statistics beyond that are attempted — for regression
+//! hunting, compare numbers from the same machine and the same settings.
+//!
+//! Environment knobs (both optional):
+//! * `BENCH_MEASUREMENT_MS` — per-bench measurement budget in
+//!   milliseconds (default 500).
+//! * `BENCH_SAMPLES` — timed batches per bench (default 10).
+
+#![forbid(unsafe_code)]
+
+use std::fmt::{self, Display};
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark group: turns per-iteration time
+/// into a rate in the report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Iterations process this many logical elements.
+    Elements(u64),
+    /// Iterations process this many bytes.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: `function_id/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("alg", 8)` renders as `alg/8`.
+    pub fn new<P: Display>(function_id: impl Into<String>, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{}/{parameter}", function_id.into()),
+        }
+    }
+
+    /// Id consisting of the parameter alone.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.id.fmt(f)
+    }
+}
+
+/// The timing driver handed to each bench closure.
+#[derive(Debug)]
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    samples: usize,
+    /// Mean seconds/iteration of the fastest sample batch, set by `iter`.
+    best_s_per_iter: f64,
+}
+
+impl Bencher {
+    /// Time `f`, storing the per-iteration cost for the report.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        // Warm-up: also calibrates how many iterations fit in one batch.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up || warm_iters == 0 {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let warm_s = warm_start.elapsed().as_secs_f64();
+        let s_per_iter = warm_s / warm_iters as f64;
+        let batch_budget = self.measurement.as_secs_f64() / self.samples as f64;
+        let batch_iters = ((batch_budget / s_per_iter) as u64).max(1);
+
+        let mut best = f64::INFINITY;
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            for _ in 0..batch_iters {
+                black_box(f());
+            }
+            let dt = t0.elapsed().as_secs_f64() / batch_iters as f64;
+            if dt < best {
+                best = dt;
+            }
+        }
+        self.best_s_per_iter = best;
+    }
+}
+
+fn env_ms(name: &str, default_ms: u64) -> Duration {
+    let ms = std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(default_ms);
+    Duration::from_millis(ms)
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(default)
+}
+
+/// The benchmark manager (shim): owns default settings, prints results.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    warm_up: Duration,
+    measurement: Duration,
+    samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warm_up: env_ms("BENCH_WARMUP_MS", 100),
+            measurement: env_ms("BENCH_MEASUREMENT_MS", 500),
+            samples: env_usize("BENCH_SAMPLES", 10).max(1),
+        }
+    }
+}
+
+impl Criterion {
+    /// Override the per-bench measurement budget.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Override the warm-up budget.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Override the number of timed batches.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Open a named group of related benches.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Run one stand-alone bench.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let settings = self.clone();
+        run_one(&settings, None, &id.id, None, f);
+        self
+    }
+}
+
+/// A group of benches sharing a name prefix and throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate subsequent benches with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Override the measurement budget for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.measurement = d;
+        self
+    }
+
+    /// Override the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.samples = n.max(1);
+        self
+    }
+
+    /// Run one bench in the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        run_one(self.criterion, Some(&self.name), &id.id, self.throughput, f);
+        self
+    }
+
+    /// Run one bench parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        run_one(
+            self.criterion,
+            Some(&self.name),
+            &id.id,
+            self.throughput,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// End the group (report flushing is immediate; kept for API parity).
+    pub fn finish(self) {}
+}
+
+fn run_one(
+    settings: &Criterion,
+    group: Option<&str>,
+    id: &str,
+    throughput: Option<Throughput>,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    let full = match group {
+        Some(g) => format!("{g}/{id}"),
+        None => id.to_string(),
+    };
+    let mut b = Bencher {
+        warm_up: settings.warm_up,
+        measurement: settings.measurement,
+        samples: settings.samples,
+        best_s_per_iter: f64::NAN,
+    };
+    f(&mut b);
+    let s = b.best_s_per_iter;
+    let time = if s.is_nan() {
+        "no iter() call".to_string()
+    } else if s < 1e-6 {
+        format!("{:10.1} ns/iter", s * 1e9)
+    } else if s < 1e-3 {
+        format!("{:10.2} µs/iter", s * 1e6)
+    } else {
+        format!("{:10.3} ms/iter", s * 1e3)
+    };
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if s > 0.0 => {
+            format!("  {:12.3e} elem/s", n as f64 / s)
+        }
+        Some(Throughput::Bytes(n)) if s > 0.0 => {
+            format!("  {:12.3e} B/s", n as f64 / s)
+        }
+        _ => String::new(),
+    };
+    println!("{full:<48} {time}{rate}");
+}
+
+/// Define a group function running each target with a fresh or provided
+/// [`Criterion`]; same forms as the real macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Define `main` invoking each group (CLI arguments are ignored).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_times_and_prints() {
+        let mut c = Criterion::default()
+            .measurement_time(Duration::from_millis(10))
+            .warm_up_time(Duration::from_millis(1))
+            .sample_size(2);
+        let mut ran = 0u64;
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                ran += 1;
+                black_box(ran)
+            })
+        });
+        assert!(ran > 0, "closure must have been driven");
+    }
+
+    #[test]
+    fn group_api_matches_real_criterion_shapes() {
+        let mut c = Criterion::default()
+            .measurement_time(Duration::from_millis(5))
+            .warm_up_time(Duration::from_millis(1))
+            .sample_size(1);
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Elements(4));
+        g.bench_with_input(BenchmarkId::new("n", 4), &4usize, |b, &n| {
+            b.iter(|| black_box(n * 2))
+        });
+        g.bench_function("plain", |b| b.iter(|| black_box(1 + 1)));
+        g.finish();
+    }
+
+    #[test]
+    fn benchmark_id_renders() {
+        assert_eq!(BenchmarkId::new("alg", 8).to_string(), "alg/8");
+        assert_eq!(BenchmarkId::from_parameter(16).to_string(), "16");
+    }
+}

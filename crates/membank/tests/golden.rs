@@ -2,11 +2,15 @@
 //! the data a true multi-port memory would, for any legal schedule of
 //! wave initiations — the organizations differ in cost and timing, never
 //! in contents.
+//!
+//! Schedules are drawn from `SplitMix64` with fixed seeds (no external
+//! property-testing dependency), so every run checks the same population
+//! of cases.
 
 use membank::multiport::MultiPortMemory;
 use membank::pipelined::{PipelinedMemory, WaveOp};
-use proptest::prelude::*;
 use simkernel::ids::Addr;
+use simkernel::SplitMix64;
 
 /// A random legal schedule: per cycle, at most one initiation.
 #[derive(Debug, Clone)]
@@ -16,22 +20,28 @@ enum Op {
     Read { addr: usize },
 }
 
-fn ops_strategy(depth: usize) -> impl Strategy<Value = Vec<Op>> {
-    proptest::collection::vec(
-        prop_oneof![
-            2 => Just(Op::Idle),
-            3 => (0..depth, any::<u64>()).prop_map(|(addr, seed)| Op::Write { addr, seed }),
-            3 => (0..depth).prop_map(|addr| Op::Read { addr }),
-        ],
-        0..120,
-    )
+/// Weighted draw matching the old strategy: 2 idle : 3 write : 3 read.
+fn random_ops(rng: &mut SplitMix64, depth: usize) -> Vec<Op> {
+    let len = rng.below_usize(120);
+    (0..len)
+        .map(|_| match rng.below(8) {
+            0 | 1 => Op::Idle,
+            2..=4 => Op::Write {
+                addr: rng.below_usize(depth),
+                seed: rng.next_u64(),
+            },
+            _ => Op::Read {
+                addr: rng.below_usize(depth),
+            },
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn pipelined_matches_multiport_golden(ops in ops_strategy(8)) {
+#[test]
+fn pipelined_matches_multiport_golden() {
+    let mut gen = SplitMix64::new(0x5EED_0020);
+    for case in 0..128u64 {
+        let ops = random_ops(&mut gen, 8);
         let stages = 4;
         let depth = 8;
         let mut pipe = PipelinedMemory::new(stages, depth, 64);
@@ -50,21 +60,28 @@ proptest! {
             match op {
                 Op::Idle => {}
                 Op::Write { addr, seed } => {
-                    let words: Vec<u64> =
-                        (0..stages as u64).map(|k| seed.wrapping_mul(31).wrapping_add(k)).collect();
+                    let words: Vec<u64> = (0..stages as u64)
+                        .map(|k| seed.wrapping_mul(31).wrapping_add(k))
+                        .collect();
                     // Initiation order within a cycle: a write initiated
                     // at t lands in stage k at t+k; a read initiated at
                     // any t' > t of the same slot sees it (reads trail
                     // writes). Shadow: commit at initiation.
                     shadow[*addr] = words.clone();
                     for (k, w) in words.iter().enumerate() {
-                        gold.write(Addr(addr + k * depth), *w).expect("golden ports");
+                        gold.write(Addr(addr + k * depth), *w)
+                            .expect("golden ports");
                     }
-                    pipe.initiate(WaveOp::Write { addr: Addr(*addr), words }).expect("one per cycle");
+                    pipe.initiate(WaveOp::Write {
+                        addr: Addr(*addr),
+                        words,
+                    })
+                    .expect("one per cycle");
                 }
                 Op::Read { addr } => {
                     expected_reads.push((*addr, shadow[*addr].clone()));
-                    pipe.initiate(WaveOp::Read { addr: Addr(*addr) }).expect("one per cycle");
+                    pipe.initiate(WaveOp::Read { addr: Addr(*addr) })
+                        .expect("one per cycle");
                 }
             }
             for r in pipe.tick() {
@@ -74,16 +91,25 @@ proptest! {
         for r in pipe.drain() {
             got_reads.push((r.addr.index(), r.words));
         }
-        prop_assert_eq!(got_reads.len(), expected_reads.len());
+        assert_eq!(got_reads.len(), expected_reads.len(), "case {case}");
         // Reads complete in initiation order (waves can't overtake).
         for (got, want) in got_reads.iter().zip(&expected_reads) {
-            prop_assert_eq!(got, want, "pipelined read diverged from golden model");
+            assert_eq!(
+                got, want,
+                "case {case}: pipelined read diverged from golden model"
+            );
         }
     }
+}
 
-    #[test]
-    fn interleaved_streaming_matches_contents(packets in proptest::collection::vec(any::<u64>(), 1..16)) {
-        use membank::interleaved::InterleavedMemory;
+#[test]
+fn interleaved_streaming_matches_contents() {
+    use membank::interleaved::InterleavedMemory;
+    let mut gen = SplitMix64::new(0x5EED_0021);
+    for case in 0..128u64 {
+        let packets: Vec<u64> = (0..1 + gen.below_usize(15))
+            .map(|_| gen.next_u64())
+            .collect();
         let words = 4;
         let mut m = InterleavedMemory::new(packets.len(), words, 64);
         let mut banks = Vec::new();
@@ -95,14 +121,15 @@ proptest! {
         for k in 0..words {
             m.begin_cycle(k as u64);
             for (bank, seed) in &banks {
-                m.write_word(*bank, k, seed.wrapping_add(k as u64)).expect("distinct banks");
+                m.write_word(*bank, k, seed.wrapping_add(k as u64))
+                    .expect("distinct banks");
             }
         }
         for k in 0..words {
             m.begin_cycle((words + k) as u64);
             for (bank, seed) in &banks {
                 let v = m.read_word(*bank, k).expect("distinct banks");
-                prop_assert_eq!(v, seed.wrapping_add(k as u64));
+                assert_eq!(v, seed.wrapping_add(k as u64), "case {case}");
             }
         }
     }

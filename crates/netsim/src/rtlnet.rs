@@ -211,10 +211,8 @@ mod tests {
         chain.install_circuit(&[5, 9, 13, 21], &[1, 0, 1]);
         let s = chain.packet_words();
         let words = host_packet(77, 5, s);
-        for k in 0..s {
-            let mut host = vec![None, None];
-            host[0] = Some(words[k]);
-            chain.tick(&host);
+        for &w in words.iter().take(s) {
+            chain.tick(&[Some(w), None]);
         }
         drain(&mut chain);
         let out = chain.take_deliveries();
@@ -240,10 +238,8 @@ mod tests {
         chain.install_circuit(&[5, 9, 13, 21], &[0, 0, 0]);
         let s = chain.packet_words();
         let words = host_packet(1, 5, s);
-        for k in 0..s {
-            let mut host = vec![None, None];
-            host[0] = Some(words[k]);
-            chain.tick(&host);
+        for &w in words.iter().take(s) {
+            chain.tick(&[Some(w), None]);
         }
         drain(&mut chain);
         let out = chain.take_deliveries();
@@ -264,10 +260,8 @@ mod tests {
         chain.switches[1].rt().install(9, 0, 13);
         let s = chain.packet_words();
         let words = host_packet(3, 5, s);
-        for k in 0..s {
-            let mut host = vec![None, None];
-            host[0] = Some(words[k]);
-            chain.tick(&host);
+        for &w in words.iter().take(s) {
+            chain.tick(&[Some(w), None]);
         }
         drain(&mut chain);
         assert!(chain.take_deliveries().is_empty());

@@ -43,7 +43,7 @@ pub mod wave;
 pub use cell::{Cell, CellId, Packet, PacketId};
 pub use ids::{Addr, Cycle, PortId, StageId};
 pub use reg::Reg;
-pub use rng::SplitMix64;
+pub use rng::{split_seed, SplitMix64};
 pub use sim::{Clocked, Simulator};
 pub use trace::{Trace, TraceEntry};
 pub use wave::{Wave, WaveKind};

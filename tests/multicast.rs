@@ -27,10 +27,11 @@ fn send_multicast(n: usize, slots: usize, mask: u16) -> (Vec<DeliveredPacket>, P
         let out = sw.tick(&wire);
         col.observe(now, &out);
     }
+    let idle = vec![None; n];
     let mut guard = 0;
     while !sw.is_quiescent() && guard < 100 * s {
         let now = sw.now();
-        let out = sw.tick(&vec![None; n]);
+        let out = sw.tick(&idle);
         col.observe(now, &out);
         guard += 1;
     }

@@ -1,4 +1,4 @@
-//! Property-based tests (proptest) over the core invariants:
+//! Property-based tests (seeded random search) over the core invariants:
 //!
 //! * conservation — every packet offered to the RTL switch is either
 //!   delivered exactly once or counted as dropped, never duplicated,
@@ -9,10 +9,14 @@
 //! * cut-through causality — no word leaves before it arrived;
 //! * wave safety — arbitrary arrival patterns never provoke a bank port
 //!   violation or latch overrun (both would panic inside the model).
+//!
+//! Cases are generated from `SplitMix64` with fixed seeds, so every run
+//! explores the same workload population — a failure always reproduces
+//! by seed, with no external property-testing dependency.
 
-use proptest::prelude::*;
 use std::collections::HashMap;
 use telegraphos::simkernel::cell::Packet;
+use telegraphos::simkernel::SplitMix64;
 use telegraphos::switch_core::config::SwitchConfig;
 use telegraphos::switch_core::rtl::{DeliveredPacket, OutputCollector, PipelinedSwitch};
 
@@ -24,22 +28,24 @@ struct Workload {
     per_input: Vec<Vec<(u8, u8)>>,
 }
 
-fn workload_strategy() -> impl Strategy<Value = Workload> {
-    (2usize..=4, 1usize..=16).prop_flat_map(|(n, slots)| {
-        let input = proptest::collection::vec((0u8..8, 0u8..4), 0..12);
-        proptest::collection::vec(input, n).prop_map(move |per_input| Workload {
-            n,
-            slots,
-            per_input: per_input
-                .into_iter()
-                .map(|v| {
-                    v.into_iter()
-                        .map(|(gap, dst)| (gap, dst % n as u8))
-                        .collect()
-                })
-                .collect(),
+/// Draw one workload: 2–4 ports, 1–16 buffer slots, 0–11 packets per
+/// input with gaps 0–7 — the same population the proptest strategy drew.
+fn random_workload(rng: &mut SplitMix64) -> Workload {
+    let n = 2 + rng.below_usize(3);
+    let slots = 1 + rng.below_usize(16);
+    let per_input = (0..n)
+        .map(|_| {
+            let pkts = rng.below_usize(12);
+            (0..pkts)
+                .map(|_| (rng.below(8) as u8, rng.below(n as u64) as u8))
+                .collect()
         })
-    })
+        .collect();
+    Workload {
+        n,
+        slots,
+        per_input,
+    }
 }
 
 /// Offered packet ids per (src, dst), in arrival order.
@@ -106,34 +112,44 @@ fn execute(w: &Workload) -> (OfferedMap, Vec<DeliveredPacket>, u64, u64) {
     )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+const CASES: u64 = 64;
 
-    #[test]
-    fn conservation_and_integrity(w in workload_strategy()) {
+#[test]
+fn conservation_and_integrity() {
+    let mut rng = SplitMix64::new(0x5EED_0001);
+    for case in 0..CASES {
+        let w = random_workload(&mut rng);
         let total_offered: usize = w.per_input.iter().map(Vec::len).sum();
         let (_, delivered, dropped, overruns) = execute(&w);
         // Conservation: delivered + dropped == offered; overruns never.
-        prop_assert_eq!(overruns, 0, "latch overrun must be impossible");
-        prop_assert_eq!(
+        assert_eq!(overruns, 0, "case {case}: latch overrun must be impossible");
+        assert_eq!(
             delivered.len() as u64 + dropped,
             total_offered as u64,
-            "packets lost or duplicated"
+            "case {case}: packets lost or duplicated ({w:?})"
         );
         // No duplicate deliveries.
         let mut ids: Vec<u64> = delivered.iter().map(|d| d.id).collect();
         ids.sort_unstable();
         let before = ids.len();
         ids.dedup();
-        prop_assert_eq!(ids.len(), before, "duplicate delivery");
+        assert_eq!(ids.len(), before, "case {case}: duplicate delivery");
         // Integrity: every payload bit-exact.
         for d in &delivered {
-            prop_assert!(d.verify_payload(), "corrupt payload for id {}", d.id);
+            assert!(
+                d.verify_payload(),
+                "case {case}: corrupt payload for id {}",
+                d.id
+            );
         }
     }
+}
 
-    #[test]
-    fn fifo_per_input_output_pair(w in workload_strategy()) {
+#[test]
+fn fifo_per_input_output_pair() {
+    let mut rng = SplitMix64::new(0x5EED_0002);
+    for case in 0..CASES {
+        let w = random_workload(&mut rng);
         let (offered, delivered, _, _) = execute(&w);
         // Delivered order per (src-implied-by-id, dst): reconstruct from
         // id order. Ids are assigned in arrival order per input, and the
@@ -156,27 +172,28 @@ proptest! {
                 .filter(|id| ids.contains(id))
                 .copied()
                 .collect();
-            prop_assert_eq!(
-                ids,
-                &offered_ids,
-                "FIFO violated for pair {:?}",
-                pair
+            assert_eq!(
+                ids, &offered_ids,
+                "case {case}: FIFO violated for pair {pair:?}"
             );
         }
     }
+}
 
-    #[test]
-    fn causality_no_word_before_arrival(w in workload_strategy()) {
-        // A delivered packet's k-th word left no earlier than 2 cycles
-        // after that word arrived (latch + register minimum).
-        let (offered, delivered, _, _) = execute(&w);
-        let _ = offered;
+#[test]
+fn causality_no_word_before_arrival() {
+    // A delivered packet's k-th word left no earlier than 2 cycles
+    // after that word arrived (latch + register minimum).
+    let mut rng = SplitMix64::new(0x5EED_0003);
+    for case in 0..CASES {
+        let w = random_workload(&mut rng);
+        let (_, delivered, _, _) = execute(&w);
         for d in &delivered {
             let span = d.last_cycle - d.first_cycle;
-            prop_assert_eq!(
+            assert_eq!(
                 span as usize + 1,
                 d.words.len(),
-                "transmission not contiguous"
+                "case {case}: transmission not contiguous"
             );
         }
     }

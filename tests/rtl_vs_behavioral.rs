@@ -250,10 +250,11 @@ fn equivalence_with_multicast_traffic() {
         let out = sw.tick(row);
         col.observe(now, &out);
     }
+    let idle = vec![None; n];
     let mut guard = 0;
     while !sw.is_quiescent() && guard < 20_000 {
         let now = sw.now();
-        let out = sw.tick(&vec![None; n]);
+        let out = sw.tick(&idle);
         col.observe(now, &out);
         guard += 1;
     }
@@ -270,11 +271,12 @@ fn equivalence_with_multicast_traffic() {
         bhv_sw.tick_masks(row);
     }
     let horizon = 30_000;
+    let idle_masks = vec![None; n];
     for _ in 0..horizon {
         if bhv_sw.is_quiescent() {
             break;
         }
-        bhv_sw.tick_masks(&vec![None; n]);
+        bhv_sw.tick_masks(&idle_masks);
     }
     assert!(bhv_sw.is_quiescent());
     let mut bhv: Vec<Dep> = bhv_sw

@@ -49,10 +49,11 @@ fn run_pipelined(wires: &[Vec<Option<u64>>], n: usize, s: usize) -> Vec<Delivere
         let out = sw.tick(row);
         col.observe(now, &out);
     }
+    let idle = vec![None; n];
     let mut guard = 0;
     while !sw.is_quiescent() && guard < 10_000 {
         let now = sw.now();
-        let out = sw.tick(&vec![None; n]);
+        let out = sw.tick(&idle);
         col.observe(now, &out);
         guard += 1;
     }
@@ -76,10 +77,11 @@ fn run_wide(
         let out = sw.tick(row);
         col.observe(now, &out);
     }
+    let idle = vec![None; n];
     let mut guard = 0;
     while !sw.is_quiescent() && guard < 10_000 {
         let now = sw.now();
-        let out = sw.tick(&vec![None; n]);
+        let out = sw.tick(&idle);
         col.observe(now, &out);
         guard += 1;
     }
