@@ -1,9 +1,11 @@
 //! `expt` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! expt <id>...      run specific experiments (e1..e15, x1..x5)
+//! expt <id>...      run specific experiments (e1..e16, x1..x5)
 //! expt all          run everything
 //! expt --quick ...  shrink run lengths (CI-sized)
+//! expt --smoke ...  shrink campaign grids below --quick (determinism
+//!                   cross-checks re-run experiments several times)
 //! expt --jobs N     sweep-engine worker count (default: all cores)
 //! expt --seq        fully sequential (same as --jobs 1)
 //! expt --list       list experiments
@@ -20,6 +22,7 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick" || a == "-q");
+    let smoke = args.iter().any(|a| a == "--smoke");
     let list = args.iter().any(|a| a == "--list" || a == "-l");
     let seq = args.iter().any(|a| a == "--seq");
     let mut jobs: Option<usize> = None;
@@ -52,10 +55,11 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     }
     bench_harness::sweep::set_jobs(if seq { 1 } else { jobs.unwrap_or(0) });
+    bench_harness::sweep::set_smoke(smoke);
 
     if list || ids.is_empty() {
         eprintln!(
-            "usage: expt [--quick] [--jobs N | --seq] <e1..e15 | x1..x5 | all>...\n\nexperiments:"
+            "usage: expt [--quick] [--smoke] [--jobs N | --seq] <e1..e16 | x1..x5 | all>...\n\nexperiments:"
         );
         for id in bench_harness::ALL {
             eprintln!("  {id}");
@@ -96,7 +100,13 @@ fn main() -> ExitCode {
         }
         let t0 = std::time::Instant::now();
         let points_before = bench_harness::sweep::points_run();
-        let report = bench_harness::run_experiment(id, quick).expect("validated id");
+        // `id` was validated against ALL above, but a registry mismatch
+        // (id listed, module arm missing) must not take the whole run
+        // down with a panic — report and fail with a clean exit code.
+        let Some(report) = bench_harness::run_experiment(id, quick) else {
+            eprintln!("experiment '{id}' is listed but not runnable (registry mismatch)");
+            return ExitCode::FAILURE;
+        };
         let secs = t0.elapsed().as_secs_f64();
         let points = bench_harness::sweep::points_run() - points_before;
         println!("{report}");
@@ -111,7 +121,12 @@ fn main() -> ExitCode {
             sweeps_json(&timings, wall_start.elapsed().as_secs_f64(), quick),
         ) {
             Ok(()) => eprintln!("[wrote {path}]"),
-            Err(e) => eprintln!("[could not write {path}: {e}]"),
+            Err(e) => {
+                // An unwritable output file is a failed run, not a
+                // footnote: CI consumes this JSON.
+                eprintln!("[could not write {path}: {e}]");
+                return ExitCode::FAILURE;
+            }
         }
     }
     ExitCode::SUCCESS

@@ -35,16 +35,19 @@ pub fn functional_run(p: &Prototype, load: f64, cycles: u64, seed: u64) -> (usiz
     for f in feeders.iter_mut() {
         f.halt();
     }
-    let mut guard = 0;
-    while !sw.is_quiescent() && guard < 10_000 {
+    simkernel::run_until_quiescent(10_000, "telegraphos functional drain", |_| {
+        if sw.is_quiescent() {
+            return true;
+        }
         for (i, f) in feeders.iter_mut().enumerate() {
             wire[i] = f.tick(sw.now());
         }
         let now = sw.now();
         let out = sw.tick(&wire);
         col.observe(now, &out);
-        guard += 1;
-    }
+        false
+    })
+    .expect("switch failed to drain — hang caught by the watchdog");
     let delivered = col.take();
     let intact = delivered.iter().all(|d| d.verify_payload());
     let _ = SplitMix64::new(seed);

@@ -19,6 +19,7 @@
 //! while a stale entry is still queued (possible after a latch overrun)
 //! can never be confused with its new occupant.
 
+use crate::events::IntegrityReason;
 use simkernel::ids::{Addr, Cycle, PortId};
 use std::collections::VecDeque;
 
@@ -39,6 +40,13 @@ pub struct Descriptor {
     pub birth: Cycle,
     /// Cycle the write wave was initiated, once scheduled.
     pub write_start: Option<Cycle>,
+    /// Per-slot checksum computed at ingress once the tail word arrived
+    /// (the value the read-time scrub re-derives from the banks).
+    pub checksum: Option<u64>,
+    /// Set when ingress integrity machinery condemned the packet while it
+    /// was still buffered (truncation, ingress payload mismatch); the
+    /// read-side scan drops it instead of transmitting, recording why.
+    pub poisoned: Option<IntegrityReason>,
 }
 
 impl Descriptor {
@@ -51,6 +59,8 @@ impl Descriptor {
             dsts: 1 << dst.index(),
             birth,
             write_start: None,
+            checksum: None,
+            poisoned: None,
         }
     }
 
@@ -64,6 +74,8 @@ impl Descriptor {
             dsts,
             birth,
             write_start: None,
+            checksum: None,
+            poisoned: None,
         }
     }
 
@@ -156,6 +168,29 @@ impl BufferManager {
     /// The descriptor at `addr`, if allocated.
     pub fn descriptor(&self, addr: Addr) -> Option<&Descriptor> {
         self.slots[addr.index()].desc.as_ref()
+    }
+
+    /// Record the ingress-computed checksum for the packet at `addr`.
+    /// No-op if the slot was already freed (cut-through read outran the
+    /// tail) — the checksum would have nothing left to protect.
+    pub fn set_checksum(&mut self, addr: Addr, sum: u64) {
+        if let Some(d) = self.slots[addr.index()].desc.as_mut() {
+            d.checksum = Some(sum);
+        }
+    }
+
+    /// Condemn the packet at `addr`: the read-side scan will drop it
+    /// instead of transmitting. Returns `false` (no-op) if the slot is
+    /// already freed — the packet escaped on a cut-through read and only
+    /// egress checks can flag it now.
+    pub fn poison(&mut self, addr: Addr, reason: IntegrityReason) -> bool {
+        match self.slots[addr.index()].desc.as_mut() {
+            Some(d) => {
+                d.poisoned = Some(reason);
+                true
+            }
+            None => false,
+        }
     }
 
     /// The head-of-queue descriptor for an output, skipping (and
@@ -292,6 +327,24 @@ mod tests {
         assert_eq!(m.queue_len(PortId(1)), 1);
         assert_eq!(m.pop_and_free(PortId(1)).1.id, 2);
         assert_eq!(m.head(PortId(0)).unwrap().1.id, 1);
+    }
+
+    #[test]
+    fn checksum_and_poison_lifecycle() {
+        let mut m = BufferManager::new(2, 1);
+        let a = m.alloc(desc(1, 0)).unwrap();
+        m.set_checksum(a, 0xABCD);
+        assert_eq!(m.descriptor(a).unwrap().checksum, Some(0xABCD));
+        assert!(m.poison(a, IntegrityReason::TruncatedPacket));
+        assert_eq!(
+            m.descriptor(a).unwrap().poisoned,
+            Some(IntegrityReason::TruncatedPacket)
+        );
+        // Freed slots: both become no-ops instead of panicking (the
+        // cut-through race the callers hit).
+        m.release(a);
+        m.set_checksum(a, 1);
+        assert!(!m.poison(a, IntegrityReason::ChecksumMismatch));
     }
 
     #[test]

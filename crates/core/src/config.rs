@@ -2,6 +2,46 @@
 
 use crate::arbiter::ArbiterPolicy;
 
+/// Datapath-integrity machinery of the switch (the detect-and-survive
+/// hardening exercised by the fault-injection campaigns).
+///
+/// Real switch silicon ships with per-word parity/ECC on its buffer
+/// memory and CRCs on its links; the Telegraphos context (§4) makes bank
+/// upsets, link bit-errors and credit loss concrete failure modes. This
+/// block models the *detection* side of that machinery at word level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IntegrityConfig {
+    /// Compute a per-slot checksum over the packet's words at ingress and
+    /// re-verify it when a read wave is about to initiate on a fully
+    /// written slot (models a parity/ECC scrub). Mismatching packets are
+    /// dropped and counted in `corrupt_drops` — detect-and-drop. The
+    /// check is payload-agnostic, so it is safe for rewritten (VC)
+    /// headers. Only store-and-forward reads can be checked: a
+    /// cut-through read starts before the slot is fully written.
+    pub checksum: bool,
+    /// Verify every delivered word against the synthetic payload rule at
+    /// egress (models the link CRC a real switch appends). Failures are
+    /// counted in `corrupt_delivered` — the words are already on the
+    /// wire. Off by default: it assumes `Packet::synth` payloads, which
+    /// VC-translated traffic does not carry.
+    pub payload_check: bool,
+    /// Survive malformed input instead of panicking: a header addressing
+    /// nonexistent outputs or a link idling mid-packet becomes a counted
+    /// `corrupt_drops` event. Off by default — in testbench mode such
+    /// inputs are model bugs and must fail loudly.
+    pub harden: bool,
+}
+
+impl Default for IntegrityConfig {
+    fn default() -> Self {
+        IntegrityConfig {
+            checksum: true,
+            payload_check: false,
+            harden: false,
+        }
+    }
+}
+
 /// Configuration of a pipelined-memory shared-buffer switch.
 ///
 /// Defaults follow the paper: read-priority arbitration, cut-through
@@ -26,6 +66,9 @@ pub struct SwitchConfig {
     pub fused_cut_through: bool,
     /// Wave arbitration policy (paper: read priority).
     pub arbiter: ArbiterPolicy,
+    /// Datapath-integrity machinery (checksum scrub, egress payload
+    /// check, hardened framing).
+    pub integrity: IntegrityConfig,
 }
 
 impl SwitchConfig {
@@ -40,6 +83,7 @@ impl SwitchConfig {
             cut_through: true,
             fused_cut_through: true,
             arbiter: ArbiterPolicy::ReadPriority,
+            integrity: IntegrityConfig::default(),
         }
     }
 
@@ -103,6 +147,9 @@ mod tests {
         assert_eq!(c.stages(), 8);
         assert!(c.cut_through && c.fused_cut_through);
         assert_eq!(c.arbiter, ArbiterPolicy::ReadPriority);
+        assert!(c.integrity.checksum, "checksum scrub on by default");
+        assert!(!c.integrity.payload_check, "egress check is opt-in");
+        assert!(!c.integrity.harden, "testbench mode panics on bad input");
     }
 
     #[test]

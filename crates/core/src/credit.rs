@@ -16,6 +16,7 @@
 //! shared-buffer switch — a small but real latency advantage of the
 //! organization.
 
+use simkernel::error::SimError;
 use simkernel::ids::Cycle;
 use std::collections::VecDeque;
 
@@ -44,6 +45,8 @@ pub struct CreditedInput<T> {
     /// flight on the (modeled) reverse wire: (arrival_cycle, count).
     returning: VecDeque<(Cycle, u32)>,
     credit_delay: Cycle,
+    /// Times [`CreditedInput::resync`] recovered lost credits.
+    resyncs: u64,
 }
 
 impl<T> CreditedInput<T> {
@@ -56,6 +59,7 @@ impl<T> CreditedInput<T> {
             queue: VecDeque::new(),
             returning: VecDeque::new(),
             credit_delay,
+            resyncs: 0,
         }
     }
 
@@ -72,6 +76,61 @@ impl<T> CreditedInput<T> {
     /// Packets waiting for credits.
     pub fn backlog(&self) -> usize {
         self.queue.len()
+    }
+
+    /// Credits granted by the receiver but still in flight on the
+    /// (modeled) reverse wire.
+    pub fn in_flight_credits(&self) -> u32 {
+        self.returning.iter().map(|&(_, n)| n).sum()
+    }
+
+    /// Credits consumed and not yet seen coming back: by the conservation
+    /// invariant `credits + in-flight + outstanding == initial`, this is
+    /// what the sender believes the downstream still owes it.
+    pub fn outstanding(&self) -> u32 {
+        self.initial - self.credits - self.in_flight_credits()
+    }
+
+    /// Times [`CreditedInput::resync`] recovered lost credits.
+    pub fn resyncs(&self) -> u64 {
+        self.resyncs
+    }
+
+    /// Audit the credit-conservation invariant against ground truth.
+    ///
+    /// `actual_outstanding` is the number of packets this sender launched
+    /// whose downstream slot has not yet been freed (the testbench ledger
+    /// or, on real silicon, a periodic credit-sync message knows this).
+    /// If the sender's own [`CreditedInput::outstanding`] exceeds it,
+    /// credit returns were lost on the wire — the link bleeds bandwidth
+    /// and eventually deadlocks; if it is *smaller*, credits were
+    /// returned twice. Either way: [`SimError::CreditLeak`].
+    pub fn audit(&self, actual_outstanding: u32, context: &str) -> Result<(), SimError> {
+        let expected = self.outstanding();
+        if expected == actual_outstanding {
+            Ok(())
+        } else {
+            Err(SimError::CreditLeak {
+                expected_outstanding: expected,
+                actual_outstanding,
+                context: context.to_string(),
+            })
+        }
+    }
+
+    /// Recover from lost credit returns: restore the credit counter so
+    /// that exactly `actual_outstanding` credits remain outstanding
+    /// (in-flight returns untouched). Returns the number of credits
+    /// recovered. This is the resync a real credit protocol performs with
+    /// a periodic absolute-count message instead of incremental returns.
+    pub fn resync(&mut self, actual_outstanding: u32) -> u32 {
+        let expected = self.outstanding();
+        let lost = expected.saturating_sub(actual_outstanding);
+        if lost > 0 {
+            self.credits += lost;
+            self.resyncs += 1;
+        }
+        lost
     }
 
     /// Enqueue a packet for transmission.
@@ -175,6 +234,62 @@ mod tests {
         let mut c: CreditedInput<u32> = CreditedInput::new(1, 0);
         c.return_credit(0);
         let _ = c.poll(0);
+    }
+
+    #[test]
+    fn outstanding_tracks_consumption_and_returns() {
+        let mut c: CreditedInput<u32> = CreditedInput::new(3, 2);
+        assert_eq!(c.outstanding(), 0);
+        c.offer(1);
+        c.offer(2);
+        assert_eq!(c.poll(0), Some(1));
+        assert_eq!(c.poll(0), Some(2));
+        assert_eq!(c.outstanding(), 2);
+        c.return_credit(1); // in flight until cycle 3
+        assert_eq!(c.in_flight_credits(), 1);
+        assert_eq!(c.outstanding(), 1, "in-flight return is not outstanding");
+        assert_eq!(c.poll(3), None); // matures the return
+        assert_eq!(c.outstanding(), 1);
+        assert_eq!(c.credits(), 2);
+    }
+
+    #[test]
+    fn audit_detects_lost_return_and_resync_recovers() {
+        let mut c: CreditedInput<u32> = CreditedInput::new(2, 0);
+        c.offer(1);
+        c.offer(2);
+        assert_eq!(c.poll(0), Some(1));
+        assert_eq!(c.poll(0), Some(2));
+        // Downstream freed both slots but one return was lost on the
+        // wire; ground truth says 0 outstanding, the sender counts 2... 1.
+        c.return_credit(0);
+        let _ = c.poll(1); // no queue: matures the return only
+        assert_eq!(c.outstanding(), 1);
+        let err = c.audit(0, "input 0").unwrap_err();
+        assert!(matches!(
+            err,
+            SimError::CreditLeak {
+                expected_outstanding: 1,
+                actual_outstanding: 0,
+                ..
+            }
+        ));
+        assert_eq!(c.resync(0), 1, "one credit recovered");
+        assert_eq!(c.resyncs(), 1);
+        assert!(c.audit(0, "input 0").is_ok());
+        // Flow resumes at full allotment.
+        c.offer(3);
+        assert_eq!(c.poll(2), Some(3));
+    }
+
+    #[test]
+    fn audit_passes_when_counts_agree() {
+        let mut c: CreditedInput<u32> = CreditedInput::new(2, 0);
+        c.offer(9);
+        assert_eq!(c.poll(0), Some(9));
+        assert!(c.audit(1, "link").is_ok());
+        assert_eq!(c.resync(1), 0, "nothing lost, nothing recovered");
+        assert_eq!(c.resyncs(), 0);
     }
 
     #[test]

@@ -61,6 +61,50 @@ pub enum SwitchEvent {
         /// Packet id.
         id: u64,
     },
+    /// A packet was detected as corrupt *before transmission* and dropped
+    /// (slot freed). This is the detect-and-survive path: an ECC-style
+    /// scrub at read initiation, an ingress payload check, or hardened
+    /// framing caught the damage while the packet was still droppable.
+    CorruptDropped {
+        /// Packet id (as decoded at ingress — possibly itself corrupt).
+        id: u64,
+        /// What the integrity machinery caught.
+        reason: IntegrityReason,
+    },
+    /// A packet already streaming on an output link failed the egress
+    /// payload check: the corruption is detected and counted, but the
+    /// words are on the wire (a link CRC would mark the frame bad).
+    CorruptDelivered {
+        /// Output link.
+        output: PortId,
+        /// Packet id decoded from the delivered header.
+        id: u64,
+    },
+}
+
+/// Why the integrity machinery condemned a packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IntegrityReason {
+    /// The per-slot checksum computed at ingress no longer matches the
+    /// buffered words (storage upset or suppressed write).
+    ChecksumMismatch,
+    /// The input link idled mid-packet; the tail never arrived.
+    TruncatedPacket,
+    /// The header addressed no valid output (corrupt on the wire).
+    BadHeader,
+    /// A payload word deviated from the synthetic payload rule.
+    PayloadMismatch,
+}
+
+impl fmt::Display for IntegrityReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            IntegrityReason::ChecksumMismatch => "checksum mismatch",
+            IntegrityReason::TruncatedPacket => "truncated packet",
+            IntegrityReason::BadHeader => "bad header",
+            IntegrityReason::PayloadMismatch => "payload mismatch",
+        })
+    }
 }
 
 impl fmt::Display for SwitchEvent {
@@ -92,6 +136,15 @@ impl fmt::Display for SwitchEvent {
             SwitchEvent::LatchOverrun { input, id } => {
                 write!(f, "OVERRUN in={input} id={id} (latch deadline missed)")
             }
+            SwitchEvent::CorruptDropped { id, reason } => {
+                write!(f, "CORRUPT id={id} dropped ({reason})")
+            }
+            SwitchEvent::CorruptDelivered { output, id } => {
+                write!(
+                    f,
+                    "CORRUPT out={output} id={id} delivered (egress check failed)"
+                )
+            }
         }
     }
 }
@@ -114,12 +167,31 @@ pub struct SwitchCounters {
     /// Cycles in which no wave was initiated though requests existed
     /// (never happens with a work-conserving arbiter; diagnostic).
     pub idle_with_work: u64,
+    /// Packets detected as corrupt before transmission and dropped
+    /// (checksum scrub, ingress payload check, truncation, bad header).
+    pub corrupt_drops: u64,
+    /// Packets delivered whose egress payload check failed — detected,
+    /// but too late to drop (already on the wire).
+    pub corrupt_delivered: u64,
+    /// Bank writes suppressed by an injected stuck-stage-control fault
+    /// (each one leaves one stale word in a live slot).
+    pub writes_suppressed: u64,
 }
 
 impl SwitchCounters {
     /// Packets currently inside the switch (accepted, not yet departed).
     pub fn in_flight(&self) -> u64 {
-        self.arrived - self.departed - self.dropped_buffer_full - self.latch_overruns
+        self.arrived
+            - self.departed
+            - self.dropped_buffer_full
+            - self.latch_overruns
+            - self.corrupt_drops
+    }
+
+    /// Packets condemned by the integrity machinery (dropped or flagged
+    /// at egress) — the "detected" numerator of fault-campaign coverage.
+    pub fn integrity_detections(&self) -> u64 {
+        self.corrupt_drops + self.corrupt_delivered
     }
 }
 
@@ -153,7 +225,31 @@ mod tests {
             latch_overruns: 0,
             fused_reads: 3,
             idle_with_work: 0,
+            corrupt_drops: 1,
+            corrupt_delivered: 1,
+            writes_suppressed: 0,
         };
-        assert_eq!(c.in_flight(), 3);
+        // corrupt_delivered packets also count as departed; only the
+        // pre-transmission drops leave the in-flight population.
+        assert_eq!(c.in_flight(), 2);
+        assert_eq!(c.integrity_detections(), 2);
+    }
+
+    #[test]
+    fn integrity_display_forms() {
+        let d = SwitchEvent::CorruptDropped {
+            id: 4,
+            reason: IntegrityReason::TruncatedPacket,
+        };
+        assert!(d.to_string().contains("truncated"));
+        let v = SwitchEvent::CorruptDelivered {
+            output: PortId(3),
+            id: 8,
+        };
+        assert!(v.to_string().contains("egress"));
+        assert_eq!(
+            IntegrityReason::ChecksumMismatch.to_string(),
+            "checksum mismatch"
+        );
     }
 }

@@ -57,6 +57,7 @@ pub mod config;
 pub mod credit;
 pub mod ctrl;
 pub mod events;
+pub mod faultsim;
 pub mod halfq;
 pub mod rtl;
 pub mod vcroute;
@@ -69,7 +70,8 @@ pub use bufmgr::BufferManager;
 pub use config::SwitchConfig;
 pub use credit::CreditedInput;
 pub use ctrl::{ControlChecker, ControlPipeline};
-pub use events::SwitchEvent;
+pub use events::{IntegrityReason, SwitchEvent};
+pub use faultsim::{Fault, FaultAction, FaultKind, FaultPlan, WireFaults};
 pub use halfq::HalfQuantumBuffer;
 pub use rtl::{DeliveredPacket, PipelinedSwitch};
 pub use vcroute::{RoutingTable, TranslatedSwitch};

@@ -247,14 +247,17 @@ mod tests {
             let out = sw.tick(&wire);
             col.observe(now, &out);
         }
-        let mut guard = 0;
         let idle = vec![None; n];
-        while !sw.inner().is_quiescent() && guard < 50 * s {
+        simkernel::run_until_quiescent((50 * s) as u64, "VC-switch drain", |_| {
+            if sw.inner().is_quiescent() {
+                return true;
+            }
             let now = sw.inner().now();
             let out = sw.tick(&idle);
             col.observe(now, &out);
-            guard += 1;
-        }
+            false
+        })
+        .expect("drain hung");
         col.take()
             .into_iter()
             .map(|d| {
@@ -311,13 +314,16 @@ mod tests {
             let out = b.tick(&[Some(*w), None]);
             col.observe(now, &out);
         }
-        let mut guard = 0;
-        while !b.inner().is_quiescent() && guard < 50 * s {
+        simkernel::run_until_quiescent((50 * s) as u64, "second-hop drain", |_| {
+            if b.inner().is_quiescent() {
+                return true;
+            }
             let now = b.inner().now();
             let out = b.tick(&[None, None]);
             col.observe(now, &out);
-            guard += 1;
-        }
+            false
+        })
+        .expect("drain hung");
         let hop2: Vec<VcDelivery> = col
             .take()
             .into_iter()

@@ -28,6 +28,7 @@
 //! `vlsimodel` prices the silicon (§5.2).
 
 use crate::events::SwitchCounters;
+use crate::rtl::integrity_checksum;
 use membank::wide::WideMemory;
 use simkernel::cell::Packet;
 use simkernel::ids::{Addr, Cycle};
@@ -107,7 +108,8 @@ pub struct WideMemorySwitchRtl {
     cfg: WideSwitchConfig,
     mem: WideMemory,
     free: Vec<Addr>,
-    queues: Vec<VecDeque<(Addr, u64, Cycle)>>, // per output: (slot, id, birth)
+    /// Per output: (slot, id, birth, checksum stamped at write time).
+    queues: Vec<VecDeque<(Addr, u64, Cycle, u64)>>,
     assembly: Vec<Assembly>,
     asm_fill: Vec<usize>,
     asm_meta: Vec<Option<(usize, u64, Cycle, bool)>>, // dst, id, birth, dropped
@@ -157,6 +159,17 @@ impl WideMemorySwitchRtl {
     /// Current cycle.
     pub fn now(&self) -> Cycle {
         self.cycle
+    }
+
+    /// Fault injection (testbench only): flip the bits of `mask` in link
+    /// word `word_k` of memory slot `addr`. Returns `true` when the slot
+    /// currently holds a live (queued, not yet fetched) packet — i.e. the
+    /// upset can reach the fetch-time scrub.
+    pub fn inject_memory_fault(&mut self, addr: Addr, word_k: usize, mask: u64) -> bool {
+        self.mem.inject_fault(addr, word_k, mask);
+        self.queues
+            .iter()
+            .any(|q| q.iter().any(|&(a, ..)| a == addr))
     }
 
     /// True when nothing is buffered or in flight.
@@ -226,11 +239,18 @@ impl WideMemorySwitchRtl {
             if self.outs[j].next.is_some() {
                 continue;
             }
-            if let Some(&(addr, id, birth)) = self.queues[j].front() {
+            if let Some(&(addr, id, birth, sum)) = self.queues[j].front() {
                 self.queues[j].pop_front();
                 let words = self.mem.read_packet(addr).expect("one op per cycle");
                 self.free.push(addr);
-                self.outs[j].next = Some((words, id, birth));
+                // Integrity scrub at fetch: the wide organization checks a
+                // whole packet in one access (its ECC word is as wide as
+                // the memory). Mismatch → detect-and-drop.
+                if integrity_checksum(words.iter().copied()) != sum {
+                    self.counters.corrupt_drops += 1;
+                } else {
+                    self.outs[j].next = Some((words, id, birth));
+                }
                 mem_busy = true;
                 break;
             }
@@ -251,7 +271,8 @@ impl WideMemorySwitchRtl {
                         self.mem
                             .write_packet(addr, &st.words)
                             .expect("one op per cycle");
-                        self.queues[st.dst].push_back((addr, st.id, st.birth));
+                        let sum = integrity_checksum(st.words.iter().copied());
+                        self.queues[st.dst].push_back((addr, st.id, st.birth, sum));
                     }
                     None => {
                         self.counters.dropped_buffer_full += 1;
@@ -470,13 +491,16 @@ mod tests {
                 }
                 id += 2;
             }
-            let mut guard = 0;
-            while !sw.is_quiescent() && guard < 500 {
+            simkernel::run_until_quiescent(500, "wide-switch contention drain", |_| {
+                if sw.is_quiescent() {
+                    return true;
+                }
                 let now = sw.now();
                 let out = sw.tick(&[None, None]);
                 col.observe(now, &out);
-                guard += 1;
-            }
+                false
+            })
+            .expect("drain hung");
             let _ = id;
             (col.take().len(), sw.staging_overruns)
         };
@@ -492,6 +516,45 @@ mod tests {
             "single buffering must drop under the same workload — the
              reason fig. 3 needs the second row"
         );
+    }
+
+    #[test]
+    fn memory_upset_caught_by_fetch_scrub() {
+        // Store-and-forward (no bypass) so the packet sits in the wide
+        // memory when the upset strikes; the fetch-time scrub drops it.
+        let mut cfg = WideSwitchConfig::fig3(2, 8);
+        cfg.cut_through_crossbar = false;
+        let s = cfg.packet_words();
+        let mut sw = WideMemorySwitchRtl::new(cfg);
+        let p = Packet::synth(5, 0, 1, s, 0);
+        let mut col = OutputCollector::new(2, s);
+        for k in 0..s {
+            let now = sw.now();
+            let out = sw.tick(&[Some(p.words[k]), None]);
+            col.observe(now, &out);
+        }
+        // Assembled at s-1, staged, written at s at the earliest; tick
+        // once more so the write lands, then flip a bit in every slot:
+        // exactly one holds the live packet.
+        let now = sw.now();
+        let out = sw.tick(&[None, None]);
+        col.observe(now, &out);
+        let live: Vec<usize> = (0..8)
+            .filter(|&a| sw.inject_memory_fault(Addr(a), 2, 1))
+            .collect();
+        assert_eq!(live.len(), 1, "one slot holds the packet");
+        simkernel::run_until_quiescent(200, "scrub drain", |_| {
+            if sw.is_quiescent() {
+                return true;
+            }
+            let now = sw.now();
+            let out = sw.tick(&[None, None]);
+            col.observe(now, &out);
+            false
+        })
+        .expect("drain hung");
+        assert!(col.take().is_empty(), "corrupted packet must not deliver");
+        assert_eq!(sw.counters().corrupt_drops, 1);
     }
 
     #[test]
@@ -525,8 +588,10 @@ mod tests {
             let out = sw.tick(&wire);
             col.observe(now, &out);
         }
-        let mut guard = 0;
-        while !sw.is_quiescent() && guard < 5_000 {
+        simkernel::run_until_quiescent(5_000, "wide-switch random-traffic drain", |_| {
+            if sw.is_quiescent() {
+                return true;
+            }
             let now = sw.now();
             let mut wire = vec![None; n];
             for i in 0..n {
@@ -540,9 +605,9 @@ mod tests {
             }
             let out = sw.tick(&wire);
             col.observe(now, &out);
-            guard += 1;
-        }
-        assert!(sw.is_quiescent(), "failed to drain");
+            false
+        })
+        .expect("failed to drain");
         let pkts = col.take();
         let ctr = sw.counters();
         assert!(pkts.iter().all(|p| p.verify_payload()));

@@ -89,6 +89,14 @@ impl InterleavedMemory {
         assert!(k < self.packet_words);
         self.banks[b.0].read(Addr(k))
     }
+
+    /// Fault injection (testbench only): flip the bits of `mask` in word
+    /// `k` of bank `b`, bypassing the port discipline — a single-event
+    /// upset strikes regardless of the access schedule.
+    pub fn inject_fault(&mut self, b: BankId, k: usize, mask: u64) {
+        assert!(k < self.packet_words);
+        self.banks[b.0].inject_fault(Addr(k), mask);
+    }
 }
 
 #[cfg(test)]
@@ -118,6 +126,17 @@ mod tests {
         m.write_word(a, 0, 1).unwrap();
         m.write_word(b, 0, 2).unwrap(); // concurrent: different banks
         assert!(m.write_word(a, 1, 3).is_err(), "same bank twice in a cycle");
+    }
+
+    #[test]
+    fn injected_fault_flips_stored_bits() {
+        let mut m = InterleavedMemory::new(2, 2, 16);
+        let b = m.allocate().unwrap();
+        m.begin_cycle(0);
+        m.write_word(b, 0, 0xAB).unwrap();
+        m.inject_fault(b, 0, 1);
+        m.begin_cycle(1);
+        assert_eq!(m.read_word(b, 0).unwrap(), 0xAA);
     }
 
     #[test]

@@ -82,6 +82,17 @@ impl WideMemory {
         self.gate.read(addr)?;
         Ok(self.slots[addr.index()].clone())
     }
+
+    /// Fault injection (testbench only): flip the bits of `mask` in link
+    /// word `word_k` of slot `addr`, bypassing the port discipline — a
+    /// single-event upset strikes regardless of the access schedule. The
+    /// flipped value stays masked to the memory's word width, as a real
+    /// upset in a `word_bits`-wide array would be.
+    pub fn inject_fault(&mut self, addr: Addr, word_k: usize, mask: u64) {
+        assert!(word_k < self.packet_words);
+        let cur = self.slots[addr.index()][word_k];
+        self.slots[addr.index()][word_k] = self.mask(cur ^ mask);
+    }
 }
 
 #[cfg(test)]
@@ -114,6 +125,16 @@ mod tests {
         let mut m = WideMemory::new(8, 4, 16);
         m.begin_cycle(0);
         let _ = m.write_packet(Addr(0), &[1, 2]);
+    }
+
+    #[test]
+    fn injected_fault_flips_stored_bits() {
+        let mut m = WideMemory::new(8, 4, 16);
+        m.begin_cycle(0);
+        m.write_packet(Addr(3), &[1, 2, 3, 4]).unwrap();
+        m.inject_fault(Addr(3), 1, 0b100);
+        m.begin_cycle(1);
+        assert_eq!(m.read_packet(Addr(3)).unwrap(), vec![1, 6, 3, 4]);
     }
 
     #[test]

@@ -126,12 +126,16 @@ impl Packet {
     }
 
     /// Decode any header into `(output bitmask, id)`: unicast headers
-    /// yield a one-bit mask.
+    /// yield a one-bit mask. A (corrupted) unicast destination too large
+    /// for the mask decodes to the empty mask — an invalid header the
+    /// switch's framing check rejects — rather than tripping a shift
+    /// overflow in the decoder.
     pub fn decode_header_any(header: u64) -> (u32, u64) {
         if header & 0xff == 0xff {
             (((header >> 8) & 0xffff) as u32, header >> 24)
         } else {
-            (1u32 << (header & 0xff), header >> 8)
+            let dst = (header & 0xff) as u32;
+            (1u32.checked_shl(dst).unwrap_or(0), header >> 8)
         }
     }
 
@@ -192,6 +196,16 @@ impl Packet {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn corrupted_oversized_dst_decodes_to_empty_mask() {
+        // A wire bit-flip can push the unicast dst byte past the mask
+        // width; the decoder must yield the invalid empty mask, not
+        // overflow the shift.
+        let (mask, id) = Packet::decode_header_any((7 << 8) | 0x40);
+        assert_eq!(mask, 0);
+        assert_eq!(id, 7);
+    }
 
     #[test]
     fn cell_latency() {

@@ -1,0 +1,185 @@
+//! Typed simulation errors and the structured quiescence watchdog.
+//!
+//! The early testbenches drained their switches with ad-hoc `guard`
+//! counters: `while !sw.is_quiescent() && guard < N { … }`. A hang (a
+//! stuck wave, a leaked buffer slot, a lost credit) silently truncated
+//! the run and surfaced — if at all — as a confusing downstream
+//! assertion. Under fault injection that is unacceptable: a fault that
+//! wedges the switch must be a *first-class, typed outcome*, exactly as
+//! a watchdog timer on real switch silicon turns a hang into a visible
+//! reset event instead of a dead box.
+//!
+//! [`run_until_quiescent`] is the shared drain loop: it steps the
+//! simulation until the caller reports quiescence or a cycle budget is
+//! exhausted, and a budget overrun is a [`SimError::Watchdog`] carrying
+//! enough context to diagnose the hang. The other variants give the
+//! credit-audit and datapath-integrity machinery the same typed-failure
+//! vocabulary.
+
+use std::fmt;
+
+/// A typed, structured simulation failure.
+///
+/// Every fault-campaign outcome that is not "detected and survived"
+/// lands here: hangs trip the watchdog, credit-conservation violations
+/// that cannot be resynced report as leaks, and integrity cross-check
+/// failures (a corrupted packet delivered without being counted) report
+/// as integrity faults.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The simulation failed to reach quiescence within its cycle budget.
+    Watchdog {
+        /// The cycle budget that was exhausted.
+        limit: u64,
+        /// What was being drained (for the error message).
+        context: String,
+    },
+    /// Credit conservation is violated: the sender believes more credits
+    /// are outstanding than the ground truth can account for (credits
+    /// were lost on the return wire), or fewer (credits were returned
+    /// twice).
+    CreditLeak {
+        /// Credits the sender's counter says are outstanding.
+        expected_outstanding: u32,
+        /// Credits actually consumed and unreturned per ground truth.
+        actual_outstanding: u32,
+        /// Which link / sender (for the error message).
+        context: String,
+    },
+    /// A datapath-integrity invariant failed: corruption escaped the
+    /// detection machinery, or a cross-check between the testbench
+    /// ledger and the switch counters disagreed.
+    IntegrityFault {
+        /// Human-readable description of the violated invariant.
+        detail: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Watchdog { limit, context } => {
+                write!(f, "watchdog: {context} not quiescent after {limit} cycles")
+            }
+            SimError::CreditLeak {
+                expected_outstanding,
+                actual_outstanding,
+                context,
+            } => write!(
+                f,
+                "credit leak on {context}: sender counts {expected_outstanding} \
+                 outstanding, ground truth {actual_outstanding}"
+            ),
+            SimError::IntegrityFault { detail } => write!(f, "integrity fault: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Drain a simulation to quiescence under a watchdog.
+///
+/// `step` is called once per cycle with the drain-cycle index; it must
+/// advance the simulation by one cycle and return `true` once the model
+/// is quiescent (checked *before* stepping, so an already-quiescent
+/// model is not ticked at all). Returns the number of drain cycles
+/// executed, or [`SimError::Watchdog`] if `limit` cycles pass without
+/// quiescence — replacing the silent `guard`-counter loops that used to
+/// truncate hung runs without a trace.
+///
+/// ```
+/// use simkernel::error::{run_until_quiescent, SimError};
+///
+/// let mut remaining = 3u32;
+/// let spent = run_until_quiescent(10, "toy drain", |_cycle| {
+///     if remaining == 0 {
+///         return true;
+///     }
+///     remaining -= 1;
+///     false
+/// })
+/// .unwrap();
+/// assert_eq!(spent, 3);
+///
+/// let hang = run_until_quiescent(10, "wedged model", |_| false);
+/// assert!(matches!(hang, Err(SimError::Watchdog { limit: 10, .. })));
+/// ```
+pub fn run_until_quiescent(
+    limit: u64,
+    what: &str,
+    mut step: impl FnMut(u64) -> bool,
+) -> Result<u64, SimError> {
+    for cycle in 0..limit {
+        if step(cycle) {
+            return Ok(cycle);
+        }
+    }
+    Err(SimError::Watchdog {
+        limit,
+        context: what.to_string(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quiescent_immediately_runs_zero_cycles() {
+        let mut ticks = 0;
+        let spent = run_until_quiescent(100, "noop", |_| {
+            ticks += 1;
+            true
+        })
+        .unwrap();
+        assert_eq!(spent, 0);
+        assert_eq!(ticks, 1, "step called once, model never advanced");
+    }
+
+    #[test]
+    fn watchdog_fires_at_limit() {
+        let mut ticks = 0u64;
+        let err = run_until_quiescent(42, "hung model", |_| {
+            ticks += 1;
+            false
+        })
+        .unwrap_err();
+        assert_eq!(ticks, 42);
+        match err {
+            SimError::Watchdog { limit, context } => {
+                assert_eq!(limit, 42);
+                assert_eq!(context, "hung model");
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cycle_index_is_passed_through() {
+        let mut seen = Vec::new();
+        let _ = run_until_quiescent(4, "index check", |c| {
+            seen.push(c);
+            false
+        });
+        assert_eq!(seen, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn display_forms() {
+        let w = SimError::Watchdog {
+            limit: 7,
+            context: "drain".into(),
+        };
+        assert!(w.to_string().contains("7 cycles"));
+        let l = SimError::CreditLeak {
+            expected_outstanding: 4,
+            actual_outstanding: 2,
+            context: "input 1".into(),
+        };
+        assert!(l.to_string().contains("input 1"));
+        let i = SimError::IntegrityFault {
+            detail: "silent corruption".into(),
+        };
+        assert!(i.to_string().contains("silent corruption"));
+    }
+}

@@ -33,6 +33,7 @@
 #![warn(missing_docs)]
 
 pub mod cell;
+pub mod error;
 pub mod ids;
 pub mod reg;
 pub mod rng;
@@ -41,6 +42,7 @@ pub mod trace;
 pub mod wave;
 
 pub use cell::{Cell, CellId, Packet, PacketId};
+pub use error::{run_until_quiescent, SimError};
 pub use ids::{Addr, Cycle, PortId, StageId};
 pub use reg::Reg;
 pub use rng::{split_seed, SplitMix64};

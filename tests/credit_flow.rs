@@ -125,6 +125,88 @@ fn uncredited_senders_drop_at_same_buffer_size() {
     );
 }
 
+/// Like [`drive_credited`], but every `lose_every`-th credit return is
+/// dropped on the reverse wire, and the sender audits its conservation
+/// invariant every `audit_period` cycles against the ledger's ground
+/// truth, resyncing on a detected leak. Returns
+/// (delivered, leaks_detected, credits_recovered, final_credits).
+fn drive_credited_lossy(
+    n: usize,
+    slots: usize,
+    credits_per_input: u32,
+    cycles: u64,
+    lose_every: u64,
+    audit_period: u64,
+) -> (usize, u64, u64, Vec<u32>) {
+    let cfg = SwitchConfig::symmetric(n, slots);
+    let s = cfg.stages();
+    let mut sw = PipelinedSwitch::new(cfg);
+    let mut col = OutputCollector::new(n, s);
+    let mut rng = SplitMix64::new(7);
+    let mut senders: Vec<CreditedInput<usize>> = (0..n)
+        .map(|_| CreditedInput::new(credits_per_input, 1))
+        .collect();
+    let mut current: Vec<Option<(Packet, usize)>> = vec![None; n];
+    let mut next_id = 1u64;
+    let mut id_to_input: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
+    let mut launched = vec![0u64; n];
+    let mut delivered_from = vec![0u64; n];
+    let mut returns_seen = 0u64;
+    let mut leaks = 0u64;
+    let mut recovered = 0u64;
+
+    for _ in 0..cycles {
+        let now = sw.now();
+        let mut wire = vec![None; n];
+        for i in 0..n {
+            if current[i].is_none() {
+                senders[i].offer(rng.below_usize(n));
+                if let Some(dst) = senders[i].poll(now) {
+                    let p = Packet::synth(next_id, i, dst, s, now);
+                    id_to_input.insert(next_id, i);
+                    launched[i] += 1;
+                    next_id += 1;
+                    current[i] = Some((p, 0));
+                }
+            }
+            if let Some((p, k)) = current[i].as_mut() {
+                wire[i] = Some(p.words[*k]);
+                *k += 1;
+                if *k == s {
+                    current[i] = None;
+                }
+            }
+        }
+        let out = sw.tick(&wire);
+        col.observe(now, &out);
+        for d in col.take() {
+            let src = id_to_input.remove(&d.id).expect("delivered id was sent");
+            delivered_from[src] += 1;
+            returns_seen += 1;
+            // The faulty reverse wire: every `lose_every`-th credit
+            // return vanishes.
+            if !returns_seen.is_multiple_of(lose_every) {
+                senders[src].return_credit(now);
+            }
+            assert!(d.verify_payload());
+        }
+        // Periodic audit against ground truth (what a real credit
+        // protocol gets from an absolute-count sync message).
+        if now % audit_period == audit_period - 1 {
+            for i in 0..n {
+                let actual = (launched[i] - delivered_from[i]) as u32;
+                if senders[i].audit(actual, "lossy link").is_err() {
+                    leaks += 1;
+                    recovered += u64::from(senders[i].resync(actual));
+                }
+            }
+        }
+    }
+    let ctr = sw.counters();
+    let final_credits = senders.iter().map(|c| c.credits()).collect();
+    (ctr.departed as usize, leaks, recovered, final_credits)
+}
+
 #[test]
 fn credited_throughput_approaches_uncredited() {
     // Credits sized to the buffer shouldn't throttle much at this load.
@@ -134,5 +216,49 @@ fn credited_throughput_approaches_uncredited() {
     assert!(
         d_credit as f64 > 0.8 * d_free as f64,
         "credits over-throttle: {d_credit} vs {d_free}"
+    );
+}
+
+#[test]
+fn lost_credit_returns_bleed_the_link_dry_without_audit() {
+    // Every 4th credit return vanishes and no audit ever runs: each
+    // sender's allotment bleeds away and the link wedges permanently —
+    // the failure mode the audit exists to catch.
+    let n = 4;
+    let (delivered, leaks, recovered, credits) =
+        drive_credited_lossy(n, 4 * n, 4, 20_000, 4, u64::MAX);
+    assert_eq!(leaks, 0, "no audit, no detection");
+    assert_eq!(recovered, 0);
+    assert!(
+        delivered < 150,
+        "without resync the link must wedge after ~4x allotment per \
+         sender, got {delivered}"
+    );
+    assert!(
+        credits.iter().all(|&c| c == 0),
+        "every sender bled dry: {credits:?}"
+    );
+}
+
+#[test]
+fn credit_audit_detects_loss_and_resync_restores_throughput() {
+    // Same lossy reverse wire, but the senders audit the conservation
+    // invariant every 100 cycles against ground truth and resync. The
+    // audit must fire (CreditLeak detected), recover the lost credits,
+    // and keep throughput near the lossless link's.
+    let n = 4;
+    let (d_lossy, leaks, recovered, _) = drive_credited_lossy(n, 4 * n, 4, 20_000, 4, 100);
+    assert!(leaks > 0, "audit must detect the leaked credits");
+    assert!(
+        recovered >= leaks,
+        "each detected leak recovers >= 1 credit"
+    );
+    let (d_clean, clean_leaks, clean_recovered, _) =
+        drive_credited_lossy(n, 4 * n, 4, 20_000, u64::MAX, 100);
+    assert_eq!(clean_leaks, 0, "false positive: audit fired without loss");
+    assert_eq!(clean_recovered, 0);
+    assert!(
+        d_lossy as f64 > 0.5 * d_clean as f64,
+        "throughput must recover after resync: {d_lossy} vs {d_clean}"
     );
 }

@@ -1,17 +1,32 @@
-//! Fault injection: the test suite's integrity machinery must *detect*
-//! faults, not merely pass in their absence. These tests corrupt the
-//! datapath deliberately (a single-event upset in a buffer bank) and
-//! assert that the end-to-end checks catch it — mutation testing for the
-//! checkers themselves.
+//! Fault injection: the integrity machinery must *detect* faults, not
+//! merely pass in their absence. These tests corrupt the datapath
+//! deliberately (a single-event upset in a buffer bank) and assert that
+//! the checksum scrub at read initiation catches it and condemns the
+//! packet — detect-and-drop, never silent delivery of corrupt data.
 
 use telegraphos::simkernel::cell::Packet;
 use telegraphos::simkernel::ids::Addr;
+use telegraphos::simkernel::run_until_quiescent;
 use telegraphos::switch_core::config::SwitchConfig;
 use telegraphos::switch_core::rtl::{OutputCollector, PipelinedSwitch};
 
-/// Send one packet; optionally flip a bit in (stage, slot) while the
-/// packet is buffered. Returns the delivered packet's integrity verdict.
-fn run_with_fault(fault: Option<(usize, usize, u64)>) -> bool {
+/// How a packet's journey ended, as typed by the switch's own counters.
+#[derive(Debug, PartialEq, Eq)]
+enum Outcome {
+    /// Delivered, payload bit-exact.
+    DeliveredIntact,
+    /// Delivered with a wrong payload — the failure mode the scrub
+    /// exists to rule out.
+    DeliveredCorrupt,
+    /// Condemned by the checksum scrub and dropped (counted in
+    /// `corrupt_drops`).
+    DetectedAndDropped,
+}
+
+/// Send one packet; optionally flip bits in (stage, slot) while the
+/// packet is buffered. Returns the typed outcome plus the live-data
+/// verdict of the injection hook itself.
+fn run_with_fault(fault: Option<(usize, usize, u64)>) -> (Outcome, Option<u64>) {
     // Store-and-forward mode keeps the packet resident in the banks for
     // a full packet time, giving the "upset" a window to strike.
     let mut cfg = SwitchConfig::symmetric(2, 8);
@@ -34,60 +49,77 @@ fn run_with_fault(fault: Option<(usize, usize, u64)>) -> bool {
         let out = sw.tick(&[None, None]);
         col.observe(now, &out);
     }
-    if let Some((stage, slot, mask)) = fault {
-        sw.inject_bank_fault(stage, Addr(slot), mask);
-    }
-    let mut guard = 0;
-    while !sw.is_quiescent() && guard < 100 * s {
+    let live = fault.and_then(|(stage, slot, mask)| sw.inject_bank_fault(stage, Addr(slot), mask));
+    run_until_quiescent((100 * s) as u64, "fault-injection drain", |_| {
+        if sw.is_quiescent() {
+            return true;
+        }
         let now = sw.now();
         let out = sw.tick(&[None, None]);
         col.observe(now, &out);
-        guard += 1;
-    }
+        false
+    })
+    .expect("drain hung — caught by the watchdog");
     let pkts = col.take();
-    assert_eq!(pkts.len(), 1, "the packet must still be delivered");
-    pkts[0].verify_payload()
+    let drops = sw.counters().corrupt_drops;
+    let outcome = match (pkts.len(), drops) {
+        (0, 1) => Outcome::DetectedAndDropped,
+        (1, 0) if pkts[0].verify_payload() => Outcome::DeliveredIntact,
+        (1, 0) => Outcome::DeliveredCorrupt,
+        (n, d) => panic!("unaccounted outcome: {n} delivered, {d} dropped"),
+    };
+    assert_eq!(sw.counters().in_flight(), 0, "every packet accounted for");
+    (outcome, live)
 }
 
 #[test]
 fn clean_run_verifies() {
-    assert!(run_with_fault(None), "no fault: payload must verify");
+    let (outcome, live) = run_with_fault(None);
+    assert_eq!(
+        outcome,
+        Outcome::DeliveredIntact,
+        "no fault: clean delivery"
+    );
+    assert_eq!(live, None);
 }
 
 #[test]
-fn payload_bit_flip_detected() {
-    // Flip one bit of a payload word in the occupied slot.
-    assert!(
-        !run_with_fault(Some((2, 0, 1 << 17))),
-        "a flipped payload bit must fail verification"
-    );
+fn payload_bit_flip_detected_and_dropped() {
+    // Flip one bit of a payload word in the occupied slot: the scrub at
+    // read initiation must condemn the packet.
+    let (outcome, live) = run_with_fault(Some((2, 0, 1 << 17)));
+    assert_eq!(outcome, Outcome::DetectedAndDropped);
+    assert_eq!(live, Some(9), "the hook knows it struck live data");
 }
 
 #[test]
-fn header_bit_flip_detected() {
-    // Flip a bit in the header word (bank 0 holds word 0).
-    assert!(
-        !run_with_fault(Some((0, 0, 1 << 30))),
-        "a flipped header id bit must fail verification"
-    );
+fn header_bit_flip_detected_and_dropped() {
+    // Flip a bit in the header word (bank 0 holds word 0): the checksum
+    // covers the header too.
+    let (outcome, live) = run_with_fault(Some((0, 0, 1 << 30)));
+    assert_eq!(outcome, Outcome::DetectedAndDropped);
+    assert_eq!(live, Some(9));
 }
 
 #[test]
 fn fault_in_unoccupied_slot_is_harmless() {
-    // Corrupting a slot the packet does not occupy must not affect it.
-    assert!(
-        run_with_fault(Some((2, 5, u64::MAX))),
-        "fault in a free slot must not corrupt live traffic"
-    );
+    // Corrupting a slot the packet does not occupy must not affect it —
+    // and the hook must report the upset as not-live (zero false
+    // positives on coverage accounting).
+    let (outcome, live) = run_with_fault(Some((2, 5, u64::MAX)));
+    assert_eq!(outcome, Outcome::DeliveredIntact);
+    assert_eq!(live, None, "upset in free storage is ineffective");
 }
 
 #[test]
 fn every_stage_is_covered_by_the_check() {
-    // The integrity check must cover all stages — a fault anywhere in
-    // the word's journey is visible.
+    // The scrub must cover all stages — a fault anywhere in the word's
+    // journey is visible.
     for stage in 0..4 {
-        assert!(
-            !run_with_fault(Some((stage, 0, 1))),
+        let (outcome, _) = run_with_fault(Some((stage, 0, 1)));
+        assert_eq!(
+            outcome,
+            Outcome::DetectedAndDropped,
             "stage {stage}: fault went undetected"
         );
     }

@@ -7,7 +7,8 @@
 //! bypass its cut-through latency degrades by a full packet time.
 
 use telegraphos::simkernel::cell::Packet;
-use telegraphos::simkernel::SplitMix64;
+use telegraphos::simkernel::ids::Addr;
+use telegraphos::simkernel::{run_until_quiescent, SplitMix64};
 use telegraphos::switch_core::config::SwitchConfig;
 use telegraphos::switch_core::rtl::{DeliveredPacket, OutputCollector, PipelinedSwitch};
 use telegraphos::switch_core::widemem::{WideMemorySwitchRtl, WideSwitchConfig};
@@ -50,13 +51,16 @@ fn run_pipelined(wires: &[Vec<Option<u64>>], n: usize, s: usize) -> Vec<Delivere
         col.observe(now, &out);
     }
     let idle = vec![None; n];
-    let mut guard = 0;
-    while !sw.is_quiescent() && guard < 10_000 {
+    run_until_quiescent(10_000, "pipelined drain", |_| {
+        if sw.is_quiescent() {
+            return true;
+        }
         let now = sw.now();
         let out = sw.tick(&idle);
         col.observe(now, &out);
-        guard += 1;
-    }
+        false
+    })
+    .expect("pipelined switch failed to drain — hang caught by the watchdog");
     assert_eq!(sw.counters().latch_overruns, 0);
     assert_eq!(sw.counters().dropped_buffer_full, 0);
     col.take()
@@ -78,13 +82,16 @@ fn run_wide(
         col.observe(now, &out);
     }
     let idle = vec![None; n];
-    let mut guard = 0;
-    while !sw.is_quiescent() && guard < 10_000 {
+    run_until_quiescent(10_000, "wide-memory drain", |_| {
+        if sw.is_quiescent() {
+            return true;
+        }
         let now = sw.now();
         let out = sw.tick(&idle);
         col.observe(now, &out);
-        guard += 1;
-    }
+        false
+    })
+    .expect("wide-memory switch failed to drain — hang caught by the watchdog");
     assert_eq!(sw.counters().latch_overruns, 0, "double buffering suffices");
     assert_eq!(sw.counters().dropped_buffer_full, 0);
     col.take()
@@ -121,6 +128,98 @@ fn pipelined_latency_never_worse_than_wide_without_crossbar() {
         "wide memory without the bypass crossbar must pay ≈ a packet time \
          of extra latency (pipelined {mp:.1} vs wide {mw:.1})"
     );
+}
+
+/// The same single-bit upset — flip bit 3 of stored word 2 of a buffered
+/// packet — must be detected by every memory organization the paper
+/// compares: the pipelined per-stage banks (checksum scrub at read
+/// initiation), the wide memory (checksum scrub at fetch), and the
+/// interleaved one-packet-per-bank organization (checksum over the bank
+/// read-back). One fault model, three organizations, three detections.
+#[test]
+fn all_three_organizations_detect_the_same_upset() {
+    const WORD_K: usize = 2;
+    const MASK: u64 = 1 << 3;
+    let s = 4; // 2x2 switch quantum
+
+    // --- Pipelined per-stage banks ------------------------------------
+    let mut cfg = SwitchConfig::symmetric(2, 8);
+    cfg.cut_through = false;
+    cfg.fused_cut_through = false;
+    let mut sw = PipelinedSwitch::new(cfg);
+    let p = Packet::synth(5, 0, 1, s, 0);
+    let mut col = OutputCollector::new(2, s);
+    for k in 0..=s {
+        let now = sw.now();
+        let out = sw.tick(&[p.words.get(k).copied(), None]);
+        col.observe(now, &out);
+    }
+    let live: Vec<usize> = (0..8)
+        .filter(|&a| sw.inject_bank_fault(WORD_K, Addr(a), MASK).is_some())
+        .collect();
+    assert_eq!(live.len(), 1, "one slot holds the packet");
+    run_until_quiescent(200, "pipelined upset drain", |_| {
+        if sw.is_quiescent() {
+            return true;
+        }
+        let now = sw.now();
+        let out = sw.tick(&[None, None]);
+        col.observe(now, &out);
+        false
+    })
+    .expect("drain hung");
+    assert!(col.take().is_empty(), "pipelined: corrupt packet must drop");
+    assert_eq!(sw.counters().corrupt_drops, 1, "pipelined scrub detects");
+
+    // --- Wide memory ---------------------------------------------------
+    let mut wcfg = WideSwitchConfig::fig3(2, 8);
+    wcfg.cut_through_crossbar = false; // store-and-forward: packet resident
+    let mut wsw = WideMemorySwitchRtl::new(wcfg);
+    let mut wcol = OutputCollector::new(2, s);
+    for k in 0..=s {
+        let now = wsw.now();
+        let out = wsw.tick(&[p.words.get(k).copied(), None]);
+        wcol.observe(now, &out);
+    }
+    let live: Vec<usize> = (0..8)
+        .filter(|&a| wsw.inject_memory_fault(Addr(a), WORD_K, MASK))
+        .collect();
+    assert_eq!(live.len(), 1, "one wide slot holds the packet");
+    run_until_quiescent(200, "wide upset drain", |_| {
+        if wsw.is_quiescent() {
+            return true;
+        }
+        let now = wsw.now();
+        let out = wsw.tick(&[None, None]);
+        wcol.observe(now, &out);
+        false
+    })
+    .expect("drain hung");
+    assert!(wcol.take().is_empty(), "wide: corrupt packet must drop");
+    assert_eq!(wsw.counters().corrupt_drops, 1, "wide fetch scrub detects");
+
+    // --- Interleaved (one packet per bank) -----------------------------
+    use telegraphos::membank::interleaved::InterleavedMemory;
+    use telegraphos::switch_core::rtl::integrity_checksum;
+    let mut mem = InterleavedMemory::new(4, s, 64);
+    let b = mem.allocate().expect("free bank");
+    let sealed = integrity_checksum(p.words.iter().copied());
+    for (k, &w) in p.words.iter().enumerate() {
+        mem.begin_cycle(k as u64);
+        mem.write_word(b, k, w).expect("single write per cycle");
+    }
+    mem.inject_fault(b, WORD_K, MASK);
+    let mut stored = Vec::with_capacity(s);
+    for k in 0..s {
+        mem.begin_cycle((s + k) as u64);
+        stored.push(mem.read_word(b, k).expect("single read per cycle"));
+    }
+    assert_ne!(
+        integrity_checksum(stored.iter().copied()),
+        sealed,
+        "interleaved: the checksum over the read-back exposes the upset"
+    );
+    mem.release(b);
 }
 
 #[test]
