@@ -3,6 +3,9 @@
 //! ```text
 //! expt <id>...      run specific experiments (e1..e16, x1..x5)
 //! expt all          run everything
+//! expt fuzz         differential conformance fuzz campaign
+//!   --seeds N       campaign width (default 256)
+//!   --base 0xHEX    base seed (default: the canonical campaign seed)
 //! expt --quick ...  shrink run lengths (CI-sized)
 //! expt --smoke ...  shrink campaign grids below --quick (determinism
 //!                   cross-checks re-run experiments several times)
@@ -26,10 +29,34 @@ fn main() -> ExitCode {
     let list = args.iter().any(|a| a == "--list" || a == "-l");
     let seq = args.iter().any(|a| a == "--seq");
     let mut jobs: Option<usize> = None;
+    let mut seeds: Option<u64> = None;
+    let mut base: Option<u64> = None;
     let mut ids: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
-        if a == "--jobs" || a == "-j" {
+        if a == "--seeds" {
+            let v = it.next().map(|s| s.as_str()).unwrap_or("");
+            match v.parse::<u64>() {
+                Ok(n) if n >= 1 => seeds = Some(n),
+                _ => {
+                    eprintln!("--seeds needs a positive integer, got '{v}'");
+                    return ExitCode::from(2);
+                }
+            }
+        } else if a == "--base" {
+            let v = it.next().map(|s| s.as_str()).unwrap_or("");
+            let parsed = v
+                .strip_prefix("0x")
+                .map(|h| u64::from_str_radix(h, 16))
+                .unwrap_or_else(|| v.parse::<u64>());
+            match parsed {
+                Ok(n) => base = Some(n),
+                _ => {
+                    eprintln!("--base needs an integer (decimal or 0xHEX), got '{v}'");
+                    return ExitCode::from(2);
+                }
+            }
+        } else if a == "--jobs" || a == "-j" {
             let v = it.next().map(|s| s.as_str()).unwrap_or("");
             match v.parse::<usize>() {
                 Ok(n) if n >= 1 => jobs = Some(n),
@@ -57,13 +84,36 @@ fn main() -> ExitCode {
     bench_harness::sweep::set_jobs(if seq { 1 } else { jobs.unwrap_or(0) });
     bench_harness::sweep::set_smoke(smoke);
 
+    if ids.iter().any(|i| i == "fuzz") {
+        if ids.len() > 1 {
+            eprintln!("'fuzz' is a standalone campaign; drop the other ids");
+            return ExitCode::from(2);
+        }
+        let (report, ok) = bench_harness::fuzz::campaign(
+            seeds.unwrap_or(bench_harness::fuzz::DEFAULT_SEEDS),
+            base.unwrap_or(bench_harness::fuzz::DEFAULT_BASE),
+        );
+        println!("{report}");
+        return if ok {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
+    if seeds.is_some() || base.is_some() {
+        eprintln!("--seeds/--base only apply to 'expt fuzz'");
+        return ExitCode::from(2);
+    }
+
     if list || ids.is_empty() {
         eprintln!(
-            "usage: expt [--quick] [--smoke] [--jobs N | --seq] <e1..e16 | x1..x5 | all>...\n\nexperiments:"
+            "usage: expt [--quick] [--smoke] [--jobs N | --seq] <e1..e16 | x1..x5 | all>...\n       \
+             expt fuzz [--seeds N] [--base 0xHEX] [--jobs N | --seq]\n\nexperiments:"
         );
         for id in bench_harness::ALL {
             eprintln!("  {id}");
         }
+        eprintln!("  fuzz  (differential conformance campaign; see EXPERIMENTS.md)");
         return if list {
             ExitCode::SUCCESS
         } else {

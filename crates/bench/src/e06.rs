@@ -133,6 +133,30 @@ mod tests {
     }
 
     #[test]
+    fn formula_holds_across_the_size_grid() {
+        // §3.4 coverage grid: the measured staggered-initiation penalty
+        // must match `(p/4)(n-1)/n` across switch sizes, not just at the
+        // single point the light-load test pins. At 20% load the
+        // first-order formula is tight; at 40% second-order queueing
+        // (which the formula ignores) pushes the measurement above it,
+        // so that bound is one-sided plus slack.
+        for &n in &[4usize, 8, 16] {
+            let m = measure(n, 0.2, 60_000, 0x34 + n as u64);
+            let f = formula(0.2, n);
+            assert!(
+                (m - f).abs() < 0.08,
+                "n={n} p=0.2: measured {m} vs formula {f}"
+            );
+            let m4 = measure(n, 0.4, 60_000, 0x34 + n as u64);
+            let f4 = formula(0.4, n);
+            assert!(
+                m4 > f4 - 0.05 && m4 < f4 + 0.3,
+                "n={n} p=0.4: measured {m4} vs formula {f4}"
+            );
+        }
+    }
+
+    #[test]
     fn extra_latency_grows_with_load() {
         let lo = measure(8, 0.1, 60_000, 4);
         let hi = measure(8, 0.4, 60_000, 4);

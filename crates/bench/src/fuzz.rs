@@ -1,0 +1,136 @@
+//! Differential conformance fuzz campaign (`expt fuzz`).
+//!
+//! Fans [`conformance::run_seed`] out over the deterministic sweep
+//! engine: scenario `k` is a pure function of `(base, k)`, workers
+//! collect `(index, verdict)` pairs, and the merged report is
+//! byte-identical for every `--jobs` value — the property CI checks by
+//! diffing a `--jobs 1` run against a `--jobs 8` run.
+//!
+//! The campaign fails (non-zero exit) if any scenario diverges, if the
+//! §3.2/§3.3 corner-case coverage counters stayed at zero, if the
+//! aggregate §3.4 latency drifted outside the formula envelope, or if
+//! the end-to-end shrinker self-test — a seeded bank-upset fault that
+//! must be detected and minimized — does not produce a small reproducer.
+
+use conformance::{run_seed, Coverage, Scenario, SeedOutcome};
+use simkernel::split_seed;
+use std::fmt::Write as _;
+
+use crate::sweep;
+
+/// Default campaign width when `--seeds` is not given.
+pub const DEFAULT_SEEDS: u64 = 256;
+
+/// Default base seed (`--base` overrides; the whole campaign is a pure
+/// function of it).
+pub const DEFAULT_BASE: u64 = conformance::engine::CAMPAIGN_BASE_SEED;
+
+/// Seed-stream offset for the shrinker self-test so its fault scenarios
+/// never collide with campaign indices.
+const SELF_TEST_STREAM: u64 = 1 << 32;
+
+/// Largest reproducer the shrinker self-test accepts.
+pub const SELF_TEST_MAX_OFFERS: usize = 4;
+
+/// Find a deterministic fault overlay that the oracle detects: scan
+/// fault seeds derived from `base` until a seeded bank-upset campaign
+/// over a generated scenario diverges. Returns the failing scenario.
+pub fn detected_fault_scenario(base: u64) -> Option<Scenario> {
+    (0..64u64).find_map(|k| {
+        let sc = Scenario::generate(split_seed(base, SELF_TEST_STREAM + k)).with_fault(0.3, k);
+        conformance::check_scenario(&sc).err().map(|_| sc)
+    })
+}
+
+/// Run the campaign; returns `(report, all_gates_passed)`.
+pub fn campaign(seeds: u64, base: u64) -> (String, bool) {
+    let indices: Vec<u64> = (0..seeds).collect();
+    let reports = sweep::map(&indices, |&k| run_seed(base, k));
+    let mut cov = Coverage::default();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "## Differential conformance fuzz: {seeds} seeds, base {base:#018x}\n"
+    );
+    let _ = writeln!(
+        out,
+        "Four organizations per scenario (pipelined RTL, behavioral, wide\n\
+         memory, interleaved banks), one shared oracle; scenario k is\n\
+         generated from split_seed(base, k).\n"
+    );
+    for r in &reports {
+        cov.absorb(r);
+        if let SeedOutcome::Fail(f) = &r.outcome {
+            let _ = writeln!(
+                out,
+                "--- seed index {} (scenario seed {:#018x}) ---\n{f}\n",
+                r.index, r.scenario_seed
+            );
+        }
+    }
+    let _ = writeln!(out, "{}", cov.summary());
+
+    // End-to-end shrinker self-test: prove the detect-and-minimize path
+    // works by injecting a fault the campaign's clean seeds never see.
+    let mut shrinker_ok = false;
+    match detected_fault_scenario(base) {
+        Some(sc) => {
+            let (shrunk, err) = conformance::shrink(&sc);
+            shrinker_ok = shrunk.offers.len() <= SELF_TEST_MAX_OFFERS;
+            let _ = writeln!(
+                out,
+                "\nshrinker self-test: seeded bank-upset on scenario seed {:#018x}\n\
+                   detected as: {err}\n\
+                   reproducer:  {} of {} offers survive shrinking (gate: <= {})",
+                sc.seed,
+                shrunk.offers.len(),
+                sc.offers.len(),
+                SELF_TEST_MAX_OFFERS,
+            );
+        }
+        None => {
+            let _ = writeln!(
+                out,
+                "\nshrinker self-test: NO detectable fault overlay found in 64 tries"
+            );
+        }
+    }
+
+    let gates = [
+        ("zero divergences", cov.failures == 0),
+        ("corner-case coverage", cov.corner_cases_reached()),
+        ("sec3.4 latency envelope", cov.latency_within_formula()),
+        ("shrinker self-test", shrinker_ok),
+    ];
+    let _ = writeln!(out);
+    let mut ok = true;
+    for (name, passed) in gates {
+        ok &= passed;
+        let _ = writeln!(
+            out,
+            "gate {:<26} {}",
+            name,
+            if passed { "PASS" } else { "FAIL" }
+        );
+    }
+    (out, ok)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_campaign_passes_and_is_reproducible() {
+        let (a, ok) = campaign(8, DEFAULT_BASE);
+        assert!(ok, "8-seed campaign failed its gates:\n{a}");
+        let (b, _) = campaign(8, DEFAULT_BASE);
+        assert_eq!(a, b, "report must be byte-identical across runs");
+    }
+
+    #[test]
+    fn self_test_scenario_is_found_and_detected() {
+        let sc = detected_fault_scenario(DEFAULT_BASE).expect("no detectable fault in 64 tries");
+        assert!(conformance::check_scenario(&sc).is_err());
+    }
+}

@@ -50,6 +50,7 @@ pub mod e13;
 pub mod e14;
 pub mod e15;
 pub mod e16;
+pub mod fuzz;
 pub mod sweep;
 pub mod table;
 pub mod x01;

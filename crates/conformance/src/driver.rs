@@ -1,0 +1,606 @@
+//! Drivers: replay one [`Scenario`] against each memory organization.
+//!
+//! All four organizations see the *same* offered schedule through the
+//! same launch logic (the internal `Launcher`): in credited mode each input holds a
+//! [`CreditedInput`] sender whose credits return when *that
+//! organization* delivers the packet's tail word, so backpressure timing
+//! is native to each model; in open mode packets launch at exactly
+//! `Offer::at`. Word-level organizations are fed word by word on the
+//! input wires and observed through an [`OutputCollector`]; the
+//! behavioral model is fed per-cell arrivals and reports departures
+//! directly.
+
+use crate::scenario::Scenario;
+use simkernel::cell::Packet;
+use simkernel::error::SimError;
+use simkernel::ids::Cycle;
+use std::collections::{HashMap, VecDeque};
+use switch_core::behavioral::BehavioralSwitch;
+use switch_core::config::SwitchConfig;
+use switch_core::credit::CreditedInput;
+use switch_core::events::SwitchCounters;
+use switch_core::faultsim::{FaultAction, FaultKind, FaultPlan};
+use switch_core::ibank::{InterleavedSwitch, InterleavedSwitchConfig};
+use switch_core::rtl::{OutputCollector, PipelinedSwitch};
+use switch_core::widemem::{WideMemorySwitchRtl, WideSwitchConfig};
+
+/// The four memory organizations under differential test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Org {
+    /// Word-accurate pipelined-memory RTL (§3, the paper's design).
+    Pipelined,
+    /// Cell-level behavioral model with identical initiation semantics.
+    Behavioral,
+    /// Wide-memory organization of fig. 3 (double buffering + bypass).
+    Wide,
+    /// Interleaved one-packet-per-bank organization (store-and-forward).
+    Interleaved,
+}
+
+impl Org {
+    /// All organizations, in reporting order.
+    pub const ALL: [Org; 4] = [Org::Pipelined, Org::Behavioral, Org::Wide, Org::Interleaved];
+
+    /// Stable label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Org::Pipelined => "pipelined",
+            Org::Behavioral => "behavioral",
+            Org::Wide => "wide",
+            Org::Interleaved => "interleaved",
+        }
+    }
+}
+
+impl std::fmt::Display for Org {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One packet launch as it actually happened in a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Launch {
+    /// Packet id (from the scenario's offer).
+    pub id: u64,
+    /// Input link.
+    pub input: usize,
+    /// Destination output.
+    pub dst: usize,
+    /// Cycle the header entered the switch.
+    pub at: Cycle,
+}
+
+/// One packet delivery as observed on an output link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Delivery {
+    /// Packet id decoded from the delivered header.
+    pub id: u64,
+    /// Output link it emerged on.
+    pub output: usize,
+    /// Cycle the first word appeared on the link.
+    pub first: Cycle,
+    /// Cycle the tail word appeared on the link.
+    pub last: Cycle,
+}
+
+/// Everything one organization did with the scenario.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Which organization ran.
+    pub org: Org,
+    /// Launches in launch order.
+    pub launches: Vec<Launch>,
+    /// Deliveries in completion order.
+    pub deliveries: Vec<Delivery>,
+    /// The organization's own event counters after drain.
+    pub counters: SwitchCounters,
+    /// Delivered packets whose payload failed verification.
+    pub payload_failures: u64,
+    /// Cycles an input sat idle with backlog because credits ran out
+    /// (credited mode only) — the full-buffer backpressure corner.
+    pub stalls: u64,
+    /// Cycles in which two or more inputs started transmission together.
+    pub same_cycle_starts: u64,
+    /// Head latencies of departures whose output was idle at arrival
+    /// (behavioral model only; the §3.4 measurement population).
+    pub idle_head_latencies: Vec<Cycle>,
+    /// Watchdog or credit-audit failure, if the run did not end cleanly.
+    pub error: Option<SimError>,
+}
+
+/// Shared launch logic: turns the scenario's offers into per-cycle
+/// launches, under credit backpressure or open-loop timing.
+struct Launcher {
+    s: Cycle,
+    pending: Vec<VecDeque<crate::scenario::Offer>>,
+    senders: Option<Vec<CreditedInput<crate::scenario::Offer>>>,
+    next_free: Vec<Cycle>,
+    stalls: u64,
+    same_cycle_starts: u64,
+}
+
+impl Launcher {
+    fn new(sc: &Scenario) -> Launcher {
+        let mut pending = vec![VecDeque::new(); sc.n];
+        for o in &sc.offers {
+            pending[o.input].push_back(*o);
+        }
+        let senders = sc.credited.then(|| {
+            (0..sc.n)
+                .map(|_| CreditedInput::new(sc.credits_per_input(), 1))
+                .collect()
+        });
+        Launcher {
+            s: sc.stages() as Cycle,
+            pending,
+            senders,
+            next_free: vec![0; sc.n],
+            stalls: 0,
+            same_cycle_starts: 0,
+        }
+    }
+
+    /// Launches starting at `now` (at most one per input).
+    fn poll(&mut self, now: Cycle) -> Vec<crate::scenario::Offer> {
+        let mut started = Vec::new();
+        if let Some(senders) = &mut self.senders {
+            for (q, sender) in self.pending.iter_mut().zip(senders.iter_mut()) {
+                while q.front().is_some_and(|o| o.at <= now) {
+                    sender.offer(q.pop_front().expect("checked non-empty"));
+                }
+            }
+            for (i, sender) in senders.iter_mut().enumerate() {
+                if self.next_free[i] > now {
+                    continue;
+                }
+                match sender.poll(now) {
+                    Some(o) => {
+                        self.next_free[i] = now + self.s;
+                        started.push(o);
+                    }
+                    None => {
+                        if sender.backlog() > 0 {
+                            // Link free, work queued, zero credits: the
+                            // shared buffer's reservation is exhausted.
+                            self.stalls += 1;
+                        }
+                    }
+                }
+            }
+        } else {
+            for (i, q) in self.pending.iter_mut().enumerate() {
+                if q.front().is_some_and(|o| o.at == now) {
+                    assert!(
+                        self.next_free[i] <= now,
+                        "schedule violates wire framing on input {i} at cycle {now}"
+                    );
+                    let o = q.pop_front().expect("checked non-empty");
+                    self.next_free[i] = now + self.s;
+                    started.push(o);
+                }
+            }
+        }
+        if started.len() >= 2 {
+            self.same_cycle_starts += 1;
+        }
+        started
+    }
+
+    fn credit_return(&mut self, input: usize, now: Cycle) {
+        if let Some(senders) = &mut self.senders {
+            senders[input].return_credit(now);
+        }
+    }
+
+    /// No offer will ever launch again.
+    fn exhausted(&self) -> bool {
+        self.pending.iter().all(VecDeque::is_empty)
+            && self
+                .senders
+                .as_ref()
+                .is_none_or(|ss| ss.iter().all(|s| s.backlog() == 0))
+    }
+
+    /// Final credit-conservation audit against the testbench ledger.
+    fn audit(&self, actual_outstanding: &[u32], org: Org) -> Result<(), SimError> {
+        if let Some(senders) = &self.senders {
+            for (i, sender) in senders.iter().enumerate() {
+                sender.audit(actual_outstanding[i], &format!("{org} input {i}"))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The three word-level organizations behind one tick interface.
+enum WordSwitch {
+    Pipelined(Box<PipelinedSwitch>),
+    Wide(Box<WideMemorySwitchRtl>),
+    Interleaved(Box<InterleavedSwitch>),
+}
+
+impl WordSwitch {
+    fn tick(&mut self, wire: &[Option<u64>]) -> Vec<Option<u64>> {
+        match self {
+            WordSwitch::Pipelined(sw) => sw.tick(wire),
+            WordSwitch::Wide(sw) => sw.tick(wire),
+            WordSwitch::Interleaved(sw) => sw.tick(wire),
+        }
+    }
+
+    fn now(&self) -> Cycle {
+        match self {
+            WordSwitch::Pipelined(sw) => sw.now(),
+            WordSwitch::Wide(sw) => sw.now(),
+            WordSwitch::Interleaved(sw) => sw.now(),
+        }
+    }
+
+    fn is_quiescent(&self) -> bool {
+        match self {
+            WordSwitch::Pipelined(sw) => sw.is_quiescent(),
+            WordSwitch::Wide(sw) => sw.is_quiescent(),
+            WordSwitch::Interleaved(sw) => sw.is_quiescent(),
+        }
+    }
+
+    fn counters(&self) -> SwitchCounters {
+        match self {
+            WordSwitch::Pipelined(sw) => sw.counters(),
+            WordSwitch::Wide(sw) => sw.counters(),
+            WordSwitch::Interleaved(sw) => sw.counters(),
+        }
+    }
+}
+
+/// Hard cap on simulated cycles past the scenario horizon before a run is
+/// declared hung (a divergence in its own right).
+const DRAIN_CAP: Cycle = 200_000;
+
+/// Replay `sc` on organization `org` and report everything it did.
+pub fn run(sc: &Scenario, org: Org) -> RunOutcome {
+    match org {
+        Org::Behavioral => run_behavioral(sc),
+        _ => run_word(sc, org),
+    }
+}
+
+fn run_word(sc: &Scenario, org: Org) -> RunOutcome {
+    let n = sc.n;
+    let s = sc.stages();
+    let cfg = SwitchConfig::symmetric(n, sc.slots);
+    let mut sw = match org {
+        Org::Pipelined => WordSwitch::Pipelined(Box::new(PipelinedSwitch::new(cfg.clone()))),
+        Org::Wide => WordSwitch::Wide(Box::new(WideMemorySwitchRtl::new(WideSwitchConfig::fig3(
+            n, sc.slots,
+        )))),
+        Org::Interleaved => WordSwitch::Interleaved(Box::new(InterleavedSwitch::new(
+            InterleavedSwitchConfig::symmetric(n, sc.slots),
+        ))),
+        Org::Behavioral => unreachable!("behavioral runs via run_behavioral"),
+    };
+    // Faults strike the pipelined RTL only: the other organizations stay
+    // clean references, so any effective upset becomes a divergence.
+    let mut plan = match (&sw, sc.fault) {
+        (WordSwitch::Pipelined(_), Some(f)) => Some(FaultPlan::generate(
+            FaultKind::BankUpset,
+            f.rate,
+            sc.horizon,
+            &cfg,
+            f.seed,
+        )),
+        _ => None,
+    };
+    let mut col = OutputCollector::new(n, s);
+    let mut launcher = Launcher::new(sc);
+    let mut current: Vec<Option<(Vec<u64>, usize)>> = (0..n).map(|_| None).collect();
+    let mut launches = Vec::new();
+    let mut deliveries = Vec::new();
+    let mut id_input: HashMap<u64, usize> = HashMap::new();
+    let mut payload_failures = 0u64;
+    let mut error = None;
+    let cap = sc.horizon + DRAIN_CAP;
+    let mut grace: Cycle = 0;
+    let mut wire: Vec<Option<u64>> = vec![None; n];
+    loop {
+        let now = sw.now();
+        // The buffer manager can be empty while tail words are still on
+        // the output wires, so idle-ness must persist for a full packet
+        // time before the run is considered drained.
+        let idle = launcher.exhausted() && current.iter().all(Option::is_none) && sw.is_quiescent();
+        if idle {
+            grace += 1;
+            if grace > s as Cycle + 4 {
+                break;
+            }
+        } else {
+            grace = 0;
+        }
+        if now >= cap {
+            error = Some(SimError::Watchdog {
+                limit: cap,
+                context: format!("{org} failed to drain"),
+            });
+            break;
+        }
+        if let Some(plan) = &mut plan {
+            for f in plan.take_due(now) {
+                if let (FaultAction::BankUpset { stage, slot, mask }, WordSwitch::Pipelined(sw)) =
+                    (f.action, &mut sw)
+                {
+                    sw.inject_bank_fault(stage, slot, mask);
+                }
+            }
+        }
+        for o in launcher.poll(now) {
+            let p = Packet::synth(o.id, o.input, o.dst, s, now);
+            launches.push(Launch {
+                id: o.id,
+                input: o.input,
+                dst: o.dst,
+                at: now,
+            });
+            id_input.insert(o.id, o.input);
+            debug_assert!(current[o.input].is_none(), "launch while wire busy");
+            current[o.input] = Some((p.words, 0));
+        }
+        for (w, slot) in wire.iter_mut().zip(current.iter_mut()) {
+            *w = None;
+            if let Some((words, k)) = slot {
+                *w = Some(words[*k]);
+                *k += 1;
+                if *k == words.len() {
+                    *slot = None;
+                }
+            }
+        }
+        let out = sw.tick(&wire);
+        col.observe(now, &out);
+        for d in col.take() {
+            if !d.verify_payload() {
+                payload_failures += 1;
+            }
+            deliveries.push(Delivery {
+                id: d.id,
+                output: d.output.index(),
+                first: d.first_cycle,
+                last: d.last_cycle,
+            });
+            // Return the credit to whoever launched this id; a corrupted
+            // header that no longer names a launched id returns nothing,
+            // and the final audit reports the leak.
+            if let Some(&input) = id_input.get(&d.id) {
+                launcher.credit_return(input, now);
+            }
+        }
+    }
+    if error.is_none() {
+        let mut outstanding = vec![0u32; n];
+        for l in &launches {
+            outstanding[l.input] += 1;
+        }
+        for d in &deliveries {
+            if let Some(&i) = id_input.get(&d.id) {
+                outstanding[i] = outstanding[i].saturating_sub(1);
+            }
+        }
+        if let Err(e) = launcher.audit(&outstanding, org) {
+            error = Some(e);
+        }
+    }
+    RunOutcome {
+        org,
+        launches,
+        deliveries,
+        counters: sw.counters(),
+        payload_failures,
+        stalls: launcher.stalls,
+        same_cycle_starts: launcher.same_cycle_starts,
+        idle_head_latencies: Vec::new(),
+        error,
+    }
+}
+
+fn run_behavioral(sc: &Scenario) -> RunOutcome {
+    let n = sc.n;
+    let cfg = SwitchConfig::symmetric(n, sc.slots);
+    let mut sw = BehavioralSwitch::new(cfg);
+    let mut launcher = Launcher::new(sc);
+    // The behavioral model numbers packets internally; recover scenario
+    // ids through the (input, birth) pair — unique because each input
+    // launches at most one header per cycle.
+    let mut key_to_id: HashMap<(usize, Cycle), u64> = HashMap::new();
+    let mut launches = Vec::new();
+    let mut deliveries = Vec::new();
+    let mut idle_head_latencies = Vec::new();
+    let mut error = None;
+    let mut arrivals: Vec<Option<usize>> = vec![None; n];
+    let cap = sc.horizon + DRAIN_CAP;
+    let mut now: Cycle = 0;
+    let mut grace: Cycle = 0;
+    loop {
+        let idle = launcher.exhausted() && sw.is_quiescent();
+        if idle {
+            grace += 1;
+            if grace > sc.stages() as Cycle + 4 {
+                break;
+            }
+        } else {
+            grace = 0;
+        }
+        if now >= cap {
+            error = Some(SimError::Watchdog {
+                limit: cap,
+                context: "behavioral failed to drain".to_string(),
+            });
+            break;
+        }
+        arrivals.fill(None);
+        for o in launcher.poll(now) {
+            debug_assert!(sw.input_free(o.input), "launch while input busy");
+            arrivals[o.input] = Some(o.dst);
+            key_to_id.insert((o.input, now), o.id);
+            launches.push(Launch {
+                id: o.id,
+                input: o.input,
+                dst: o.dst,
+                at: now,
+            });
+        }
+        let departures = sw.tick(&arrivals).to_vec();
+        for d in departures {
+            let id = *key_to_id
+                .get(&(d.input, d.birth))
+                .expect("departure for a packet that was never launched");
+            deliveries.push(Delivery {
+                id,
+                output: d.output,
+                first: d.read_start + 1,
+                last: d.done,
+            });
+            if d.output_was_idle {
+                idle_head_latencies.push(d.head_latency());
+            }
+            launcher.credit_return(d.input, now);
+        }
+        now += 1;
+    }
+    if error.is_none() {
+        let mut outstanding = vec![0u32; n];
+        for l in &launches {
+            outstanding[l.input] += 1;
+        }
+        for d in &deliveries {
+            if let Some(l) = launches.iter().find(|l| l.id == d.id) {
+                outstanding[l.input] = outstanding[l.input].saturating_sub(1);
+            }
+        }
+        if let Err(e) = launcher.audit(&outstanding, Org::Behavioral) {
+            error = Some(e);
+        }
+    }
+    let counters = SwitchCounters {
+        // The behavioral model counts only *accepted* packets in
+        // `arrived`; the RTL counts every header. Normalize to the RTL
+        // convention so one conservation law covers both.
+        arrived: sw.arrived + sw.dropped,
+        departed: deliveries.len() as u64,
+        dropped_buffer_full: sw.dropped,
+        latch_overruns: sw.overruns,
+        ..SwitchCounters::default()
+    };
+    RunOutcome {
+        org: Org::Behavioral,
+        launches,
+        deliveries,
+        counters,
+        payload_failures: 0,
+        stalls: launcher.stalls,
+        same_cycle_starts: launcher.same_cycle_starts,
+        idle_head_latencies,
+        error,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{Offer, Scenario};
+
+    fn tiny(credited: bool) -> Scenario {
+        Scenario {
+            seed: 0,
+            n: 2,
+            slots: 4,
+            credited,
+            load: 0.5,
+            offers: vec![
+                Offer {
+                    at: 0,
+                    input: 0,
+                    dst: 1,
+                    id: 1,
+                },
+                Offer {
+                    at: 2,
+                    input: 1,
+                    dst: 0,
+                    id: 2,
+                },
+            ],
+            horizon: 64,
+            fault: None,
+        }
+    }
+
+    #[test]
+    fn every_org_delivers_the_tiny_schedule() {
+        for credited in [false, true] {
+            let sc = tiny(credited);
+            for org in Org::ALL {
+                let r = run(&sc, org);
+                assert!(r.error.is_none(), "{org}: {:?}", r.error);
+                assert_eq!(r.launches.len(), 2, "{org} launches");
+                assert_eq!(r.deliveries.len(), 2, "{org} deliveries");
+                assert_eq!(r.payload_failures, 0, "{org} payload");
+                let mut ids: Vec<u64> = r.deliveries.iter().map(|d| d.id).collect();
+                ids.sort_unstable();
+                assert_eq!(ids, vec![1, 2], "{org} ids");
+            }
+        }
+    }
+
+    #[test]
+    fn rtl_and_behavioral_agree_on_the_tiny_schedule() {
+        let sc = tiny(true);
+        let a = run(&sc, Org::Pipelined);
+        let b = run(&sc, Org::Behavioral);
+        let key = |r: &RunOutcome| {
+            let mut v: Vec<(u64, usize, Cycle, Cycle)> = r
+                .deliveries
+                .iter()
+                .map(|d| (d.id, d.output, d.first, d.last))
+                .collect();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(key(&a), key(&b), "cycle-exact departure agreement");
+    }
+
+    #[test]
+    fn credited_starvation_counts_stalls() {
+        // One slot, one credit: the second same-input offer must stall
+        // until the first packet's slot is freed downstream.
+        let sc = Scenario {
+            seed: 0,
+            n: 2,
+            slots: 2, // 1 credit per input
+            credited: true,
+            load: 1.0,
+            offers: vec![
+                Offer {
+                    at: 0,
+                    input: 0,
+                    dst: 1,
+                    id: 1,
+                },
+                Offer {
+                    at: 4,
+                    input: 0,
+                    dst: 1,
+                    id: 2,
+                },
+            ],
+            horizon: 64,
+            fault: None,
+        };
+        let r = run(&sc, Org::Interleaved);
+        assert!(r.error.is_none(), "{:?}", r.error);
+        assert_eq!(r.deliveries.len(), 2);
+        assert!(
+            r.stalls > 0,
+            "store-and-forward holds the bank past the second offer time"
+        );
+    }
+}

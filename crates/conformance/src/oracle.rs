@@ -1,0 +1,374 @@
+//! The shared oracle: what *must* hold, for every organization and
+//! across organizations, when they replay the same scenario.
+//!
+//! Every violated property becomes a [`SimError::Divergence`] naming the
+//! failed check — the value the shrinker minimizes against, so a shrunk
+//! reproducer still fails the *same* check as the original.
+
+use crate::driver::{run, Org, RunOutcome};
+use crate::scenario::Scenario;
+use simkernel::error::SimError;
+use simkernel::ids::Cycle;
+use std::collections::{BTreeSet, HashMap};
+
+/// Per-scenario statistics the campaign aggregates: coverage counters
+/// (did the schedule actually reach the §3.2 corner cases?) and the §3.4
+/// latency measurement population.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ScenarioStats {
+    /// Packets launched (pipelined run).
+    pub launched: u64,
+    /// Packets delivered (pipelined run).
+    pub delivered: u64,
+    /// Cycles where a read wave and a write wave contended for the single
+    /// initiation port (§3.2 arbitration collision).
+    pub rw_collisions: u64,
+    /// Reads that fused onto their packet's write wave (§3.3 cut-through).
+    pub cut_through_hits: u64,
+    /// Cycles where two or more inputs started transmission together.
+    pub same_cycle_starts: u64,
+    /// Full-buffer backpressure events: credit-starved input cycles plus
+    /// buffer-full drops in open mode, summed over organizations.
+    pub full_buffer_stalls: u64,
+    /// Σ (head latency − 2) over idle-output behavioral departures.
+    pub idle_excess_sum: f64,
+    /// Number of idle-output behavioral departures.
+    pub idle_excess_count: u64,
+    /// Σ of the §3.4 formula `(p/4)·(n−1)/n` evaluated at this scenario's
+    /// measured load, once per idle-output departure.
+    pub idle_formula_sum: f64,
+}
+
+/// The §3.4 expected extra cut-through latency at load `p`, `n` ports.
+pub fn staggered_initiation_formula(p: f64, n: usize) -> f64 {
+    (p / 4.0) * (n as f64 - 1.0) / n as f64
+}
+
+fn div(check: &str, detail: String) -> SimError {
+    SimError::Divergence {
+        check: check.to_string(),
+        detail,
+    }
+}
+
+/// Run all four organizations on `sc` and check the shared oracle.
+pub fn check_scenario(sc: &Scenario) -> Result<ScenarioStats, SimError> {
+    let runs: Vec<RunOutcome> = Org::ALL.iter().map(|&o| run(sc, o)).collect();
+    check_runs(sc, &runs)
+}
+
+/// Oracle over already-collected runs (one per organization, in
+/// [`Org::ALL`] order).
+pub fn check_runs(sc: &Scenario, runs: &[RunOutcome]) -> Result<ScenarioStats, SimError> {
+    for r in runs {
+        if let Some(e) = &r.error {
+            return Err(e.clone());
+        }
+        check_one(sc, r)?;
+    }
+    let rtl = &runs[0];
+    let bhv = &runs[1];
+    check_rtl_behavioral_exact(rtl, bhv)?;
+    if sc.credited {
+        check_delivered_sets_equal(runs)?;
+    }
+    check_latency(sc, bhv)?;
+    let mut stats = ScenarioStats {
+        launched: rtl.launches.len() as u64,
+        delivered: rtl.deliveries.len() as u64,
+        rw_collisions: rtl.counters.rw_collisions,
+        cut_through_hits: rtl.counters.fused_reads,
+        same_cycle_starts: rtl.same_cycle_starts,
+        full_buffer_stalls: runs
+            .iter()
+            .map(|r| r.stalls + r.counters.dropped_buffer_full)
+            .sum(),
+        ..ScenarioStats::default()
+    };
+    accumulate_latency(sc, bhv, &mut stats);
+    Ok(stats)
+}
+
+/// Properties of a single organization's run.
+fn check_one(sc: &Scenario, r: &RunOutcome) -> Result<(), SimError> {
+    let s = sc.stages() as Cycle;
+    let c = &r.counters;
+    let org = r.org;
+    if c.arrived != r.launches.len() as u64 {
+        return Err(div(
+            &format!("{org}-conservation"),
+            format!(
+                "launched {} but switch counted {} arrivals",
+                r.launches.len(),
+                c.arrived
+            ),
+        ));
+    }
+    if c.departed != r.deliveries.len() as u64 {
+        return Err(div(
+            &format!("{org}-conservation"),
+            format!(
+                "switch counted {} departures but {} packets were collected",
+                c.departed,
+                r.deliveries.len()
+            ),
+        ));
+    }
+    let accounted = c.departed + c.dropped_buffer_full + c.latch_overruns + c.corrupt_drops;
+    if c.arrived != accounted {
+        return Err(div(
+            &format!("{org}-conservation"),
+            format!(
+                "{} arrived != {} departed + {} dropped + {} overrun + {} scrubbed",
+                c.arrived, c.departed, c.dropped_buffer_full, c.latch_overruns, c.corrupt_drops
+            ),
+        ));
+    }
+    if r.payload_failures > 0 {
+        return Err(div(
+            &format!("{org}-payload"),
+            format!(
+                "{} delivered packets failed payload verification",
+                r.payload_failures
+            ),
+        ));
+    }
+    if sc.credited && (c.dropped_buffer_full > 0 || c.latch_overruns > 0) {
+        return Err(div(
+            &format!("{org}-zero-loss"),
+            format!(
+                "credit backpressure active yet {} buffer-full drops, {} overruns",
+                c.dropped_buffer_full, c.latch_overruns
+            ),
+        ));
+    }
+    // Per-flow FIFO: on every (input, dst) flow, deliveries ordered by
+    // wire time must preserve launch order.
+    let mut launch_pos: HashMap<u64, usize> = HashMap::new();
+    for (k, l) in r.launches.iter().enumerate() {
+        launch_pos.insert(l.id, k);
+    }
+    let flow_of: HashMap<u64, (usize, usize)> = r
+        .launches
+        .iter()
+        .map(|l| (l.id, (l.input, l.dst)))
+        .collect();
+    let mut per_flow: HashMap<(usize, usize), Vec<(Cycle, u64)>> = HashMap::new();
+    for d in &r.deliveries {
+        if let Some(&flow) = flow_of.get(&d.id) {
+            per_flow.entry(flow).or_default().push((d.first, d.id));
+        }
+    }
+    for ((input, dst), mut seq) in per_flow {
+        seq.sort_unstable();
+        let mut prev: Option<usize> = None;
+        for (first, id) in seq {
+            let pos = launch_pos[&id];
+            if let Some(p) = prev {
+                if pos <= p {
+                    return Err(div(
+                        &format!("{org}-flow-fifo"),
+                        format!(
+                            "flow {input}->{dst}: packet {id} (launch #{pos}) delivered at \
+                             cycle {first} after a later-launched packet (launch #{p})"
+                        ),
+                    ));
+                }
+            }
+            prev = Some(pos);
+        }
+    }
+    // Output-link framing: transmissions are contiguous and never overlap.
+    let mut per_out: HashMap<usize, Vec<(Cycle, Cycle, u64)>> = HashMap::new();
+    for d in &r.deliveries {
+        per_out
+            .entry(d.output)
+            .or_default()
+            .push((d.first, d.last, d.id));
+    }
+    for (out, mut seq) in per_out {
+        seq.sort_unstable();
+        let mut prev_last: Option<Cycle> = None;
+        for (first, last, id) in seq {
+            if last != first + s - 1 {
+                return Err(div(
+                    &format!("{org}-framing"),
+                    format!(
+                        "output {out}: packet {id} occupied cycles {first}..={last}, \
+                         not {s} contiguous words"
+                    ),
+                ));
+            }
+            if let Some(pl) = prev_last {
+                if first <= pl {
+                    return Err(div(
+                        &format!("{org}-framing"),
+                        format!(
+                            "output {out}: packet {id} starts at {first} before the \
+                             previous transmission ended at {pl}"
+                        ),
+                    ));
+                }
+            }
+            prev_last = Some(last);
+        }
+    }
+    Ok(())
+}
+
+/// The pipelined RTL and the behavioral model claim *identical* timing
+/// semantics: same launches, same per-packet departure intervals, same
+/// drops — cycle for cycle.
+fn check_rtl_behavioral_exact(rtl: &RunOutcome, bhv: &RunOutcome) -> Result<(), SimError> {
+    if rtl.launches != bhv.launches {
+        return Err(div(
+            "rtl-vs-behavioral",
+            format!(
+                "launch schedules diverged: rtl made {} launches, behavioral {} \
+                 (first difference at index {})",
+                rtl.launches.len(),
+                bhv.launches.len(),
+                rtl.launches
+                    .iter()
+                    .zip(&bhv.launches)
+                    .position(|(a, b)| a != b)
+                    .unwrap_or(rtl.launches.len().min(bhv.launches.len()))
+            ),
+        ));
+    }
+    let key = |r: &RunOutcome| -> Vec<(u64, usize, Cycle, Cycle)> {
+        let mut v: Vec<_> = r
+            .deliveries
+            .iter()
+            .map(|d| (d.id, d.output, d.first, d.last))
+            .collect();
+        v.sort_unstable();
+        v
+    };
+    let (a, b) = (key(rtl), key(bhv));
+    if a != b {
+        let detail = a
+            .iter()
+            .zip(&b)
+            .find(|(x, y)| x != y)
+            .map(|(x, y)| format!("first mismatch: rtl {x:?} vs behavioral {y:?}"))
+            .unwrap_or_else(|| format!("rtl delivered {}, behavioral {}", a.len(), b.len()));
+        return Err(div("rtl-vs-behavioral", detail));
+    }
+    if rtl.counters.dropped_buffer_full != bhv.counters.dropped_buffer_full {
+        return Err(div(
+            "rtl-vs-behavioral",
+            format!(
+                "drop counts diverged: rtl {} vs behavioral {}",
+                rtl.counters.dropped_buffer_full, bhv.counters.dropped_buffer_full
+            ),
+        ));
+    }
+    Ok(())
+}
+
+/// Under credit backpressure no organization may lose a packet, so all
+/// four must deliver exactly the same id set.
+fn check_delivered_sets_equal(runs: &[RunOutcome]) -> Result<(), SimError> {
+    let sets: Vec<BTreeSet<u64>> = runs
+        .iter()
+        .map(|r| r.deliveries.iter().map(|d| d.id).collect())
+        .collect();
+    for (r, set) in runs.iter().zip(&sets).skip(1) {
+        if *set != sets[0] {
+            let missing: Vec<u64> = sets[0].difference(set).take(4).copied().collect();
+            let extra: Vec<u64> = set.difference(&sets[0]).take(4).copied().collect();
+            return Err(div(
+                &format!("delivered-set-{}", r.org),
+                format!(
+                    "{} delivered {} packets vs {} by {}: missing {missing:?}, extra {extra:?}",
+                    r.org,
+                    set.len(),
+                    runs[0].org,
+                    sets[0].len()
+                ),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Per-packet cut-through latency hard bound: a unicast packet that found
+/// its output idle must see its first word leave within `[2, S+1]` cycles
+/// of its header — at best the fused §3.3 cut-through (`a+2`), at worst a
+/// read fused onto a write wave postponed to its `a+S` deadline.
+fn check_latency(sc: &Scenario, bhv: &RunOutcome) -> Result<(), SimError> {
+    let s = sc.stages() as Cycle;
+    for &h in &bhv.idle_head_latencies {
+        if h < 2 || h > s + 1 {
+            return Err(div(
+                "cut-through-latency",
+                format!(
+                    "idle-output head latency {h} outside the hard bound [2, {}]",
+                    s + 1
+                ),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Fold this scenario's §3.4 measurement population into `stats`: the
+/// campaign compares Σ excess against Σ formula, weighted per departure.
+fn accumulate_latency(sc: &Scenario, bhv: &RunOutcome, stats: &mut ScenarioStats) {
+    if bhv.launches.is_empty() {
+        return;
+    }
+    let s = sc.stages() as f64;
+    let first = bhv.launches.first().expect("non-empty").at;
+    let last = bhv.launches.last().expect("non-empty").at;
+    let span = ((last + sc.stages() as Cycle) - first).max(1) as f64;
+    let p = (bhv.launches.len() as f64 * s / (sc.n as f64 * span)).min(1.0);
+    let formula = staggered_initiation_formula(p, sc.n);
+    for &h in &bhv.idle_head_latencies {
+        stats.idle_excess_sum += (h as f64) - 2.0;
+        stats.idle_excess_count += 1;
+        stats.idle_formula_sum += formula;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Scenario;
+
+    #[test]
+    fn a_spread_of_generated_scenarios_passes_the_oracle() {
+        for seed in 0..8u64 {
+            let sc = Scenario::generate(seed);
+            let stats = check_scenario(&sc).unwrap_or_else(|e| {
+                panic!("seed {seed} diverged: {e}\n{sc}");
+            });
+            assert_eq!(stats.launched, sc.offers.len() as u64, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn formula_matches_the_paper_examples() {
+        // §3.4: at p = 1, large n, the extra latency tends to 1/4 cycle.
+        assert!((staggered_initiation_formula(1.0, 1_000) - 0.25).abs() < 1e-3);
+        assert_eq!(staggered_initiation_formula(0.0, 8), 0.0);
+    }
+
+    #[test]
+    fn seeded_bank_upsets_are_caught_as_divergences() {
+        // Bank upsets are only *observable* while a packet resides in the
+        // banks — a fused cut-through read samples the write bus and
+        // never re-reads the upset word, so low-residency scenarios
+        // legitimately mask faults. Across a seed spread with a high
+        // upset rate, the oracle must still notice on most scenarios.
+        let mut caught = 0;
+        for seed in 0..12u64 {
+            let sc = Scenario::generate(seed).with_fault(0.3, seed ^ 0xFA17);
+            if check_scenario(&sc).is_err() {
+                caught += 1;
+            }
+        }
+        assert!(caught >= 7, "only {caught}/12 fault overlays detected");
+    }
+}

@@ -1,0 +1,285 @@
+//! Seeded scenario generation.
+//!
+//! A [`Scenario`] is a complete, self-describing test case: switch
+//! geometry, flow-control mode, and an explicit arrival schedule of
+//! [`Offer`]s. Every organization replays the *same* schedule, so any
+//! disagreement is a model divergence, not a traffic artifact.
+//!
+//! All randomness comes from `SplitMix64::stream(seed, SCENARIO_STREAM)`;
+//! the same seed regenerates the same scenario bit for bit on any machine
+//! and at any parallelism. Offers carry their packet ids explicitly
+//! (assigned at generation time), so a shrunk schedule still names the
+//! same packets as the original.
+
+use simkernel::ids::Cycle;
+use simkernel::SplitMix64;
+use std::fmt;
+
+/// RNG stream index for scenario generation. Distinct from
+/// `faultsim::TRAFFIC_STREAM` (0) and `faultsim::FAULT_STREAM` (1) so a
+/// scenario and its optional fault plan never share a stream.
+pub const SCENARIO_STREAM: u64 = 2;
+
+/// One packet offered to the switch: at cycle `at` (or as soon after as
+/// credits allow), input `input` wants to send packet `id` to `dst`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Offer {
+    /// Earliest cycle the header may enter the switch.
+    pub at: Cycle,
+    /// Input link.
+    pub input: usize,
+    /// Destination output.
+    pub dst: usize,
+    /// Packet id (unique within the scenario, stable under shrinking).
+    pub id: u64,
+}
+
+/// An optional seeded fault-injection overlay (single-event bank upsets),
+/// used to prove the oracle detects — and the shrinker minimizes — real
+/// datapath corruption.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SeededFault {
+    /// Per-cycle upset probability.
+    pub rate: f64,
+    /// Seed for `FaultPlan::generate` (stream `FAULT_STREAM`).
+    pub seed: u64,
+}
+
+/// A complete differential test case.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Seed this scenario was generated from (0 for hand-built cases).
+    pub seed: u64,
+    /// Ports per side (symmetric `n × n` switch, `S = 2n` word packets).
+    pub n: usize,
+    /// Shared-buffer capacity in packet slots.
+    pub slots: usize,
+    /// Credit backpressure active? When true each input holds
+    /// `slots / n` credits (so reservations sum to the capacity and loss
+    /// is impossible); when false, packets launch at exactly `Offer::at`
+    /// and buffer-full drops are legal.
+    pub credited: bool,
+    /// Offered per-input load the schedule was drawn at (diagnostic).
+    pub load: f64,
+    /// Arrival schedule, sorted by `at`.
+    pub offers: Vec<Offer>,
+    /// Fault-plan horizon in cycles. Kept fixed while shrinking so the
+    /// surviving offers still meet the same absolute-time faults.
+    pub horizon: Cycle,
+    /// Optional seeded bank-upset overlay (pipelined RTL only).
+    pub fault: Option<SeededFault>,
+}
+
+impl Scenario {
+    /// Packet size in words (`S = 2n`, the paper's quantum).
+    pub fn stages(&self) -> usize {
+        2 * self.n
+    }
+
+    /// Credits per input in credited mode: per-link reservations that sum
+    /// to at most the buffer capacity, the zero-loss precondition.
+    pub fn credits_per_input(&self) -> u32 {
+        debug_assert!(self.credited);
+        ((self.slots / self.n).max(1)) as u32
+    }
+
+    /// Generate the scenario for `seed`. Geometry, mode, traffic pattern
+    /// and load are all drawn from the seed; the schedule respects the
+    /// wire constraint (one header per input per `S` cycles).
+    pub fn generate(seed: u64) -> Scenario {
+        let mut g = SplitMix64::stream(seed, SCENARIO_STREAM);
+        let n = *g.choose(&[2usize, 3, 4, 8]);
+        let s = 2 * n;
+        let credited = g.chance(0.5);
+        let slots = if credited {
+            n * *g.choose(&[1usize, 2, 4])
+        } else {
+            *g.choose(&[2usize, n, 2 * n, 4 * n])
+        };
+        let load = *g.choose(&[0.2, 0.5, 0.8, 1.0]);
+        // 0 = uniform, 1 = hotspot, 2 = permutation, 3 = synchronized.
+        let pattern = *g.choose(&[0u8, 1, 2, 3]);
+        let horizon = 48 * s as Cycle;
+        // Per-cycle header probability that yields busy-fraction `load`
+        // when each start occupies the wire for S cycles.
+        let q = if load >= 1.0 {
+            1.0
+        } else {
+            load / (load + s as f64 * (1.0 - load))
+        };
+        let mut offers = Vec::new();
+        let mut next_free = vec![0 as Cycle; n];
+        for t in 0..horizon {
+            for (i, nf) in next_free.iter_mut().enumerate() {
+                if *nf > t {
+                    continue;
+                }
+                let start = match pattern {
+                    // Synchronized: all inputs may only start on quantum
+                    // boundaries — maximizes same-cycle start collisions.
+                    3 => t % s as Cycle == 0 && g.chance(load),
+                    _ => g.chance(q),
+                };
+                if !start {
+                    continue;
+                }
+                let dst = match pattern {
+                    // Hotspot: 70 % of traffic converges on output 0.
+                    1 => {
+                        if g.chance(0.7) {
+                            0
+                        } else {
+                            g.below_usize(n)
+                        }
+                    }
+                    // Permutation: conflict-free input → output mapping.
+                    2 => (i + 1) % n,
+                    _ => g.below_usize(n),
+                };
+                offers.push(Offer {
+                    at: t,
+                    input: i,
+                    dst,
+                    id: 0, // assigned below
+                });
+                *nf = t + s as Cycle;
+            }
+        }
+        for (k, o) in offers.iter_mut().enumerate() {
+            o.id = k as u64 + 1;
+        }
+        Scenario {
+            seed,
+            n,
+            slots,
+            credited,
+            load,
+            offers,
+            horizon,
+            fault: None,
+        }
+    }
+
+    /// The same scenario with a seeded bank-upset overlay.
+    pub fn with_fault(mut self, rate: f64, seed: u64) -> Scenario {
+        self.fault = Some(SeededFault { rate, seed });
+        self
+    }
+
+    /// Replacement offer schedule (shrinker helper); geometry untouched.
+    pub fn with_offers(&self, offers: Vec<Offer>) -> Scenario {
+        Scenario {
+            offers,
+            ..self.clone()
+        }
+    }
+
+    /// Largest port index referenced by the schedule (for `n` shrinking).
+    pub fn max_port(&self) -> usize {
+        self.offers
+            .iter()
+            .map(|o| o.input.max(o.dst))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+impl fmt::Display for Scenario {
+    /// Replayable form: one header line with every generation parameter,
+    /// then the schedule, one offer per line.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "scenario seed={:#018x} n={} slots={} credited={} load={:.2} horizon={}",
+            self.seed, self.n, self.slots, self.credited, self.load, self.horizon
+        )?;
+        if let Some(sf) = &self.fault {
+            write!(
+                f,
+                " fault=bank-upset rate={:.4} fseed={:#x}",
+                sf.rate, sf.seed
+            )?;
+        }
+        for o in &self.offers {
+            write!(
+                f,
+                "\n  offer id={} at={} in={} dst={}",
+                o.id, o.at, o.input, o.dst
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Scenario::generate(0xDEAD_BEEF);
+        let b = Scenario::generate(0xDEAD_BEEF);
+        assert_eq!(a, b, "same seed, same scenario, bit for bit");
+        let c = Scenario::generate(0xDEAD_BEF0);
+        assert_ne!(a, c, "neighboring seeds diverge");
+    }
+
+    #[test]
+    fn schedule_respects_wire_framing() {
+        for seed in 0..64u64 {
+            let sc = Scenario::generate(seed);
+            let s = sc.stages() as Cycle;
+            let mut last = vec![None::<Cycle>; sc.n];
+            for o in &sc.offers {
+                assert!(o.dst < sc.n && o.input < sc.n);
+                if let Some(prev) = last[o.input] {
+                    assert!(
+                        o.at >= prev + s,
+                        "input {} offers at {} and {}: closer than S={}",
+                        o.input,
+                        prev,
+                        o.at,
+                        s
+                    );
+                }
+                last[o.input] = Some(o.at);
+            }
+        }
+    }
+
+    #[test]
+    fn ids_are_unique_and_stable() {
+        let sc = Scenario::generate(7);
+        let mut ids: Vec<u64> = sc.offers.iter().map(|o| o.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), sc.offers.len(), "duplicate packet id");
+        assert!(!ids.contains(&0), "id 0 is reserved for hand-built cases");
+    }
+
+    #[test]
+    fn credited_reservations_fit_the_buffer() {
+        for seed in 0..128u64 {
+            let sc = Scenario::generate(seed);
+            if sc.credited {
+                let total = sc.credits_per_input() as usize * sc.n;
+                assert!(
+                    total <= sc.slots,
+                    "credits {}x{} exceed {} slots",
+                    sc.credits_per_input(),
+                    sc.n,
+                    sc.slots
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn display_round_trips_the_parameters() {
+        let sc = Scenario::generate(42).with_fault(0.01, 9);
+        let text = format!("{sc}");
+        assert!(text.contains("seed=0x000000000000002a"));
+        assert!(text.contains("fault=bank-upset"));
+        assert!(text.lines().count() == sc.offers.len() + 1);
+    }
+}

@@ -1,0 +1,185 @@
+//! Greedy counterexample shrinking (delta debugging).
+//!
+//! Given a scenario that fails the oracle, repeatedly try smaller
+//! variants — fewer packets (chunked removal, halving granularity down to
+//! single offers), fewer buffer slots, a smaller switch, an earlier time
+//! origin — keeping each variant only if it *still fails*. The result is
+//! a local minimum: removing any single offer or halving any dimension
+//! again makes the failure disappear.
+//!
+//! Each candidate evaluation replays all four organizations, so the total
+//! number of evaluations is capped; within the cap the loop runs to a
+//! fixpoint.
+
+use crate::oracle::check_scenario;
+use crate::scenario::{Offer, Scenario};
+use simkernel::error::SimError;
+
+/// Evaluation budget: candidate scenarios tried before the shrinker
+/// settles for the best reproducer found so far.
+const BUDGET: usize = 800;
+
+struct Shrinker {
+    evals: usize,
+}
+
+impl Shrinker {
+    /// `Some(error)` if the candidate still fails (and budget remains).
+    fn fails(&mut self, cand: &Scenario) -> Option<SimError> {
+        if self.evals >= BUDGET {
+            return None;
+        }
+        self.evals += 1;
+        check_scenario(cand).err()
+    }
+
+    fn out_of_budget(&self) -> bool {
+        self.evals >= BUDGET
+    }
+}
+
+/// Shrink a failing scenario to a minimal reproducer. Returns the
+/// smallest scenario found and the divergence it still produces.
+///
+/// Panics if `sc` does not fail the oracle.
+pub fn shrink(sc: &Scenario) -> (Scenario, SimError) {
+    let mut sh = Shrinker { evals: 0 };
+    let mut best = sc.clone();
+    let mut best_err = sh
+        .fails(&best)
+        .expect("shrink called on a scenario that passes the oracle");
+    loop {
+        let mut improved = false;
+        improved |= shrink_offers(&mut sh, &mut best, &mut best_err);
+        improved |= shrink_slots(&mut sh, &mut best, &mut best_err);
+        improved |= shrink_ports(&mut sh, &mut best, &mut best_err);
+        improved |= shift_origin(&mut sh, &mut best, &mut best_err);
+        if !improved || sh.out_of_budget() {
+            break;
+        }
+    }
+    (best, best_err)
+}
+
+/// Remove offer chunks, halving the granularity down to single offers.
+fn shrink_offers(sh: &mut Shrinker, best: &mut Scenario, best_err: &mut SimError) -> bool {
+    let mut improved = false;
+    let mut gran = best.offers.len().div_ceil(2).max(1);
+    loop {
+        let mut removed_any = false;
+        let mut i = 0;
+        while i < best.offers.len() {
+            if sh.out_of_budget() {
+                return improved;
+            }
+            let end = (i + gran).min(best.offers.len());
+            let mut offers = best.offers.clone();
+            offers.drain(i..end);
+            let cand = best.with_offers(offers);
+            if let Some(e) = sh.fails(&cand) {
+                *best = cand;
+                *best_err = e;
+                removed_any = true;
+                improved = true;
+                // Same index now points at the next surviving chunk.
+            } else {
+                i = end;
+            }
+        }
+        if gran == 1 {
+            if !removed_any {
+                return improved;
+            }
+            // One more sweep at single-offer granularity.
+        } else {
+            gran = (gran / 2).max(1);
+        }
+    }
+}
+
+/// Halve the buffer while the failure persists. In credited mode the
+/// buffer may not drop below one slot per input, or the zero-loss
+/// precondition (reservations ≤ capacity) would no longer hold.
+fn shrink_slots(sh: &mut Shrinker, best: &mut Scenario, best_err: &mut SimError) -> bool {
+    let floor = if best.credited { best.n } else { 1 };
+    let mut improved = false;
+    while best.slots / 2 >= floor {
+        if sh.out_of_budget() {
+            return improved;
+        }
+        let mut cand = best.clone();
+        cand.slots /= 2;
+        match sh.fails(&cand) {
+            Some(e) => {
+                *best = cand;
+                *best_err = e;
+                improved = true;
+            }
+            None => break,
+        }
+    }
+    improved
+}
+
+/// Halve the switch itself when no surviving offer uses the upper ports.
+fn shrink_ports(sh: &mut Shrinker, best: &mut Scenario, best_err: &mut SimError) -> bool {
+    let mut improved = false;
+    while best.n / 2 >= 1 && best.max_port() < best.n / 2 {
+        if sh.out_of_budget() {
+            return improved;
+        }
+        let mut cand = best.clone();
+        cand.n /= 2;
+        if cand.credited && cand.slots < cand.n {
+            break;
+        }
+        match sh.fails(&cand) {
+            Some(e) => {
+                *best = cand;
+                *best_err = e;
+                improved = true;
+            }
+            None => break,
+        }
+    }
+    improved
+}
+
+/// Translate the schedule to start at cycle 0 (cosmetic, but makes
+/// reproducers read as self-contained traces).
+fn shift_origin(sh: &mut Shrinker, best: &mut Scenario, best_err: &mut SimError) -> bool {
+    let Some(base) = best.offers.iter().map(|o| o.at).min() else {
+        return false;
+    };
+    if base == 0 || sh.out_of_budget() {
+        return false;
+    }
+    let offers: Vec<Offer> = best
+        .offers
+        .iter()
+        .map(|o| Offer {
+            at: o.at - base,
+            ..*o
+        })
+        .collect();
+    let cand = best.with_offers(offers);
+    if let Some(e) = sh.fails(&cand) {
+        *best = cand;
+        *best_err = e;
+        true
+    } else {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "passes the oracle")]
+    fn refuses_a_passing_scenario() {
+        let sc = Scenario::generate(0);
+        let _ = shrink(&sc);
+    }
+}

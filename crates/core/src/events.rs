@@ -176,6 +176,11 @@ pub struct SwitchCounters {
     /// Bank writes suppressed by an injected stuck-stage-control fault
     /// (each one leaves one stale word in a live slot).
     pub writes_suppressed: u64,
+    /// Cycles in which both a read wave and a write wave requested
+    /// initiation — the §3.2 arbitration collision the single initiation
+    /// port forces the arbiter to resolve (reads win under the shipped
+    /// policy). Conformance-fuzz coverage requires this to be exercised.
+    pub rw_collisions: u64,
 }
 
 impl SwitchCounters {
@@ -228,6 +233,7 @@ mod tests {
             corrupt_drops: 1,
             corrupt_delivered: 1,
             writes_suppressed: 0,
+            rw_collisions: 0,
         };
         // corrupt_delivered packets also count as departed; only the
         // pre-transmission drops leave the in-flight population.

@@ -59,6 +59,7 @@ pub mod ctrl;
 pub mod events;
 pub mod faultsim;
 pub mod halfq;
+pub mod ibank;
 pub mod rtl;
 pub mod vcroute;
 pub mod widemem;
@@ -73,6 +74,7 @@ pub use ctrl::{ControlChecker, ControlPipeline};
 pub use events::{IntegrityReason, SwitchEvent};
 pub use faultsim::{Fault, FaultAction, FaultKind, FaultPlan, WireFaults};
 pub use halfq::HalfQuantumBuffer;
+pub use ibank::{InterleavedSwitch, InterleavedSwitchConfig};
 pub use rtl::{DeliveredPacket, PipelinedSwitch};
 pub use vcroute::{RoutingTable, TranslatedSwitch};
 pub use widemem::{WideMemorySwitchRtl, WideSwitchConfig};

@@ -561,6 +561,11 @@ impl PipelinedSwitch {
             }
         }
         let had_work = !reads.is_empty() || !writes.is_empty();
+        if !reads.is_empty() && !writes.is_empty() {
+            // §3.2 collision: the single initiation port must stagger one
+            // of the contenders to a later cycle.
+            self.counters.rw_collisions += 1;
+        }
         match self.arb.decide(&reads, &writes) {
             Decision::Read(j) => {
                 let (addr, d, freed) = self.mgr.pop_and_free(j);

@@ -183,6 +183,25 @@ impl WideMemorySwitchRtl {
                 .all(|o| o.tx.is_none() && o.next.is_none() && o.bypass.is_none())
     }
 
+    /// Store staged packet `i` into the wide memory (one whole-packet
+    /// write, this cycle's single memory operation), or count the drop
+    /// if no slot is free.
+    fn write_staged(&mut self, i: usize) {
+        let st = self.staging[i].take().expect("write_staged on empty row");
+        match self.free.pop() {
+            Some(addr) => {
+                self.mem
+                    .write_packet(addr, &st.words)
+                    .expect("one op per cycle");
+                let sum = integrity_checksum(st.words.iter().copied());
+                self.queues[st.dst].push_back((addr, st.id, st.birth, sum));
+            }
+            None => {
+                self.counters.dropped_buffer_full += 1;
+            }
+        }
+    }
+
     /// Advance one cycle: words in, words out.
     #[allow(clippy::needless_range_loop)] // per-port hardware scan over several arrays
     pub fn tick(&mut self, wire_in: &[Option<u64>]) -> Vec<Option<u64>> {
@@ -232,10 +251,36 @@ impl WideMemorySwitchRtl {
         }
 
         // ------------------------------------------------------------------
-        // 2. Memory: one whole-packet operation per cycle, reads first.
+        // 2. Memory: one whole-packet operation per cycle. Reads normally
+        //    have priority (the output links must not starve), but a
+        //    staged write whose deadline is imminent preempts them. The
+        //    §3.2 schedulability argument — every write meets its one-
+        //    packet-time deadline because at most `n` reads and `n − 1`
+        //    earlier-deadline writes precede it in its window — only
+        //    holds if reads *yield* once a write's slack runs out. With
+        //    absolute read priority, a transient fetch burst (an idle
+        //    output fetching, then immediately prefetching its double
+        //    buffer) starves a staged write past its deadline and
+        //    overflows the staging row: a packet loss credits cannot
+        //    prevent. Found by the differential conformance fuzzer.
         // ------------------------------------------------------------------
+        let deadline = |st: &Staged| st.ready + s as Cycle - 1;
         let mut mem_busy = false;
+        let urgent = (0..n)
+            .filter(|&i| {
+                self.staging[i].as_ref().is_some_and(|st| {
+                    st.ready <= c && !st.bypassed && deadline(st) < c + n as Cycle
+                })
+            })
+            .min_by_key(|&i| deadline(self.staging[i].as_ref().expect("checked")));
+        if let Some(i) = urgent {
+            self.write_staged(i);
+            mem_busy = true;
+        }
         for j in 0..n {
+            if mem_busy {
+                break;
+            }
             if self.outs[j].next.is_some() {
                 continue;
             }
@@ -265,19 +310,7 @@ impl WideMemorySwitchRtl {
                 })
                 .min_by_key(|&i| self.staging[i].as_ref().expect("checked").ready);
             if let Some(i) = cand {
-                let st = self.staging[i].take().expect("checked");
-                match self.free.pop() {
-                    Some(addr) => {
-                        self.mem
-                            .write_packet(addr, &st.words)
-                            .expect("one op per cycle");
-                        let sum = integrity_checksum(st.words.iter().copied());
-                        self.queues[st.dst].push_back((addr, st.id, st.birth, sum));
-                    }
-                    None => {
-                        self.counters.dropped_buffer_full += 1;
-                    }
-                }
+                self.write_staged(i);
             } else if let Some(i) = (0..n).find(|&i| {
                 self.staging[i]
                     .as_ref()
@@ -306,13 +339,23 @@ impl WideMemorySwitchRtl {
                 self.counters.arrived += 1;
                 self.asm_meta[i] = Some((dst, id, c, false));
                 // Cut-through over the bypass crossbar: output idle (no
-                // tx, no next, no bypass) and nothing queued for it.
+                // tx, no next, no bypass) and nothing pending for it —
+                // neither queued in the memory nor sitting in a staging
+                // row awaiting its write slot. Staged packets count: one
+                // stuck behind a busy memory would otherwise be overtaken
+                // by a later packet of the same flow (FIFO violation).
                 if self.cfg.cut_through_crossbar {
                     let out = &self.outs[dst];
+                    let staged_pending = self
+                        .staging
+                        .iter()
+                        .flatten()
+                        .any(|st| !st.bypassed && st.dst == dst);
                     if out.tx.is_none()
                         && out.next.is_none()
                         && out.bypass.is_none()
                         && self.queues[dst].is_empty()
+                        && !staged_pending
                     {
                         let _ = id;
                         self.outs[dst].bypass = Some(BypassTx {
@@ -515,6 +558,62 @@ mod tests {
             overruns_single > 0,
             "single buffering must drop under the same workload — the
              reason fig. 3 needs the second row"
+        );
+    }
+
+    #[test]
+    fn bypass_may_not_overtake_a_staged_packet_for_the_same_output() {
+        // Found by the conformance fuzzer: packet p1 (input 0 → output 0)
+        // sits fully assembled in the staging row while the memory is busy
+        // with a fetch; its follower p2 on the same input then sees output
+        // 0 idle with an empty queue and takes the bypass crossbar —
+        // departing before p1, a per-flow FIFO violation. The bypass
+        // condition must treat staged packets as pending for their output.
+        //
+        // Schedule (n = 3, S = 6) engineering the window:
+        //   input 1: q  → dst 0, words at cycles 1..=6  (bypasses out 0)
+        //   input 2: w1 → dst 1, words at cycles 0..=5  (bypasses out 1)
+        //   input 2: r  → dst 1, words at cycles 6..=11 (stored; its fetch
+        //            at cycle 13 is what keeps p1 stuck in staging)
+        //   input 0: p1 → dst 0, words at cycles 7..=12 (stored)
+        //   input 0: p2 → dst 0, words at cycles 13..=18
+        let cfg = WideSwitchConfig::fig3(3, 8);
+        let s = cfg.packet_words();
+        let schedule = [
+            (1usize, Packet::synth(10, 1, 0, s, 1)),
+            (0usize, Packet::synth(20, 2, 1, s, 0)),
+            (6usize, Packet::synth(21, 2, 1, s, 6)),
+            (7usize, Packet::synth(30, 0, 0, s, 7)),
+            (13usize, Packet::synth(31, 0, 0, s, 13)),
+        ];
+        let pkts = {
+            let mut sw = WideMemorySwitchRtl::new(cfg);
+            let mut col = OutputCollector::new(3, s);
+            for t in 0..80usize {
+                let mut wire = vec![None; 3];
+                for (start, p) in &schedule {
+                    if t >= *start && t < start + s {
+                        let i = p.src.index();
+                        assert!(wire[i].is_none());
+                        wire[i] = Some(p.words[t - *start]);
+                    }
+                }
+                let now = sw.now();
+                let out = sw.tick(&wire);
+                col.observe(now, &out);
+            }
+            col.take()
+        };
+        assert_eq!(pkts.len(), 5, "all five packets deliver");
+        let out0: Vec<u64> = pkts
+            .iter()
+            .filter(|p| p.output.index() == 0 && p.id >= 30)
+            .map(|p| p.id)
+            .collect();
+        assert_eq!(
+            out0,
+            vec![30, 31],
+            "same-flow packets must depart in arrival order"
         );
     }
 

@@ -90,6 +90,16 @@ impl InterleavedMemory {
         self.banks[b.0].read(Addr(k))
     }
 
+    /// Observe word `k` of bank `b` without consuming the bank's port —
+    /// the side-channel a checksum scrub uses: real ECC logic reads the
+    /// stored bits on dedicated sense lines as part of the (single)
+    /// scheduled access, so the check must not count as a second port
+    /// operation against the model's discipline.
+    pub fn peek_word(&self, b: BankId, k: usize) -> u64 {
+        assert!(k < self.packet_words);
+        self.banks[b.0].peek(Addr(k))
+    }
+
     /// Fault injection (testbench only): flip the bits of `mask` in word
     /// `k` of bank `b`, bypassing the port discipline — a single-event
     /// upset strikes regardless of the access schedule.
@@ -126,6 +136,19 @@ mod tests {
         m.write_word(a, 0, 1).unwrap();
         m.write_word(b, 0, 2).unwrap(); // concurrent: different banks
         assert!(m.write_word(a, 1, 3).is_err(), "same bank twice in a cycle");
+    }
+
+    #[test]
+    fn peek_does_not_consume_the_port() {
+        let mut m = InterleavedMemory::new(2, 2, 16);
+        let b = m.allocate().unwrap();
+        m.begin_cycle(0);
+        m.write_word(b, 0, 0x77).unwrap();
+        // Peeking after the write must neither fail nor block the next
+        // cycle's scheduled access.
+        assert_eq!(m.peek_word(b, 0), 0x77);
+        m.begin_cycle(1);
+        assert_eq!(m.read_word(b, 0).unwrap(), 0x77);
     }
 
     #[test]

@@ -53,6 +53,17 @@ pub enum SimError {
         /// Human-readable description of the violated invariant.
         detail: String,
     },
+    /// Two models that are claimed equivalent disagreed on an observable
+    /// (a departure schedule, a delivered-packet set, a FIFO order). The
+    /// conformance fuzzer reports every oracle failure through this
+    /// variant so campaign tooling can treat divergences uniformly with
+    /// hangs and leaks.
+    Divergence {
+        /// Which oracle check failed (e.g. `"rtl-vs-behavioral"`).
+        check: String,
+        /// Human-readable description of the disagreement.
+        detail: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -71,6 +82,9 @@ impl fmt::Display for SimError {
                  outstanding, ground truth {actual_outstanding}"
             ),
             SimError::IntegrityFault { detail } => write!(f, "integrity fault: {detail}"),
+            SimError::Divergence { check, detail } => {
+                write!(f, "divergence [{check}]: {detail}")
+            }
         }
     }
 }
@@ -181,5 +195,11 @@ mod tests {
             detail: "silent corruption".into(),
         };
         assert!(i.to_string().contains("silent corruption"));
+        let d = SimError::Divergence {
+            check: "rtl-vs-behavioral".into(),
+            detail: "departure schedules differ".into(),
+        };
+        assert!(d.to_string().contains("rtl-vs-behavioral"));
+        assert!(d.to_string().contains("schedules differ"));
     }
 }

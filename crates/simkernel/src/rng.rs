@@ -113,6 +113,15 @@ impl SplitMix64 {
         (u.ln() / (1.0 - p).ln()).floor() as u64
     }
 
+    /// Uniform choice from a non-empty slice (by reference, so the
+    /// caller's table of candidate parameters needs no cloning). The
+    /// conformance scenario generator draws port counts, buffer depths
+    /// and load levels from fixed menus with this.
+    pub fn choose<'a, T>(&mut self, options: &'a [T]) -> &'a T {
+        assert!(!options.is_empty(), "choose from an empty slice");
+        &options[self.below_usize(options.len())]
+    }
+
     /// A random permutation of `0..n` (Fisher–Yates).
     pub fn permutation(&mut self, n: usize) -> Vec<usize> {
         let mut v: Vec<usize> = (0..n).collect();
@@ -226,6 +235,28 @@ mod tests {
         for _ in 0..100 {
             assert_eq!(g.geometric(1.0), 0);
         }
+    }
+
+    #[test]
+    fn choose_covers_all_options_uniformly() {
+        let mut g = SplitMix64::new(31);
+        let menu = [2usize, 4, 8, 16];
+        let mut counts = [0u32; 4];
+        for _ in 0..8_000 {
+            let v = *g.choose(&menu);
+            counts[menu.iter().position(|&m| m == v).unwrap()] += 1;
+        }
+        for &c in &counts {
+            assert!((1800..=2200).contains(&c), "bucket count {c}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty slice")]
+    fn choose_empty_panics() {
+        let mut g = SplitMix64::new(1);
+        let empty: [u8; 0] = [];
+        g.choose(&empty);
     }
 
     #[test]

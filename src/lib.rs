@@ -39,6 +39,7 @@
 //! ```
 
 pub use baselines;
+pub use conformance;
 pub use membank;
 pub use netsim;
 pub use simkernel;

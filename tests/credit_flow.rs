@@ -11,7 +11,67 @@ use telegraphos::simkernel::cell::Packet;
 use telegraphos::simkernel::SplitMix64;
 use telegraphos::switch_core::config::SwitchConfig;
 use telegraphos::switch_core::credit::CreditedInput;
+use telegraphos::switch_core::ibank::{InterleavedSwitch, InterleavedSwitchConfig};
 use telegraphos::switch_core::rtl::{OutputCollector, PipelinedSwitch};
+use telegraphos::switch_core::widemem::{WideMemorySwitchRtl, WideSwitchConfig};
+
+/// Word-level switch under test: the credit protocol (§4.2) is
+/// organization-agnostic, so the lossy-return tests run against every
+/// memory organization, not just the pipelined one.
+enum AnySwitch {
+    Pipelined(PipelinedSwitch),
+    Wide(WideMemorySwitchRtl),
+    Interleaved(InterleavedSwitch),
+}
+
+impl AnySwitch {
+    /// Build `org` at (n, slots); returns the switch and its packet
+    /// length in words (identical across organizations by construction).
+    fn build(org: &str, n: usize, slots: usize) -> (Self, usize) {
+        match org {
+            "pipelined" => {
+                let cfg = SwitchConfig::symmetric(n, slots);
+                let s = cfg.stages();
+                (AnySwitch::Pipelined(PipelinedSwitch::new(cfg)), s)
+            }
+            "wide" => {
+                let cfg = WideSwitchConfig::fig3(n, slots);
+                let s = cfg.packet_words();
+                (AnySwitch::Wide(WideMemorySwitchRtl::new(cfg)), s)
+            }
+            "interleaved" => {
+                let cfg = InterleavedSwitchConfig::symmetric(n, slots);
+                let s = cfg.packet_words();
+                (AnySwitch::Interleaved(InterleavedSwitch::new(cfg)), s)
+            }
+            other => panic!("unknown organization {other}"),
+        }
+    }
+
+    fn tick(&mut self, wire: &[Option<u64>]) -> Vec<Option<u64>> {
+        match self {
+            AnySwitch::Pipelined(sw) => sw.tick(wire),
+            AnySwitch::Wide(sw) => sw.tick(wire),
+            AnySwitch::Interleaved(sw) => sw.tick(wire),
+        }
+    }
+
+    fn now(&self) -> u64 {
+        match self {
+            AnySwitch::Pipelined(sw) => sw.now(),
+            AnySwitch::Wide(sw) => sw.now(),
+            AnySwitch::Interleaved(sw) => sw.now(),
+        }
+    }
+
+    fn counters(&self) -> telegraphos::switch_core::events::SwitchCounters {
+        match self {
+            AnySwitch::Pipelined(sw) => sw.counters(),
+            AnySwitch::Wide(sw) => sw.counters(),
+            AnySwitch::Interleaved(sw) => sw.counters(),
+        }
+    }
+}
 
 /// Drive an n×n switch at full demand with *uncredited* senders (the
 /// control case). Returns (delivered, dropped_buffer_full).
@@ -125,12 +185,13 @@ fn uncredited_senders_drop_at_same_buffer_size() {
     );
 }
 
-/// Like [`drive_credited`], but every `lose_every`-th credit return is
-/// dropped on the reverse wire, and the sender audits its conservation
-/// invariant every `audit_period` cycles against the ledger's ground
-/// truth, resyncing on a detected leak. Returns
-/// (delivered, leaks_detected, credits_recovered, final_credits).
+/// Like [`drive_credited`], but runs any memory organization, every
+/// `lose_every`-th credit return is dropped on the reverse wire, and the
+/// sender audits its conservation invariant every `audit_period` cycles
+/// against the ledger's ground truth, resyncing on a detected leak.
+/// Returns (delivered, leaks_detected, credits_recovered, final_credits).
 fn drive_credited_lossy(
+    org: &str,
     n: usize,
     slots: usize,
     credits_per_input: u32,
@@ -138,9 +199,7 @@ fn drive_credited_lossy(
     lose_every: u64,
     audit_period: u64,
 ) -> (usize, u64, u64, Vec<u32>) {
-    let cfg = SwitchConfig::symmetric(n, slots);
-    let s = cfg.stages();
-    let mut sw = PipelinedSwitch::new(cfg);
+    let (mut sw, s) = AnySwitch::build(org, n, slots);
     let mut col = OutputCollector::new(n, s);
     let mut rng = SplitMix64::new(7);
     let mut senders: Vec<CreditedInput<usize>> = (0..n)
@@ -203,6 +262,12 @@ fn drive_credited_lossy(
         }
     }
     let ctr = sw.counters();
+    // Credits only ever under-admit (loss and resync both shrink the
+    // in-flight bound), so no organization may report buffer-full drops.
+    assert_eq!(
+        ctr.dropped_buffer_full, 0,
+        "{org}: credited senders must never see buffer-full"
+    );
     let final_credits = senders.iter().map(|c| c.credits()).collect();
     (ctr.departed as usize, leaks, recovered, final_credits)
 }
@@ -226,7 +291,7 @@ fn lost_credit_returns_bleed_the_link_dry_without_audit() {
     // the failure mode the audit exists to catch.
     let n = 4;
     let (delivered, leaks, recovered, credits) =
-        drive_credited_lossy(n, 4 * n, 4, 20_000, 4, u64::MAX);
+        drive_credited_lossy("pipelined", n, 4 * n, 4, 20_000, 4, u64::MAX);
     assert_eq!(leaks, 0, "no audit, no detection");
     assert_eq!(recovered, 0);
     assert!(
@@ -247,18 +312,58 @@ fn credit_audit_detects_loss_and_resync_restores_throughput() {
     // audit must fire (CreditLeak detected), recover the lost credits,
     // and keep throughput near the lossless link's.
     let n = 4;
-    let (d_lossy, leaks, recovered, _) = drive_credited_lossy(n, 4 * n, 4, 20_000, 4, 100);
+    let (d_lossy, leaks, recovered, _) =
+        drive_credited_lossy("pipelined", n, 4 * n, 4, 20_000, 4, 100);
     assert!(leaks > 0, "audit must detect the leaked credits");
     assert!(
         recovered >= leaks,
         "each detected leak recovers >= 1 credit"
     );
     let (d_clean, clean_leaks, clean_recovered, _) =
-        drive_credited_lossy(n, 4 * n, 4, 20_000, u64::MAX, 100);
+        drive_credited_lossy("pipelined", n, 4 * n, 4, 20_000, u64::MAX, 100);
     assert_eq!(clean_leaks, 0, "false positive: audit fired without loss");
     assert_eq!(clean_recovered, 0);
     assert!(
         d_lossy as f64 > 0.5 * d_clean as f64,
         "throughput must recover after resync: {d_lossy} vs {d_clean}"
     );
+}
+
+/// The lossy-return protocol checks are organization-agnostic: run the
+/// full detect/resync cycle against the wide-memory and interleaved
+/// organizations too (until now only the pipelined RTL was exercised).
+/// Each must (a) wedge without an audit, (b) detect and recover with
+/// one, (c) keep throughput, and (d) never drop — the in-helper
+/// buffer-full assertion.
+fn lossy_credit_roundtrip(org: &str) {
+    let n = 4;
+    let (wedged, _, _, credits) = drive_credited_lossy(org, n, 4 * n, 4, 20_000, 4, u64::MAX);
+    assert!(
+        wedged < 150,
+        "{org}: without resync the link must wedge, got {wedged}"
+    );
+    assert!(
+        credits.iter().all(|&c| c == 0),
+        "{org}: every sender bled dry: {credits:?}"
+    );
+    let (d_lossy, leaks, recovered, _) = drive_credited_lossy(org, n, 4 * n, 4, 20_000, 4, 100);
+    assert!(leaks > 0, "{org}: audit must detect the leaked credits");
+    assert!(recovered >= leaks, "{org}: resync must recover credits");
+    let (d_clean, clean_leaks, _, _) =
+        drive_credited_lossy(org, n, 4 * n, 4, 20_000, u64::MAX, 100);
+    assert_eq!(clean_leaks, 0, "{org}: audit fired without loss");
+    assert!(
+        d_lossy as f64 > 0.5 * d_clean as f64,
+        "{org}: throughput must recover after resync: {d_lossy} vs {d_clean}"
+    );
+}
+
+#[test]
+fn wide_memory_survives_lossy_credit_returns() {
+    lossy_credit_roundtrip("wide");
+}
+
+#[test]
+fn interleaved_survives_lossy_credit_returns() {
+    lossy_credit_roundtrip("interleaved");
 }
