@@ -56,7 +56,7 @@ fn bench_rtl_vs_behavioral(c: &mut Criterion) {
             for (i, f) in feeders.iter_mut().enumerate() {
                 wire[i] = f.tick(sw.now());
             }
-            std::hint::black_box(sw.tick(&wire))
+            std::hint::black_box(sw.tick(&wire).len())
         });
     });
     g.finish();

@@ -1,0 +1,59 @@
+//! Fast-forward vs dense stepping — the event-horizon kernel's payoff
+//! curve. Each group replays the same precomputed arrival schedule
+//! (bit-identical departures by the `simkernel::Horizon` contract) once
+//! by ticking every cycle and once through the kernel, at 10 % / 50 % /
+//! 95 % offered load. The speedup collapses toward 1× as load rises and
+//! idle spans vanish; the low-load point is where statistical sweeps
+//! like E6 live.
+
+use bench_harness::perf::{behavioral_dense, behavioral_ff};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use simkernel::SplitMix64;
+use switch_core::config::SwitchConfig;
+
+/// The e06-style schedule at load `p` (same busy-counter replication of
+/// the dense loop's RNG draw order as `bench_harness::perf`).
+fn schedule(n: usize, p: f64, total: u64, seed: u64) -> Vec<(u64, usize, usize)> {
+    let s = SwitchConfig::symmetric(n, 4 * n.max(8)).stages();
+    let q = p / (p + s as f64 * (1.0 - p));
+    let mut rng = SplitMix64::new(seed);
+    let mut busy = vec![0usize; n];
+    let mut sched = Vec::new();
+    for t in 0..total {
+        for (i, b) in busy.iter_mut().enumerate() {
+            if *b == 0 {
+                if rng.chance(q) {
+                    sched.push((t, i, rng.below_usize(n)));
+                    *b = s - 1;
+                }
+            } else {
+                *b -= 1;
+            }
+        }
+    }
+    sched
+}
+
+fn bench_fast_forward(c: &mut Criterion) {
+    let n = 8;
+    let total = 50_000u64;
+    for &load in &[0.10, 0.50, 0.95] {
+        let mut g = c.benchmark_group(format!("fast_forward_load_{:.0}pct", load * 100.0));
+        g.throughput(Throughput::Elements(total));
+        let sched = schedule(n, load, total, 0xFF + (load * 100.0) as u64);
+        g.bench_with_input(BenchmarkId::new("dense", total), &sched, |b, sched| {
+            b.iter(|| std::hint::black_box(behavioral_dense(n, sched, total)));
+        });
+        g.bench_with_input(
+            BenchmarkId::new("fast_forward", total),
+            &sched,
+            |b, sched| {
+                b.iter(|| std::hint::black_box(behavioral_ff(n, sched, total)));
+            },
+        );
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_fast_forward);
+criterion_main!(benches);

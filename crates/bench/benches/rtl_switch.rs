@@ -22,7 +22,7 @@ fn bench_tick(c: &mut Criterion) {
                 for (i, f) in feeders.iter_mut().enumerate() {
                     wire[i] = f.tick(sw.now());
                 }
-                std::hint::black_box(sw.tick(&wire))
+                std::hint::black_box(sw.tick(&wire).len())
             });
         });
     }
@@ -48,7 +48,7 @@ fn bench_idle_vs_loaded(c: &mut Criterion) {
                     for (i, f) in feeders.iter_mut().enumerate() {
                         wire[i] = f.tick(sw.now());
                     }
-                    std::hint::black_box(sw.tick(&wire))
+                    std::hint::black_box(sw.tick(&wire).len())
                 });
             },
         );

@@ -6,6 +6,9 @@
 //! expt fuzz         differential conformance fuzz campaign
 //!   --seeds N       campaign width (default 256)
 //!   --base 0xHEX    base seed (default: the canonical campaign seed)
+//! expt bench        perf-regression harness; writes BENCH_core.json
+//!   --gate          compare against the committed BENCH_core.json
+//!                   baseline instead of overwriting it
 //! expt --quick ...  shrink run lengths (CI-sized)
 //! expt --smoke ...  shrink campaign grids below --quick (determinism
 //!                   cross-checks re-run experiments several times)
@@ -16,8 +19,9 @@
 //!
 //! Experiment grids run through the deterministic parallel engine in
 //! `bench_harness::sweep`; output is bit-identical for every `--jobs`
-//! value. Running `all` also writes `BENCH_sweeps.json` (wall-clock and
-//! points/sec per experiment) to the current directory.
+//! value. Running `all` also writes `BENCH_sweeps.json` (wall-clock,
+//! points/sec, and event-horizon skip efficiency per experiment) to the
+//! current directory.
 
 use std::fmt::Write as _;
 use std::process::ExitCode;
@@ -84,6 +88,52 @@ fn main() -> ExitCode {
     bench_harness::sweep::set_jobs(if seq { 1 } else { jobs.unwrap_or(0) });
     bench_harness::sweep::set_smoke(smoke);
 
+    if ids.iter().any(|i| i == "bench") {
+        if ids.len() > 1 {
+            eprintln!("'bench' is a standalone harness; drop the other ids");
+            return ExitCode::from(2);
+        }
+        let gate = args.iter().any(|a| a == "--gate");
+        let report = bench_harness::perf::measure(quick);
+        print!("{}", bench_harness::perf::render(&report));
+        if gate {
+            let path = "BENCH_core.json";
+            let Ok(committed) = std::fs::read_to_string(path) else {
+                eprintln!("[--gate: no committed {path} baseline found]");
+                return ExitCode::FAILURE;
+            };
+            let Some(baseline) = bench_harness::perf::parse_baseline(&committed) else {
+                eprintln!("[--gate: committed {path} is not parseable]");
+                return ExitCode::FAILURE;
+            };
+            let violations = bench_harness::perf::gate(&report, &baseline);
+            return if violations.is_empty() {
+                println!("[gate: within tolerance of committed {path}]");
+                ExitCode::SUCCESS
+            } else {
+                for v in &violations {
+                    eprintln!("[gate violation: {v}]");
+                }
+                ExitCode::FAILURE
+            };
+        }
+        let path = "BENCH_core.json";
+        return match std::fs::write(path, bench_harness::perf::to_json(&report)) {
+            Ok(()) => {
+                eprintln!("[wrote {path}]");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("[could not write {path}: {e}]");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if args.iter().any(|a| a == "--gate") {
+        eprintln!("--gate only applies to 'expt bench'");
+        return ExitCode::from(2);
+    }
+
     if ids.iter().any(|i| i == "fuzz") {
         if ids.len() > 1 {
             eprintln!("'fuzz' is a standalone campaign; drop the other ids");
@@ -108,12 +158,14 @@ fn main() -> ExitCode {
     if list || ids.is_empty() {
         eprintln!(
             "usage: expt [--quick] [--smoke] [--jobs N | --seq] <e1..e16 | x1..x5 | all>...\n       \
-             expt fuzz [--seeds N] [--base 0xHEX] [--jobs N | --seq]\n\nexperiments:"
+             expt fuzz [--seeds N] [--base 0xHEX] [--jobs N | --seq]\n       \
+             expt bench [--quick] [--gate]\n\nexperiments:"
         );
         for id in bench_harness::ALL {
             eprintln!("  {id}");
         }
         eprintln!("  fuzz  (differential conformance campaign; see EXPERIMENTS.md)");
+        eprintln!("  bench (perf-regression harness; writes/gates BENCH_core.json)");
         return if list {
             ExitCode::SUCCESS
         } else {
@@ -143,13 +195,16 @@ fn main() -> ExitCode {
     };
 
     let wall_start = std::time::Instant::now();
-    let mut timings: Vec<(&str, f64, u64)> = Vec::new(); // (id, secs, points)
+    // (id, secs, points, cycles_skipped, cycles_executed)
+    let mut timings: Vec<(&str, f64, u64, u64, u64)> = Vec::new();
     for (i, id) in selected.iter().enumerate() {
         if i > 0 {
             println!("\n{}\n", "=".repeat(90));
         }
         let t0 = std::time::Instant::now();
         let points_before = bench_harness::sweep::points_run();
+        let skipped_before = simkernel::horizon::ff_skipped();
+        let executed_before = simkernel::horizon::ff_executed();
         // `id` was validated against ALL above, but a registry mismatch
         // (id listed, module arm missing) must not take the whole run
         // down with a panic — report and fail with a clean exit code.
@@ -159,9 +214,20 @@ fn main() -> ExitCode {
         };
         let secs = t0.elapsed().as_secs_f64();
         let points = bench_harness::sweep::points_run() - points_before;
+        let skipped = simkernel::horizon::ff_skipped() - skipped_before;
+        let executed = simkernel::horizon::ff_executed() - executed_before;
         println!("{report}");
-        println!("[{id} completed in {secs:.1}s]");
-        timings.push((id, secs, points));
+        if skipped + executed > 0 {
+            println!(
+                "[{id} completed in {secs:.1}s; fast-forward skipped {skipped} of {} \
+                 kernel cycles ({:.1}%)]",
+                skipped + executed,
+                100.0 * skipped as f64 / (skipped + executed) as f64
+            );
+        } else {
+            println!("[{id} completed in {secs:.1}s]");
+        }
+        timings.push((id, secs, points, skipped, executed));
     }
 
     if run_all {
@@ -184,8 +250,10 @@ fn main() -> ExitCode {
 
 /// Render the machine-readable sweep report (hand-rolled JSON: the
 /// workspace builds offline, without serde).
-fn sweeps_json(timings: &[(&str, f64, u64)], total_secs: f64, quick: bool) -> String {
+fn sweeps_json(timings: &[(&str, f64, u64, u64, u64)], total_secs: f64, quick: bool) -> String {
     let total_points: u64 = timings.iter().map(|t| t.2).sum();
+    let total_skipped: u64 = timings.iter().map(|t| t.3).sum();
+    let total_executed: u64 = timings.iter().map(|t| t.4).sum();
     let mut s = String::new();
     s.push_str("{\n");
     let _ = writeln!(s, "  \"threads\": {},", bench_harness::sweep::jobs());
@@ -197,12 +265,20 @@ fn sweeps_json(timings: &[(&str, f64, u64)], total_secs: f64, quick: bool) -> St
         "  \"points_per_second\": {:.3},",
         total_points as f64 / total_secs.max(1e-9)
     );
+    let _ = writeln!(s, "  \"cycles_skipped\": {total_skipped},");
+    let _ = writeln!(s, "  \"cycles_executed\": {total_executed},");
+    let _ = writeln!(
+        s,
+        "  \"ff_skip_fraction\": {:.4},",
+        total_skipped as f64 / ((total_skipped + total_executed) as f64).max(1.0)
+    );
     s.push_str("  \"experiments\": [\n");
-    for (k, (id, secs, points)) in timings.iter().enumerate() {
+    for (k, (id, secs, points, skipped, executed)) in timings.iter().enumerate() {
         let _ = write!(
             s,
             "    {{\"id\": \"{id}\", \"seconds\": {secs:.3}, \"points\": {points}, \
-             \"points_per_second\": {:.3}}}",
+             \"points_per_second\": {:.3}, \"cycles_skipped\": {skipped}, \
+             \"cycles_executed\": {executed}}}",
             *points as f64 / secs.max(1e-9)
         );
         s.push_str(if k + 1 < timings.len() { ",\n" } else { "\n" });

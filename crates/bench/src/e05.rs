@@ -52,7 +52,7 @@ pub fn scenario() -> (
         let w1 = (t < 4).then(|| b.words[t as usize]);
         let wires_in = vec![w0, w1];
         let now = sw.now();
-        let out = sw.tick(&wires_in);
+        let out = sw.tick(&wires_in).to_vec();
         col.observe(now, &out);
         cycles.push(E5Cycle {
             cycle: now,
@@ -71,7 +71,7 @@ pub fn scenario() -> (
                     } => format!("W{}+R i{} o{}", addr.index(), input, output),
                 })
                 .collect(),
-            wires_out: out,
+            wires_out: out.to_vec(),
         });
     }
     let delivered = col.take();

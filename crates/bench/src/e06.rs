@@ -32,25 +32,51 @@ pub fn formula(p: f64, n: usize) -> f64 {
     (p / 4.0) * (n as f64 - 1.0) / n as f64
 }
 
-/// Measure the mean extra head latency at (n, p).
-pub fn measure(n: usize, p: f64, cycles: u64, seed: u64) -> f64 {
-    let cfg = SwitchConfig::symmetric(n, 4 * n.max(8));
-    let s = cfg.stages();
-    let mut sw = BehavioralSwitch::new(cfg);
-    let mut rng = SplitMix64::new(seed);
-    // Per-idle-cycle start probability giving long-run link load p.
-    let q = if p >= 1.0 {
+/// Per-idle-cycle start probability giving long-run link load `p` on a
+/// link whose packets occupy `s` word cycles.
+fn start_prob(p: f64, s: usize) -> f64 {
+    if p >= 1.0 {
         1.0
     } else {
         p / (p + s as f64 * (1.0 - p))
-    };
-    let mut arr = vec![None; n];
-    for _ in 0..cycles {
-        for (i, a) in arr.iter_mut().enumerate() {
-            *a = (sw.input_free(i) && rng.chance(q)).then(|| rng.below_usize(n));
-        }
-        sw.tick(&arr);
     }
+}
+
+/// The arrival schedule at load `p`: each input is a renewal process —
+/// free for a geometric number of cycles (the same per-idle-cycle start
+/// probability `q` a dense Bernoulli drive loop would use), then busy
+/// for the `s`-cycle packet. Sampling the gaps directly costs
+/// O(packets), not O(cycles × n); each input draws from its own
+/// seed-split stream, so the schedule is independent of input order.
+/// Returns (cycle, input, destination) sorted by (cycle, input).
+fn arrival_schedule(
+    n: usize,
+    s: usize,
+    p: f64,
+    cycles: u64,
+    seed: u64,
+) -> Vec<(u64, usize, usize)> {
+    let q = start_prob(p, s);
+    let mut sched = Vec::new();
+    for i in 0..n {
+        let mut rng = SplitMix64::stream(seed, i as u64);
+        let mut t = 0u64;
+        loop {
+            t += rng.geometric(q);
+            if t >= cycles {
+                break;
+            }
+            sched.push((t, i, rng.below_usize(n)));
+            t += s as u64;
+        }
+    }
+    sched.sort_unstable_by_key(|&(t, i, _)| (t, i));
+    sched
+}
+
+/// The §3.4 statistic: mean extra head latency of packets that found
+/// their output idle, over departures past warmup.
+fn extra_latency(sw: &BehavioralSwitch, cycles: u64, n: usize, p: f64) -> f64 {
     let warmup = cycles / 5;
     let (mut sum, mut count) = (0.0, 0u64);
     // §3.4 analyzes the cut-through latency of packets that would have
@@ -65,6 +91,85 @@ pub fn measure(n: usize, p: f64, cycles: u64, seed: u64) -> f64 {
     }
     assert!(count > 100, "not enough samples at n={n} p={p}");
     sum / count as f64
+}
+
+/// Measure the mean extra head latency at (n, p).
+///
+/// Event-driven: the arrival schedule is sampled directly (geometric
+/// free gaps, O(packets)), then the model replays it with the
+/// event-horizon kernel fast-forwarding the arrival-free spans.
+/// Departure streams are bit-identical to a dense per-cycle replay of
+/// the same schedule ([`measure_dense`]); only wall time changes (most
+/// dramatic at low load, where most cycles are idle).
+pub fn measure(n: usize, p: f64, cycles: u64, seed: u64) -> f64 {
+    let cfg = SwitchConfig::symmetric(n, 4 * n.max(8));
+    let s = cfg.stages();
+    let schedule = arrival_schedule(n, s, p, cycles, seed);
+    let mut sw = BehavioralSwitch::new(cfg);
+    let idle: Vec<Option<usize>> = vec![None; n];
+    let mut arr = vec![None; n];
+    let mut k = 0;
+    while k < schedule.len() {
+        let t = schedule[k].0;
+        simkernel::horizon::advance_to(&mut sw, t, |m| {
+            m.tick(&idle);
+        });
+        arr.fill(None);
+        while k < schedule.len() && schedule[k].0 == t {
+            arr[schedule[k].1] = Some(schedule[k].2);
+            k += 1;
+        }
+        sw.tick(&arr);
+    }
+    simkernel::horizon::advance_to(&mut sw, cycles, |m| {
+        m.tick(&idle);
+    });
+    extra_latency(&sw, cycles, n, p)
+}
+
+/// Dense-stepping oracle for [`measure`]: replays the *same* arrival
+/// schedule one `tick` per word clock. The unit test below asserts the
+/// two produce bit-identical statistics — the fast path may change wall
+/// time only, never a departure cycle.
+pub fn measure_dense(n: usize, p: f64, cycles: u64, seed: u64) -> f64 {
+    let cfg = SwitchConfig::symmetric(n, 4 * n.max(8));
+    let s = cfg.stages();
+    let schedule = arrival_schedule(n, s, p, cycles, seed);
+    let mut sw = BehavioralSwitch::new(cfg);
+    let mut arr = vec![None; n];
+    let mut k = 0;
+    for t in 0..cycles {
+        arr.fill(None);
+        while k < schedule.len() && schedule[k].0 == t {
+            arr[schedule[k].1] = Some(schedule[k].2);
+            k += 1;
+        }
+        sw.tick(&arr);
+    }
+    extra_latency(&sw, cycles, n, p)
+}
+
+/// The pre-fast-forward implementation of this experiment: per-cycle
+/// Bernoulli draws fused with dense stepping, exactly as the drive loop
+/// ran before the event-horizon kernel existed. Kept as the wall-time
+/// "before" side of the comparison `expt bench` tracks (it samples the
+/// same renewal process, so its statistic agrees with [`measure`] to
+/// sampling noise, but it must pay for both the O(cycles × n) draws and
+/// the per-cycle ticks).
+pub fn measure_reference(n: usize, p: f64, cycles: u64, seed: u64) -> f64 {
+    let cfg = SwitchConfig::symmetric(n, 4 * n.max(8));
+    let s = cfg.stages();
+    let q = start_prob(p, s);
+    let mut sw = BehavioralSwitch::new(cfg);
+    let mut rng = SplitMix64::new(seed);
+    let mut arr = vec![None; n];
+    for _ in 0..cycles {
+        for (i, a) in arr.iter_mut().enumerate() {
+            *a = (sw.input_free(i) && rng.chance(q)).then(|| rng.below_usize(n));
+        }
+        sw.tick(&arr);
+    }
+    extra_latency(&sw, cycles, n, p)
 }
 
 /// Sweep the `sizes × loads` grid, one parallel point per (n, p).
@@ -114,6 +219,28 @@ pub fn run(quick: bool) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn fast_forward_replay_matches_dense_replay() {
+        // The fast-forwarding `measure` must be *bit*-identical to a
+        // dense per-cycle replay of the same arrival schedule: same
+        // departure stream, same float accumulation. The pre-PR fused
+        // loop samples the same renewal process from a different stream,
+        // so it agrees statistically, not bitwise.
+        let (n, p, cycles, seed) = (4usize, 0.15f64, 30_000u64, 0xD5u64);
+        let dense = measure_dense(n, p, cycles, seed);
+        let fast = measure(n, p, cycles, seed);
+        let reference = measure_reference(n, p, cycles, seed);
+        assert!(
+            (reference - fast).abs() < 0.1,
+            "pre-fast-forward reference {reference} vs event-driven {fast}"
+        );
+        assert_eq!(
+            dense.to_bits(),
+            fast.to_bits(),
+            "dense {dense} vs fast-forward {fast}"
+        );
+    }
 
     #[test]
     fn formula_values() {

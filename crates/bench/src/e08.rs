@@ -28,7 +28,7 @@ pub fn functional_run(p: &Prototype, load: f64, cycles: u64, seed: u64) -> (usiz
         }
         let now = sw.now();
         let out = sw.tick(&wire);
-        col.observe(now, &out);
+        col.observe(now, out);
     }
     // Drain: stop generating, let in-flight packets finish on the wire,
     // then idle the switch until quiescent.
@@ -44,7 +44,7 @@ pub fn functional_run(p: &Prototype, load: f64, cycles: u64, seed: u64) -> (usiz
         }
         let now = sw.now();
         let out = sw.tick(&wire);
-        col.observe(now, &out);
+        col.observe(now, out);
         false
     })
     .expect("switch failed to drain — hang caught by the watchdog");

@@ -203,7 +203,7 @@ pub fn run_point(spec: &CampaignSpec) -> CampaignRow {
         // 3. Wire faults strike between generator and input pins.
         wf.apply(&mut wire);
         let out = sw.tick(&wire);
-        col.observe(now, &out);
+        col.observe(now, out);
         // 4. End-to-end ledger accounting + credit returns.
         for d in col.take() {
             match ledger.get(&d.id) {

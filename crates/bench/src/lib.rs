@@ -51,6 +51,7 @@ pub mod e14;
 pub mod e15;
 pub mod e16;
 pub mod fuzz;
+pub mod perf;
 pub mod sweep;
 pub mod table;
 pub mod x01;

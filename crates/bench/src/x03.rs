@@ -87,13 +87,13 @@ pub fn rows(quick: bool) -> Vec<X3Row> {
                 for row in &wires {
                     let now = sw.now();
                     let o = sw.tick(row);
-                    col.observe(now, &o);
+                    col.observe(now, o);
                 }
                 let mut guard = 0;
                 while !sw.is_quiescent() && guard < 10_000 {
                     let now = sw.now();
                     let o = sw.tick(&idle);
-                    col.observe(now, &o);
+                    col.observe(now, o);
                     guard += 1;
                 }
                 let c = sw.counters();
@@ -108,13 +108,13 @@ pub fn rows(quick: bool) -> Vec<X3Row> {
                 for row in &wires {
                     let now = sw.now();
                     let o = sw.tick(row);
-                    col.observe(now, &o);
+                    col.observe(now, o);
                 }
                 let mut guard = 0;
                 while !sw.is_quiescent() && guard < 10_000 {
                     let now = sw.now();
                     let o = sw.tick(&idle);
-                    col.observe(now, &o);
+                    col.observe(now, o);
                     guard += 1;
                 }
                 let c = sw.counters();

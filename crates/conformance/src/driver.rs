@@ -14,6 +14,7 @@ use crate::scenario::Scenario;
 use simkernel::cell::Packet;
 use simkernel::error::SimError;
 use simkernel::ids::Cycle;
+use simkernel::Horizon;
 use std::collections::{HashMap, VecDeque};
 use switch_core::behavioral::BehavioralSwitch;
 use switch_core::config::SwitchConfig;
@@ -187,6 +188,26 @@ impl Launcher {
         started
     }
 
+    /// Earliest offer time still queued upstream of the senders. Fronts
+    /// are always `>= now` (earlier offers were transferred or launched
+    /// by previous polls), so this bounds how far a driver may
+    /// fast-forward without missing a launch.
+    fn earliest_pending(&self) -> Option<Cycle> {
+        self.pending
+            .iter()
+            .filter_map(|q| q.front().map(|o| o.at))
+            .min()
+    }
+
+    /// True when any credited sender holds queued work. Stall cycles are
+    /// counted per cycle while backlog waits on credits, so time may only
+    /// be skipped when every backlog is empty.
+    fn any_backlog(&self) -> bool {
+        self.senders
+            .as_ref()
+            .is_some_and(|ss| ss.iter().any(|s| s.backlog() > 0))
+    }
+
     fn credit_return(&mut self, input: usize, now: Cycle) {
         if let Some(senders) = &mut self.senders {
             senders[input].return_credit(now);
@@ -221,11 +242,29 @@ enum WordSwitch {
 }
 
 impl WordSwitch {
-    fn tick(&mut self, wire: &[Option<u64>]) -> Vec<Option<u64>> {
+    fn tick(&mut self, wire: &[Option<u64>]) -> &[Option<u64>] {
         match self {
             WordSwitch::Pipelined(sw) => sw.tick(wire),
             WordSwitch::Wide(sw) => sw.tick(wire),
             WordSwitch::Interleaved(sw) => sw.tick(wire),
+        }
+    }
+
+    /// Earliest future cycle at which this organization's state can
+    /// change with no further input (the [`simkernel::Horizon`] contract).
+    fn next_event(&self) -> Option<Cycle> {
+        match self {
+            WordSwitch::Pipelined(sw) => Horizon::next_event(&**sw),
+            WordSwitch::Wide(sw) => Horizon::next_event(&**sw),
+            WordSwitch::Interleaved(sw) => Horizon::next_event(&**sw),
+        }
+    }
+
+    fn jump_to(&mut self, target: Cycle) {
+        match self {
+            WordSwitch::Pipelined(sw) => Horizon::jump_to(&mut **sw, target),
+            WordSwitch::Wide(sw) => Horizon::jump_to(&mut **sw, target),
+            WordSwitch::Interleaved(sw) => Horizon::jump_to(&mut **sw, target),
         }
     }
 
@@ -324,6 +363,34 @@ fn run_word(sc: &Scenario, org: Org) -> RunOutcome {
             });
             break;
         }
+        // Event-horizon fast-forward (DESIGN.md §6): with the input wires
+        // idle, no credited backlog stalling, and the switch reporting no
+        // state change before `e`, jump the clock to the next launch /
+        // fault / model event instead of ticking through the gap. Bounding
+        // the jump by `plan.next_due()` keeps every fault injected at its
+        // exact scheduled cycle, so departures stay bit-identical.
+        if !idle && current.iter().all(Option::is_none) && !launcher.any_backlog() {
+            let horizon = match sw.next_event() {
+                None => Some(cap),
+                Some(e) if e > now => Some(e),
+                Some(_) => None, // state changes this cycle: dense-tick
+            };
+            if let Some(h) = horizon {
+                let mut target = h.min(cap);
+                if let Some(t) = launcher.earliest_pending() {
+                    target = target.min(t);
+                }
+                if let Some(t) = plan.as_ref().and_then(FaultPlan::next_due) {
+                    target = target.min(t);
+                }
+                if target > now {
+                    simkernel::horizon::note_skipped(target - now);
+                    sw.jump_to(target);
+                    continue;
+                }
+            }
+        }
+        simkernel::horizon::note_executed(1);
         if let Some(plan) = &mut plan {
             for f in plan.take_due(now) {
                 if let (FaultAction::BankUpset { stage, slot, mask }, WordSwitch::Pipelined(sw)) =
@@ -356,7 +423,7 @@ fn run_word(sc: &Scenario, org: Org) -> RunOutcome {
             }
         }
         let out = sw.tick(&wire);
-        col.observe(now, &out);
+        col.observe(now, out);
         for d in col.take() {
             if !d.verify_payload() {
                 payload_failures += 1;
@@ -436,6 +503,30 @@ fn run_behavioral(sc: &Scenario) -> RunOutcome {
             });
             break;
         }
+        // Event-horizon fast-forward, behavioral flavor: the model's
+        // fine-grained horizon covers in-flight transmissions and queued
+        // write/read schedules, so the clock may jump straight to the
+        // next departure edge or the next pending offer.
+        if !idle && !launcher.any_backlog() {
+            let horizon = match Horizon::next_event(&sw) {
+                None => Some(cap),
+                Some(e) if e > now => Some(e),
+                Some(_) => None,
+            };
+            if let Some(h) = horizon {
+                let mut target = h.min(cap);
+                if let Some(t) = launcher.earliest_pending() {
+                    target = target.min(t);
+                }
+                if target > now {
+                    simkernel::horizon::note_skipped(target - now);
+                    Horizon::jump_to(&mut sw, target);
+                    now = target;
+                    continue;
+                }
+            }
+        }
+        simkernel::horizon::note_executed(1);
         arrivals.fill(None);
         for o in launcher.poll(now) {
             debug_assert!(sw.input_free(o.input), "launch while input busy");

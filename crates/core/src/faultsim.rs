@@ -181,6 +181,12 @@ impl FaultPlan {
         self.faults.is_empty()
     }
 
+    /// Cycle of the earliest fault still scheduled, if any. Lets a
+    /// fast-forwarding driver bound a time skip so no injection is missed.
+    pub fn next_due(&self) -> Option<Cycle> {
+        self.faults.front().map(|f| f.at)
+    }
+
     /// Pop every fault scheduled at or before `now` (call once per cycle).
     pub fn take_due(&mut self, now: Cycle) -> Vec<Fault> {
         let mut due = Vec::new();

@@ -205,7 +205,7 @@ impl HalfQuantumBuffer {
         let mut out = Vec::new();
         for (i, m) in self.mems.iter_mut().enumerate() {
             let half = if i == 0 { Half::A } else { Half::B };
-            out.extend(m.tick().into_iter().map(|r| (half, r)));
+            out.extend(m.tick().iter().map(|r| (half, r.clone())));
         }
         out
     }

@@ -103,6 +103,9 @@ pub struct InterleavedSwitch {
     tx: Vec<Option<(BankId, usize, u64, Cycle)>>,
     cycle: Cycle,
     counters: SwitchCounters,
+    /// Reusable per-cycle scratch (hot path: must not allocate).
+    wire_out: Vec<Option<u64>>,
+    scratch_freed: Vec<BankId>,
 }
 
 impl InterleavedSwitch {
@@ -117,6 +120,8 @@ impl InterleavedSwitch {
             tx: vec![None; cfg.n],
             cycle: 0,
             counters: SwitchCounters::default(),
+            wire_out: vec![None; cfg.n],
+            scratch_freed: Vec::with_capacity(cfg.n),
             cfg,
         }
     }
@@ -154,8 +159,9 @@ impl InterleavedSwitch {
     }
 
     /// Advance one cycle: words in on every input link, words out on
-    /// every output link.
-    pub fn tick(&mut self, wire_in: &[Option<u64>]) -> Vec<Option<u64>> {
+    /// every output link. The returned slice borrows internal scratch
+    /// and is valid until the next tick.
+    pub fn tick(&mut self, wire_in: &[Option<u64>]) -> &[Option<u64>] {
         assert_eq!(wire_in.len(), self.cfg.n);
         let c = self.cycle;
         let s = self.cfg.packet_words();
@@ -169,8 +175,11 @@ impl InterleavedSwitch {
         //    tick: the tail read already used the bank's port, so a
         //    same-cycle reallocation could not legally write it.
         // ------------------------------------------------------------------
-        let mut freed: Vec<BankId> = Vec::new();
-        let mut wire_out: Vec<Option<u64>> = vec![None; n];
+        let mut freed = std::mem::take(&mut self.scratch_freed);
+        freed.clear();
+        let mut wire_out = std::mem::take(&mut self.wire_out);
+        wire_out.clear();
+        wire_out.resize(n, None);
         for (j, out) in wire_out.iter_mut().enumerate() {
             if self.tx[j].is_none() {
                 if let Some(&head) = self.queues[j].front() {
@@ -258,12 +267,48 @@ impl InterleavedSwitch {
             }
         }
 
-        for b in freed {
+        for &b in &freed {
             self.mem.release(b);
         }
+        self.scratch_freed = freed;
 
         self.cycle = c + 1;
-        wire_out
+        self.wire_out = wire_out;
+        &self.wire_out
+    }
+}
+
+impl simkernel::Horizon for InterleavedSwitch {
+    fn now(&self) -> Cycle {
+        self.cycle
+    }
+
+    /// Under idle input the only future event is a queued packet's bank
+    /// port becoming readable (`Stored::ready`); active transmissions
+    /// and mid-stream arrivals touch state every cycle and force dense
+    /// stepping.
+    fn next_event(&self) -> Option<Cycle> {
+        if self.is_quiescent() {
+            return None;
+        }
+        if self.tx.iter().any(Option::is_some) || self.arriving.iter().any(Option::is_some) {
+            return Some(self.cycle);
+        }
+        self.queues
+            .iter()
+            .filter_map(|q| q.front().map(|head| head.ready.max(self.cycle)))
+            .min()
+            // Not quiescent yet nothing queued, transmitting, or
+            // arriving: unaccounted activity — conservative dense tick.
+            .or(Some(self.cycle))
+    }
+
+    fn jump_to(&mut self, target: Cycle) {
+        debug_assert!(target >= self.cycle, "jump_to moves time forward only");
+        for w in &mut self.wire_out {
+            *w = None;
+        }
+        self.cycle = target;
     }
 }
 
@@ -298,7 +343,7 @@ mod tests {
             }
             let now = sw.now();
             let out = sw.tick(&wire);
-            col.observe(now, &out);
+            col.observe(now, out);
         }
         (col.take(), sw)
     }
@@ -363,7 +408,7 @@ mod tests {
         for k in 0..s {
             let now = sw.now();
             let out = sw.tick(&[Some(p.words[k]), None]);
-            col.observe(now, &out);
+            col.observe(now, out);
         }
         // Fully stored, not yet transmitting: flip a bit in every bank;
         // exactly one holds the live packet.
@@ -377,7 +422,7 @@ mod tests {
             }
             let now = sw.now();
             let out = sw.tick(&[None, None]);
-            col.observe(now, &out);
+            col.observe(now, out);
             false
         })
         .expect("drain hung");
@@ -415,7 +460,7 @@ mod tests {
                 }
             }
             let out = sw.tick(&wire);
-            col.observe(now, &out);
+            col.observe(now, out);
         }
         simkernel::run_until_quiescent(5_000, "interleaved random-traffic drain", |_| {
             if sw.is_quiescent() {
@@ -433,7 +478,7 @@ mod tests {
                 }
             }
             let out = sw.tick(&wire);
-            col.observe(now, &out);
+            col.observe(now, out);
             false
         })
         .expect("failed to drain");

@@ -169,6 +169,12 @@ pub struct PipelinedSwitch {
     counters: SwitchCounters,
     trace: Trace<SwitchEvent>,
     last_controls: Vec<StageCtrl>,
+    /// Reusable per-cycle scratch (hot path: one `tick` per simulated
+    /// cycle — these must not allocate in steady state).
+    wire_out: Vec<Option<u64>>,
+    scratch_reads: Vec<ReadReq>,
+    scratch_writes: Vec<WriteReq>,
+    scratch_dsts: Vec<PortId>,
 }
 
 impl PipelinedSwitch {
@@ -201,6 +207,10 @@ impl PipelinedSwitch {
             counters: SwitchCounters::default(),
             trace: Trace::disabled(),
             last_controls: vec![StageCtrl::Nop; stages],
+            wire_out: vec![None; cfg.n_out],
+            scratch_reads: Vec::with_capacity(cfg.n_out),
+            scratch_writes: Vec::with_capacity(cfg.n_in),
+            scratch_dsts: Vec::with_capacity(cfg.n_out),
             cfg,
         }
     }
@@ -299,11 +309,12 @@ impl PipelinedSwitch {
     /// Advance one clock cycle.
     ///
     /// `wire_in[i]` is the word on input link `i` during this cycle.
-    /// Returns the words on the output links during this cycle.
+    /// Returns the words on the output links during this cycle; the
+    /// slice borrows internal scratch and is valid until the next tick.
     ///
     /// Packets must be contiguous on each input link (the paper's links
     /// have no mid-packet idles); a `None` inside a packet panics.
-    pub fn tick(&mut self, wire_in: &[Option<u64>]) -> Vec<Option<u64>> {
+    pub fn tick(&mut self, wire_in: &[Option<u64>]) -> &[Option<u64>] {
         assert_eq!(wire_in.len(), self.cfg.n_in, "one word slot per input");
         let c = self.cycle;
         let s = self.stages;
@@ -311,7 +322,11 @@ impl PipelinedSwitch {
         // ------------------------------------------------------------------
         // 1. Output links driven by the register row committed last cycle.
         // ------------------------------------------------------------------
-        let mut wire_out: Vec<Option<u64>> = vec![None; self.cfg.n_out];
+        // Reuse the output-wire buffer across cycles; `mem::take`
+        // sidesteps the simultaneous borrow of the buffer and `&mut self`.
+        let mut wire_out = std::mem::take(&mut self.wire_out);
+        wire_out.clear();
+        wire_out.resize(self.cfg.n_out, None);
         for ow in self.outreg_cur.iter().flatten() {
             let j = ow.link.index();
             assert!(
@@ -526,7 +541,8 @@ impl PipelinedSwitch {
         // ------------------------------------------------------------------
         // 4. Arbitration: choose at most one wave to initiate this cycle.
         // ------------------------------------------------------------------
-        let mut reads: Vec<ReadReq> = Vec::new();
+        let mut reads = std::mem::take(&mut self.scratch_reads);
+        reads.clear();
         for j in 0..self.cfg.n_out {
             if c < self.out_next_init[j] {
                 continue;
@@ -549,7 +565,8 @@ impl PipelinedSwitch {
                 }
             }
         }
-        let mut writes: Vec<WriteReq> = Vec::new();
+        let mut writes = std::mem::take(&mut self.scratch_writes);
+        writes.clear();
         for (i, st) in self.inputs.iter().enumerate() {
             if let Some(front) = st.pending.front() {
                 if front.eligible <= c {
@@ -642,8 +659,10 @@ impl PipelinedSwitch {
                 // read side drops it instead.
                 if self.cfg.fused_cut_through && d.poisoned.is_none() {
                     let (id, birth) = (d.id, d.birth);
-                    let dsts: Vec<PortId> = d.destinations().collect();
-                    for dst in dsts {
+                    let mut dsts = std::mem::take(&mut self.scratch_dsts);
+                    dsts.clear();
+                    dsts.extend(d.destinations());
+                    for &dst in &dsts {
                         if c < self.out_next_init[dst.index()] {
                             continue;
                         }
@@ -674,6 +693,7 @@ impl PipelinedSwitch {
                         });
                         break;
                     }
+                    self.scratch_dsts = dsts;
                 }
                 self.waves.push(wave);
             }
@@ -685,6 +705,8 @@ impl PipelinedSwitch {
                 }
             }
         }
+        self.scratch_reads = reads;
+        self.scratch_writes = writes;
 
         // ------------------------------------------------------------------
         // 5. Stage execution: every active wave performs its per-stage
@@ -770,7 +792,8 @@ impl PipelinedSwitch {
         }
         self.waves.retain(|w| ((c - w.start) as usize) + 1 < s);
         self.cycle = c + 1;
-        wire_out
+        self.wire_out = wire_out;
+        &self.wire_out
     }
 
     /// Run `n` idle cycles (no input words), collecting outputs via `f`.
@@ -779,8 +802,45 @@ impl PipelinedSwitch {
         for _ in 0..n {
             let c = self.cycle;
             let out = self.tick(&empty);
-            f(c, &out);
+            f(c, out);
         }
+    }
+}
+
+impl simkernel::Horizon for PipelinedSwitch {
+    fn now(&self) -> Cycle {
+        self.cycle
+    }
+
+    /// The word-level model keeps too much intertwined per-cycle state
+    /// (latch rows, bank port checks, egress verification) to derive a
+    /// fine-grained horizon safely, so it reports the coarsest correct
+    /// one: quiescent-forever or event-now. That still buys the big win —
+    /// the conformance driver's inter-burst gaps, where the switch sits
+    /// completely empty.
+    fn next_event(&self) -> Option<Cycle> {
+        if self.is_quiescent() {
+            None
+        } else {
+            Some(self.cycle)
+        }
+    }
+
+    fn jump_to(&mut self, target: Cycle) {
+        debug_assert!(target >= self.cycle, "jump_to moves time forward only");
+        debug_assert!(
+            self.is_quiescent(),
+            "the RTL model only skips quiescent spans"
+        );
+        // A quiescent switch ticking idle input changes nothing but the
+        // clock; mirror what dense idle ticks would leave behind.
+        for w in &mut self.wire_out {
+            *w = None;
+        }
+        for ctrl in &mut self.last_controls {
+            *ctrl = StageCtrl::Nop;
+        }
+        self.cycle = target;
     }
 }
 
@@ -902,12 +962,12 @@ mod tests {
             wire[0] = Some(p.words[k]);
             let c = sw.now();
             let out = sw.tick(&wire);
-            col.observe(c, &out);
+            col.observe(c, out);
         }
         for _ in 0..4 * s {
             let c = sw.now();
             let out = sw.tick(&vec![None; sw.config().n_in]);
-            col.observe(c, &out);
+            col.observe(c, out);
         }
         let pkts = col.take();
         (pkts, sw)
@@ -987,12 +1047,12 @@ mod tests {
             let wire = vec![Some(p0.words[k]), Some(p1.words[k])];
             let c = sw.now();
             let out = sw.tick(&wire);
-            col.observe(c, &out);
+            col.observe(c, out);
         }
         for _ in 0..6 * s {
             let c = sw.now();
             let out = sw.tick(&[None, None]);
-            col.observe(c, &out);
+            col.observe(c, out);
         }
         let pkts = col.take();
         assert_eq!(pkts.len(), 2);
@@ -1018,12 +1078,12 @@ mod tests {
             let wire = vec![Some(p0.words[k]), Some(p1.words[k])];
             let c = sw.now();
             let out = sw.tick(&wire);
-            col.observe(c, &out);
+            col.observe(c, out);
         }
         for _ in 0..6 * s {
             let c = sw.now();
             let out = sw.tick(&[None, None]);
-            col.observe(c, &out);
+            col.observe(c, out);
         }
         let pkts = col.take();
         assert_eq!(pkts.len(), 1);
@@ -1035,12 +1095,12 @@ mod tests {
             let wire = vec![None, Some(p2.words[k])];
             let c = sw.now();
             let out = sw.tick(&wire);
-            col.observe(c, &out);
+            col.observe(c, out);
         }
         for _ in 0..6 * s {
             let c = sw.now();
             let out = sw.tick(&[None, None]);
-            col.observe(c, &out);
+            col.observe(c, out);
         }
         let pkts = col.take();
         assert_eq!(pkts.len(), 1);
@@ -1078,12 +1138,12 @@ mod tests {
         for &w in words {
             let c = sw.now();
             let out = sw.tick(&[Some(w), None]);
-            col.observe(c, &out);
+            col.observe(c, out);
         }
         for _ in 0..8 * s {
             let c = sw.now();
             let out = sw.tick(&[None, None]);
-            col.observe(c, &out);
+            col.observe(c, out);
         }
         (col.take(), sw)
     }
@@ -1120,12 +1180,12 @@ mod tests {
         for k in 0..2 {
             let c = sw.now();
             let out = sw.tick(&[Some(cut.words[k]), None]);
-            col.observe(c, &out);
+            col.observe(c, out);
         }
         for _ in 0..8 * s {
             let c = sw.now();
             let out = sw.tick(&[None, None]);
-            col.observe(c, &out);
+            col.observe(c, out);
         }
         // A fused read may already be streaming the truncated packet when
         // the link dies; its copy is poisoned and dropped at read time
@@ -1135,12 +1195,12 @@ mod tests {
         for k in 0..s {
             let c = sw.now();
             let out = sw.tick(&[Some(good.words[k]), None]);
-            col.observe(c, &out);
+            col.observe(c, out);
         }
         for _ in 0..8 * s {
             let c = sw.now();
             let out = sw.tick(&[None, None]);
-            col.observe(c, &out);
+            col.observe(c, out);
         }
         let delivered: Vec<_> = col.take();
         assert!(delivered.iter().any(|p| p.id == 4 && p.verify_payload()));
@@ -1206,7 +1266,7 @@ mod tests {
         for _ in 0..8 * s {
             let c = sw.now();
             let out = sw.tick(&[None, None]);
-            col.observe(c, &out);
+            col.observe(c, out);
         }
         assert!(col.take().is_empty(), "scrub dropped the packet");
         assert_eq!(sw.counters().corrupt_drops, 1);

@@ -177,8 +177,9 @@ impl TranslatedSwitch {
 
     /// Advance one cycle: VC-labeled words in, VC-labeled words out
     /// (headers already rewritten for the next hop — use
-    /// [`decode_delivery`] / an `OutputCollector` to reassemble).
-    pub fn tick(&mut self, wire_in: &[Option<u64>]) -> Vec<Option<u64>> {
+    /// [`decode_delivery`] / an `OutputCollector` to reassemble). The
+    /// slice borrows the inner switch's scratch, valid until next tick.
+    pub fn tick(&mut self, wire_in: &[Option<u64>]) -> &[Option<u64>] {
         let s = self.stages();
         let mut translated: Vec<Option<u64>> = vec![None; wire_in.len()];
         for (i, w) in wire_in.iter().enumerate() {
@@ -245,7 +246,7 @@ mod tests {
             }
             let now = sw.inner().now();
             let out = sw.tick(&wire);
-            col.observe(now, &out);
+            col.observe(now, out);
         }
         let idle = vec![None; n];
         simkernel::run_until_quiescent((50 * s) as u64, "VC-switch drain", |_| {
@@ -254,7 +255,7 @@ mod tests {
             }
             let now = sw.inner().now();
             let out = sw.tick(&idle);
-            col.observe(now, &out);
+            col.observe(now, out);
             false
         })
         .expect("drain hung");
@@ -312,7 +313,7 @@ mod tests {
         for w in words.iter().take(s) {
             let now = b.inner().now();
             let out = b.tick(&[Some(*w), None]);
-            col.observe(now, &out);
+            col.observe(now, out);
         }
         simkernel::run_until_quiescent((50 * s) as u64, "second-hop drain", |_| {
             if b.inner().is_quiescent() {
@@ -320,7 +321,7 @@ mod tests {
             }
             let now = b.inner().now();
             let out = b.tick(&[None, None]);
-            col.observe(now, &out);
+            col.observe(now, out);
             false
         })
         .expect("drain hung");

@@ -117,6 +117,8 @@ pub struct WideMemorySwitchRtl {
     outs: Vec<OutState>,
     cycle: Cycle,
     counters: SwitchCounters,
+    /// Reusable per-cycle output buffer (hot path: must not allocate).
+    wire_out: Vec<Option<u64>>,
     /// Packets that had to be dropped because the staging row was still
     /// occupied when the next packet finished assembling (the failure
     /// mode double buffering exists to prevent).
@@ -146,6 +148,7 @@ impl WideMemorySwitchRtl {
             ],
             cycle: 0,
             counters: SwitchCounters::default(),
+            wire_out: vec![None; cfg.n],
             staging_overruns: 0,
             cfg,
         }
@@ -202,9 +205,10 @@ impl WideMemorySwitchRtl {
         }
     }
 
-    /// Advance one cycle: words in, words out.
+    /// Advance one cycle: words in, words out. The returned slice
+    /// borrows internal scratch and is valid until the next tick.
     #[allow(clippy::needless_range_loop)] // per-port hardware scan over several arrays
-    pub fn tick(&mut self, wire_in: &[Option<u64>]) -> Vec<Option<u64>> {
+    pub fn tick(&mut self, wire_in: &[Option<u64>]) -> &[Option<u64>] {
         assert_eq!(wire_in.len(), self.cfg.n);
         let c = self.cycle;
         let s = self.cfg.packet_words();
@@ -214,7 +218,9 @@ impl WideMemorySwitchRtl {
         // ------------------------------------------------------------------
         // 1. Output links transmit (from tx rows or over the bypass).
         // ------------------------------------------------------------------
-        let mut wire_out: Vec<Option<u64>> = vec![None; n];
+        let mut wire_out = std::mem::take(&mut self.wire_out);
+        wire_out.clear();
+        wire_out.resize(n, None);
         for j in 0..n {
             // Bypass transmission reads the source assembly row directly.
             // The word sent in cycle c arrived two cycles earlier (input
@@ -417,7 +423,39 @@ impl WideMemorySwitchRtl {
         }
 
         self.cycle = c + 1;
-        wire_out
+        self.wire_out = wire_out;
+        &self.wire_out
+    }
+}
+
+impl simkernel::Horizon for WideMemorySwitchRtl {
+    fn now(&self) -> Cycle {
+        self.cycle
+    }
+
+    /// Like the pipelined RTL model, the wide organization's idle-cycle
+    /// activity (assembly rows, staging deadlines, bypass feeds, output
+    /// double buffers) is too intertwined to bound finely; report the
+    /// coarsest correct horizon — quiescent-forever or event-now — which
+    /// still lets drivers skip the dead gaps between bursts.
+    fn next_event(&self) -> Option<Cycle> {
+        if self.is_quiescent() {
+            None
+        } else {
+            Some(self.cycle)
+        }
+    }
+
+    fn jump_to(&mut self, target: Cycle) {
+        debug_assert!(target >= self.cycle, "jump_to moves time forward only");
+        debug_assert!(
+            self.is_quiescent(),
+            "the wide model only skips quiescent spans"
+        );
+        for w in &mut self.wire_out {
+            *w = None;
+        }
+        self.cycle = target;
     }
 }
 
@@ -452,7 +490,7 @@ mod tests {
             }
             let now = sw.now();
             let out = sw.tick(&wire);
-            col.observe(now, &out);
+            col.observe(now, out);
         }
         (col.take(), sw)
     }
@@ -529,7 +567,7 @@ mod tests {
                     .words[k];
                     let now = sw.now();
                     let out = sw.tick(&[Some(w0), Some(w1)]);
-                    col.observe(now, &out);
+                    col.observe(now, out);
                     let _ = t;
                 }
                 id += 2;
@@ -540,7 +578,7 @@ mod tests {
                 }
                 let now = sw.now();
                 let out = sw.tick(&[None, None]);
-                col.observe(now, &out);
+                col.observe(now, out);
                 false
             })
             .expect("drain hung");
@@ -600,7 +638,7 @@ mod tests {
                 }
                 let now = sw.now();
                 let out = sw.tick(&wire);
-                col.observe(now, &out);
+                col.observe(now, out);
             }
             col.take()
         };
@@ -630,14 +668,14 @@ mod tests {
         for k in 0..s {
             let now = sw.now();
             let out = sw.tick(&[Some(p.words[k]), None]);
-            col.observe(now, &out);
+            col.observe(now, out);
         }
         // Assembled at s-1, staged, written at s at the earliest; tick
         // once more so the write lands, then flip a bit in every slot:
         // exactly one holds the live packet.
         let now = sw.now();
         let out = sw.tick(&[None, None]);
-        col.observe(now, &out);
+        col.observe(now, out);
         let live: Vec<usize> = (0..8)
             .filter(|&a| sw.inject_memory_fault(Addr(a), 2, 1))
             .collect();
@@ -648,7 +686,7 @@ mod tests {
             }
             let now = sw.now();
             let out = sw.tick(&[None, None]);
-            col.observe(now, &out);
+            col.observe(now, out);
             false
         })
         .expect("drain hung");
@@ -685,7 +723,7 @@ mod tests {
                 }
             }
             let out = sw.tick(&wire);
-            col.observe(now, &out);
+            col.observe(now, out);
         }
         simkernel::run_until_quiescent(5_000, "wide-switch random-traffic drain", |_| {
             if sw.is_quiescent() {
@@ -703,7 +741,7 @@ mod tests {
                 }
             }
             let out = sw.tick(&wire);
-            col.observe(now, &out);
+            col.observe(now, out);
             false
         })
         .expect("failed to drain");

@@ -110,6 +110,10 @@ pub struct PipelinedMemory {
     active: Vec<ActiveWave>,
     cycle: Cycle,
     pending: Option<ActiveWave>,
+    /// Reusable per-cycle scratch (hot path: must not allocate).
+    scratch_done: Vec<CompletedRead>,
+    scratch_still: Vec<ActiveWave>,
+    scratch_drain: Vec<CompletedRead>,
 }
 
 impl PipelinedMemory {
@@ -125,6 +129,9 @@ impl PipelinedMemory {
             active: Vec::new(),
             cycle: 0,
             pending: None,
+            scratch_done: Vec::new(),
+            scratch_still: Vec::new(),
+            scratch_drain: Vec::new(),
         }
     }
 
@@ -185,8 +192,9 @@ impl PipelinedMemory {
 
     /// Execute the current cycle: every active wave performs its stage
     /// operation; returns read waves that completed this cycle. Advances
-    /// time by one cycle.
-    pub fn tick(&mut self) -> Vec<CompletedRead> {
+    /// time by one cycle. The returned slice borrows internal scratch
+    /// and is valid until the next tick.
+    pub fn tick(&mut self) -> &[CompletedRead] {
         if let Some(w) = self.pending.take() {
             self.active.push(w);
         }
@@ -195,8 +203,13 @@ impl PipelinedMemory {
         for b in &mut self.banks {
             b.begin_cycle(now);
         }
-        let mut done = Vec::new();
-        let mut still = Vec::with_capacity(self.active.len());
+        // Reuse the completion and survivor buffers across cycles;
+        // `mem::take` sidesteps the simultaneous borrow of the buffers
+        // and `&mut self`.
+        let mut done = std::mem::take(&mut self.scratch_done);
+        done.clear();
+        let mut still = std::mem::take(&mut self.scratch_still);
+        still.clear();
         for mut w in self.active.drain(..) {
             let k = (now - w.start) as usize;
             debug_assert!(k < stages, "retired wave left in active set");
@@ -228,19 +241,27 @@ impl PipelinedMemory {
                 still.push(w);
             }
         }
-        self.active = still;
+        // Swap so `scratch_still` keeps the drained-out buffer (and its
+        // capacity) for the next cycle.
+        std::mem::swap(&mut self.active, &mut still);
+        self.scratch_still = still;
         self.cycle += 1;
-        done
+        self.scratch_done = done;
+        &self.scratch_done
     }
 
     /// Run idle cycles until all in-flight waves complete, returning any
-    /// reads that finish. Convenience for tests and examples.
-    pub fn drain(&mut self) -> Vec<CompletedRead> {
-        let mut out = Vec::new();
+    /// reads that finish. Convenience for tests and examples. The slice
+    /// borrows internal scratch and is valid until the next tick.
+    pub fn drain(&mut self) -> &[CompletedRead] {
+        let mut out = std::mem::take(&mut self.scratch_drain);
+        out.clear();
         while self.in_flight() > 0 {
-            out.extend(self.tick());
+            self.tick();
+            out.append(&mut self.scratch_done);
         }
-        out
+        self.scratch_drain = out;
+        &self.scratch_drain
     }
 }
 
@@ -316,9 +337,9 @@ mod tests {
         let mut all = Vec::new();
         for a in 0..32usize {
             m.initiate(WaveOp::Read { addr: Addr(a) }).unwrap();
-            all.extend(m.tick());
+            all.extend(m.tick().iter().cloned());
         }
-        all.extend(m.drain());
+        all.extend(m.drain().iter().cloned());
         assert_eq!(all.len(), 32);
         for r in &all {
             let seed = r.addr.index() as u64;

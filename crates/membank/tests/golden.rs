@@ -85,11 +85,11 @@ fn pipelined_matches_multiport_golden() {
                 }
             }
             for r in pipe.tick() {
-                got_reads.push((r.addr.index(), r.words));
+                got_reads.push((r.addr.index(), r.words.clone()));
             }
         }
         for r in pipe.drain() {
-            got_reads.push((r.addr.index(), r.words));
+            got_reads.push((r.addr.index(), r.words.clone()));
         }
         assert_eq!(got_reads.len(), expected_reads.len(), "case {case}");
         // Reads complete in initiation order (waves can't overtake).

@@ -109,13 +109,18 @@ impl RtlChain {
             } else {
                 Vec::new()
             };
-            let mut out = sw.tick(&inbound);
+            let out = sw.tick(&inbound);
             if h < last {
+                // Launch into the registered wire (reusing its buffer;
+                // last cycle's words were already cloned into `next_in`).
+                let wire = &mut self.wires[h];
+                wire.clear();
+                wire.extend_from_slice(out);
                 // Egress link interface: the first word of each packet
                 // leaving the buffer carries the internal (output,
                 // composite-id) header; re-encode it into the VC wire
                 // format the next hop's RT expects.
-                for (link, w) in out.iter_mut().enumerate() {
+                for (link, w) in wire.iter_mut().enumerate() {
                     match w {
                         Some(word) => {
                             if self.wire_k[h][link] == 0 {
@@ -134,11 +139,9 @@ impl RtlChain {
                         }
                     }
                 }
-                // Launch into the registered wire; deliver last cycle's.
-                self.wires[h] = out;
                 inbound = next_in;
             } else {
-                self.collector.observe(self.cycle, &out);
+                self.collector.observe(self.cycle, out);
             }
         }
         self.cycle += 1;

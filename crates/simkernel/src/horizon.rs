@@ -1,0 +1,300 @@
+//! Event-horizon fast-forward: skip idle cycles without touching state.
+//!
+//! The kernel's narrative has always been "every flip-flop sees every
+//! clock edge" — and for *active* cycles that remains true. But the
+//! low-load regions of the experiment grids and the inter-burst gaps of
+//! the conformance fuzzer spend most of their wall time clocking a
+//! switch in which nothing can happen: no word on any wire, no wave in
+//! any bank, no pending write, no queued read. Classic discrete-event
+//! simulators never pay for those cycles — they keep an event calendar
+//! and jump straight to the next scheduled event.
+//!
+//! [`Horizon`] grafts that idea onto the synchronous models without an
+//! event queue: each model *derives* its event horizon from the state it
+//! already holds (next transmission-done cycle, next eligible pending
+//! write, next output-initiation slot), and [`advance_to`] jumps the
+//! clock there in O(1) instead of ticking through the gap. The contract
+//! is conservative by construction, so the fast path can change wall
+//! time only — never a departure cycle, a counter, or an RNG draw.
+//!
+//! ## The contract
+//!
+//! With **no input offered** over `[now, e)`:
+//!
+//! * `next_event() == None` — the model is quiescent and will remain so
+//!   forever under idle input; any jump is safe.
+//! * `next_event() == Some(e)` with `e > now` — every cycle in
+//!   `[now, e)` is pure bookkeeping: ticking through them with idle
+//!   input would change nothing observable except the cycle counter.
+//!   `jump_to(t)` for `t <= e` must leave the model in exactly the
+//!   state dense idle ticking to `t` would have.
+//! * `next_event() == Some(e)` with `e <= now` — state may change this
+//!   cycle; the driver must dense-tick.
+//!
+//! Answering *early* (`Some(now)` when a longer skip was legal) costs
+//! performance, never correctness; answering *late* is a model bug —
+//! the equivalence property test (`tests/fast_forward.rs` in
+//! `switch-core`) hunts exactly that by comparing dense and
+//! fast-forwarded runs over randomized bursty schedules.
+//!
+//! Parallelism stays in the bench harness (DESIGN.md §6); time-skipping
+//! lives here in the kernel, because only the model knows which cycles
+//! are skippable and only the kernel owns the vocabulary of time.
+
+use crate::ids::Cycle;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+// Process-wide fast-forward efficiency counters, mirroring the sweep
+// engine's points counter: worker threads from every sweep fold into the
+// same pair, and `expt` reports skipped vs executed per experiment by
+// differencing around each run.
+static FF_SKIPPED: AtomicU64 = AtomicU64::new(0);
+static FF_EXECUTED: AtomicU64 = AtomicU64::new(0);
+
+/// Record `n` cycles skipped by a fast-forward jump.
+pub fn note_skipped(n: u64) {
+    FF_SKIPPED.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Record `n` cycles executed densely under a fast-forward driver.
+pub fn note_executed(n: u64) {
+    FF_EXECUTED.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Total cycles skipped by fast-forward jumps since process start.
+pub fn ff_skipped() -> u64 {
+    FF_SKIPPED.load(Ordering::Relaxed)
+}
+
+/// Total cycles executed densely under fast-forward drivers since
+/// process start.
+pub fn ff_executed() -> u64 {
+    FF_EXECUTED.load(Ordering::Relaxed)
+}
+
+/// A model that can report its event horizon and jump over dead time.
+///
+/// See the module docs for the exact contract. Implementations must be
+/// *conservative*: when in doubt, return `Some(self.now())` — that
+/// degrades to dense stepping, which is always correct.
+pub trait Horizon {
+    /// The current cycle (the one the next dense tick would execute).
+    fn now(&self) -> Cycle;
+
+    /// The earliest future cycle at which, under idle input, the model's
+    /// observable state can change. `None` means quiescent forever.
+    fn next_event(&self) -> Option<Cycle>;
+
+    /// Jump the clock to `target` without evaluating the intervening
+    /// cycles. Only legal when `next_event()` permits it (`None`, or
+    /// `Some(e)` with `target <= e`); callers go through [`advance_to`]
+    /// or [`drain`], which enforce this.
+    fn jump_to(&mut self, target: Cycle);
+}
+
+/// Advance `m` to exactly `target`, fast-forwarding across idle spans
+/// and calling `dense_tick` (which must advance the clock by one cycle
+/// with idle input) whenever the model reports an imminent event.
+///
+/// Bit-exact with dense stepping by the [`Horizon`] contract; the only
+/// observable difference is wall time. Skipped/executed cycle counts
+/// fold into the process-wide efficiency counters.
+pub fn advance_to<M: Horizon>(m: &mut M, target: Cycle, mut dense_tick: impl FnMut(&mut M)) {
+    while m.now() < target {
+        let now = m.now();
+        let stop = match m.next_event() {
+            None => target,
+            Some(e) if e > now => e.min(target),
+            Some(_) => {
+                dense_tick(m);
+                debug_assert!(m.now() > now, "dense_tick must advance the clock");
+                note_executed(m.now() - now);
+                continue;
+            }
+        };
+        note_skipped(stop - now);
+        m.jump_to(stop);
+    }
+}
+
+/// Drain `m` to quiescence under a watchdog, fast-forwarding across the
+/// idle spans. The fast-path counterpart of
+/// [`run_until_quiescent`](crate::error::run_until_quiescent): returns
+/// the cycle at which the model went quiescent, or
+/// [`SimError::Watchdog`](crate::error::SimError::Watchdog) if `limit`
+/// cycles pass (dense *or* skipped) without quiescence.
+pub fn drain<M: Horizon>(
+    m: &mut M,
+    limit: u64,
+    what: &str,
+    mut dense_tick: impl FnMut(&mut M),
+) -> Result<Cycle, crate::error::SimError> {
+    let start = m.now();
+    loop {
+        let now = m.now();
+        let stop = match m.next_event() {
+            None => return Ok(now),
+            Some(e) if e > now => e,
+            Some(_) => {
+                if now - start >= limit {
+                    return Err(crate::error::SimError::Watchdog {
+                        limit,
+                        context: what.to_string(),
+                    });
+                }
+                dense_tick(m);
+                debug_assert!(m.now() > now, "dense_tick must advance the clock");
+                note_executed(m.now() - now);
+                continue;
+            }
+        };
+        // A skip is bounded by the watchdog budget too: a model whose
+        // horizon recedes forever must still trip the watchdog rather
+        // than spin.
+        let stop = stop.min(start + limit);
+        if stop == now {
+            return Err(crate::error::SimError::Watchdog {
+                limit,
+                context: what.to_string(),
+            });
+        }
+        note_skipped(stop - now);
+        m.jump_to(stop);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy model: one "packet" that completes at a fixed cycle.
+    struct Toy {
+        now: Cycle,
+        done_at: Option<Cycle>,
+        ticked: Vec<Cycle>,
+    }
+
+    impl Horizon for Toy {
+        fn now(&self) -> Cycle {
+            self.now
+        }
+        fn next_event(&self) -> Option<Cycle> {
+            match self.done_at {
+                None => None,
+                Some(d) if d > self.now => Some(d),
+                Some(_) => Some(self.now),
+            }
+        }
+        fn jump_to(&mut self, target: Cycle) {
+            self.now = target;
+        }
+    }
+
+    fn toy_tick(t: &mut Toy) {
+        t.ticked.push(t.now);
+        if t.done_at == Some(t.now) {
+            t.done_at = None;
+        }
+        t.now += 1;
+    }
+
+    #[test]
+    fn advance_skips_to_event_then_ticks() {
+        let mut t = Toy {
+            now: 0,
+            done_at: Some(100),
+            ticked: Vec::new(),
+        };
+        advance_to(&mut t, 200, toy_tick);
+        assert_eq!(t.now, 200);
+        // Only the event cycle itself was dense-ticked.
+        assert_eq!(t.ticked, vec![100]);
+        assert_eq!(t.done_at, None);
+    }
+
+    #[test]
+    fn advance_lands_exactly_on_target_before_event() {
+        let mut t = Toy {
+            now: 0,
+            done_at: Some(100),
+            ticked: Vec::new(),
+        };
+        advance_to(&mut t, 40, toy_tick);
+        assert_eq!(t.now, 40);
+        assert!(t.ticked.is_empty());
+        assert_eq!(t.done_at, Some(100));
+    }
+
+    #[test]
+    fn drain_returns_quiescence_cycle() {
+        let mut t = Toy {
+            now: 7,
+            done_at: Some(19),
+            ticked: Vec::new(),
+        };
+        let q = drain(&mut t, 1000, "toy", toy_tick).unwrap();
+        assert_eq!(q, 20);
+        assert_eq!(t.ticked, vec![19]);
+    }
+
+    #[test]
+    fn drain_watchdog_fires_on_wedged_model() {
+        struct Wedged(Cycle);
+        impl Horizon for Wedged {
+            fn now(&self) -> Cycle {
+                self.0
+            }
+            fn next_event(&self) -> Option<Cycle> {
+                Some(self.0)
+            }
+            fn jump_to(&mut self, t: Cycle) {
+                self.0 = t;
+            }
+        }
+        let err = drain(&mut Wedged(0), 25, "wedged toy", |w| w.0 += 1).unwrap_err();
+        match err {
+            crate::error::SimError::Watchdog { limit, context } => {
+                assert_eq!(limit, 25);
+                assert_eq!(context, "wedged toy");
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn drain_watchdog_bounds_receding_horizon() {
+        // A model whose horizon always sits `limit + 1` ahead: each skip
+        // is clamped to the budget and the watchdog still fires.
+        struct Receding(Cycle);
+        impl Horizon for Receding {
+            fn now(&self) -> Cycle {
+                self.0
+            }
+            fn next_event(&self) -> Option<Cycle> {
+                Some(self.0 + 1_000_000)
+            }
+            fn jump_to(&mut self, t: Cycle) {
+                self.0 = t;
+            }
+        }
+        let err = drain(&mut Receding(0), 50, "receding", |_| {}).unwrap_err();
+        assert!(matches!(
+            err,
+            crate::error::SimError::Watchdog { limit: 50, .. }
+        ));
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let s0 = ff_skipped();
+        let e0 = ff_executed();
+        let mut t = Toy {
+            now: 0,
+            done_at: Some(10),
+            ticked: Vec::new(),
+        };
+        advance_to(&mut t, 20, toy_tick);
+        assert_eq!(ff_skipped() - s0, 19); // [0,10) and [11,20)
+        assert_eq!(ff_executed() - e0, 1); // cycle 10
+    }
+}

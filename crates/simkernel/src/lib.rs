@@ -26,14 +26,19 @@
 //! claims are *cycle-level logical* properties (wave chasing, cut-through
 //! timing, staggered initiation), and a deterministic synchronous model is
 //! both the most faithful and the most testable way to express them. There
-//! is no event queue — every component is evaluated every cycle, exactly as
-//! every flip-flop in a chip sees every clock edge.
+//! is no event queue — every component is evaluated every *active* cycle,
+//! exactly as every flip-flop in a chip sees every clock edge. Idle spans
+//! are the exception: the [`horizon`] fast-forward kernel lets a model
+//! report the earliest cycle at which its state can change so drivers can
+//! jump the clock across dead time in O(1), bit-exactly equivalent to
+//! dense stepping.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cell;
 pub mod error;
+pub mod horizon;
 pub mod ids;
 pub mod reg;
 pub mod rng;
@@ -43,6 +48,7 @@ pub mod wave;
 
 pub use cell::{Cell, CellId, Packet, PacketId};
 pub use error::{run_until_quiescent, SimError};
+pub use horizon::{advance_to, Horizon};
 pub use ids::{Addr, Cycle, PortId, StageId};
 pub use reg::Reg;
 pub use rng::{split_seed, SplitMix64};

@@ -41,7 +41,7 @@ fn main() {
         }
         let now = sw.now();
         let out = sw.tick(&wire);
-        col.observe(now, &out);
+        col.observe(now, out);
         // Show the wave sweeping the banks for the first few cycles.
         if now <= 6 {
             let ctrls: Vec<String> = sw

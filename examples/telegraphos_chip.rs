@@ -60,7 +60,7 @@ fn main() {
             }
             let now = sw.now();
             let out = sw.tick(&wire);
-            col.observe(now, &out);
+            col.observe(now, out);
         }
         let delivered = col.take();
         let intact = delivered.iter().all(|d| d.verify_payload());

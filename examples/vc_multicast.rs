@@ -32,12 +32,12 @@ fn main() {
         for w in words.iter().take(s) {
             let now = sw.inner().now();
             let out = sw.tick(&[Some(*w), None]);
-            col.observe(now, &out);
+            col.observe(now, out);
         }
         while !sw.inner().is_quiescent() {
             let now = sw.inner().now();
             let out = sw.tick(&[None, None]);
-            col.observe(now, &out);
+            col.observe(now, out);
         }
         col.take().remove(0)
     };
@@ -73,12 +73,12 @@ fn main() {
     for k in 0..s {
         let now = sw.now();
         let out = sw.tick(&[Some(mc.words[k]), None, None, None]);
-        col.observe(now, &out);
+        col.observe(now, out);
     }
     while !sw.is_quiescent() {
         let now = sw.now();
         let out = sw.tick(&[None; 4]);
-        col.observe(now, &out);
+        col.observe(now, out);
     }
     for d in col.take() {
         println!(

@@ -19,9 +19,9 @@ use telegraphos::switch_core::widemem::{WideMemorySwitchRtl, WideSwitchConfig};
 /// organization-agnostic, so the lossy-return tests run against every
 /// memory organization, not just the pipelined one.
 enum AnySwitch {
-    Pipelined(PipelinedSwitch),
-    Wide(WideMemorySwitchRtl),
-    Interleaved(InterleavedSwitch),
+    Pipelined(Box<PipelinedSwitch>),
+    Wide(Box<WideMemorySwitchRtl>),
+    Interleaved(Box<InterleavedSwitch>),
 }
 
 impl AnySwitch {
@@ -32,23 +32,26 @@ impl AnySwitch {
             "pipelined" => {
                 let cfg = SwitchConfig::symmetric(n, slots);
                 let s = cfg.stages();
-                (AnySwitch::Pipelined(PipelinedSwitch::new(cfg)), s)
+                (AnySwitch::Pipelined(Box::new(PipelinedSwitch::new(cfg))), s)
             }
             "wide" => {
                 let cfg = WideSwitchConfig::fig3(n, slots);
                 let s = cfg.packet_words();
-                (AnySwitch::Wide(WideMemorySwitchRtl::new(cfg)), s)
+                (AnySwitch::Wide(Box::new(WideMemorySwitchRtl::new(cfg))), s)
             }
             "interleaved" => {
                 let cfg = InterleavedSwitchConfig::symmetric(n, slots);
                 let s = cfg.packet_words();
-                (AnySwitch::Interleaved(InterleavedSwitch::new(cfg)), s)
+                (
+                    AnySwitch::Interleaved(Box::new(InterleavedSwitch::new(cfg))),
+                    s,
+                )
             }
             other => panic!("unknown organization {other}"),
         }
     }
 
-    fn tick(&mut self, wire: &[Option<u64>]) -> Vec<Option<u64>> {
+    fn tick(&mut self, wire: &[Option<u64>]) -> &[Option<u64>] {
         match self {
             AnySwitch::Pipelined(sw) => sw.tick(wire),
             AnySwitch::Wide(sw) => sw.tick(wire),
@@ -103,7 +106,7 @@ fn drive(n: usize, slots: usize, _credits: Option<u32>, cycles: u64) -> (usize, 
             }
         }
         let out = sw.tick(&wire);
-        col.observe(now, &out);
+        col.observe(now, out);
         col.take();
     }
     let ctr = sw.counters();
@@ -146,7 +149,7 @@ fn drive_credited(n: usize, slots: usize, credits_per_input: u32, cycles: u64) -
             }
         }
         let out = sw.tick(&wire);
-        col.observe(now, &out);
+        col.observe(now, out);
         for d in col.take() {
             let src = id_to_input.remove(&d.id).expect("delivered id was sent");
             senders[src].return_credit(now);
@@ -237,7 +240,7 @@ fn drive_credited_lossy(
             }
         }
         let out = sw.tick(&wire);
-        col.observe(now, &out);
+        col.observe(now, out);
         for d in col.take() {
             let src = id_to_input.remove(&d.id).expect("delivered id was sent");
             delivered_from[src] += 1;

@@ -1,0 +1,311 @@
+//! Event-horizon fast-forward equivalence (DESIGN.md §6).
+//!
+//! The `simkernel::Horizon` contract promises that jumping the clock
+//! across an idle span leaves a model in exactly the state dense
+//! per-cycle stepping would have produced. This property test drives
+//! every organization — behavioral, pipelined RTL, wide-memory, and
+//! interleaved — over seeded randomized *bursty* schedules (packet
+//! clusters separated by long dead gaps, the workload fast-forwarding
+//! exists for), once densely and once through the kernel, and asserts
+//! the departure streams and event counters are byte-identical. The
+//! fast path may change wall time only, never a departure cycle.
+
+use telegraphos::simkernel::cell::Packet;
+use telegraphos::simkernel::ids::Cycle;
+use telegraphos::simkernel::{Horizon, SplitMix64};
+use telegraphos::switch_core::behavioral::{BehavioralDeparture, BehavioralSwitch};
+use telegraphos::switch_core::config::SwitchConfig;
+use telegraphos::switch_core::events::SwitchCounters;
+use telegraphos::switch_core::ibank::{InterleavedSwitch, InterleavedSwitchConfig};
+use telegraphos::switch_core::rtl::{OutputCollector, PipelinedSwitch};
+use telegraphos::switch_core::widemem::{WideMemorySwitchRtl, WideSwitchConfig};
+
+/// One scheduled launch: header enters input `input` at cycle `at`.
+#[derive(Debug, Clone, Copy)]
+struct Offer {
+    at: Cycle,
+    input: usize,
+    dst: usize,
+    id: u64,
+}
+
+/// A bursty schedule: clusters of back-to-back packets separated by
+/// gaps of 100..2000 idle cycles. Offers respect wire framing (an
+/// input's next header is at least `s` cycles after its previous one).
+fn bursty_schedule(n: usize, s: usize, bursts: usize, seed: u64) -> Vec<Offer> {
+    let mut rng = SplitMix64::new(seed);
+    let mut offers = Vec::new();
+    let mut next_free = vec![0u64; n];
+    let mut base = 0u64;
+    let mut id = 1u64;
+    for _ in 0..bursts {
+        base += 100 + rng.below(1900);
+        let packets_per_input = 1 + rng.below(3);
+        for (i, nf) in next_free.iter_mut().enumerate() {
+            if !rng.chance(0.8) {
+                continue;
+            }
+            let mut at = base.max(*nf) + rng.below(4);
+            for _ in 0..packets_per_input {
+                offers.push(Offer {
+                    at,
+                    input: i,
+                    dst: rng.below_usize(n),
+                    id,
+                });
+                id += 1;
+                *nf = at + s as u64;
+                at = *nf + rng.below(3);
+            }
+        }
+    }
+    offers.sort_by_key(|o| (o.at, o.input));
+    offers
+}
+
+/// The three word-level organizations behind one interface.
+enum Word {
+    Pipelined(Box<PipelinedSwitch>),
+    Wide(Box<WideMemorySwitchRtl>),
+    Interleaved(Box<InterleavedSwitch>),
+}
+
+impl Word {
+    fn build(org: &str, n: usize, slots: usize) -> (Self, usize) {
+        match org {
+            "pipelined" => {
+                let cfg = SwitchConfig::symmetric(n, slots);
+                let s = cfg.stages();
+                (Word::Pipelined(Box::new(PipelinedSwitch::new(cfg))), s)
+            }
+            "wide" => {
+                let cfg = WideSwitchConfig::fig3(n, slots);
+                let s = cfg.packet_words();
+                (Word::Wide(Box::new(WideMemorySwitchRtl::new(cfg))), s)
+            }
+            "interleaved" => {
+                let cfg = InterleavedSwitchConfig::symmetric(n, slots);
+                let s = cfg.packet_words();
+                (Word::Interleaved(Box::new(InterleavedSwitch::new(cfg))), s)
+            }
+            other => panic!("unknown org {other}"),
+        }
+    }
+
+    fn tick(&mut self, wire: &[Option<u64>]) -> &[Option<u64>] {
+        match self {
+            Word::Pipelined(sw) => sw.tick(wire),
+            Word::Wide(sw) => sw.tick(wire),
+            Word::Interleaved(sw) => sw.tick(wire),
+        }
+    }
+
+    fn now(&self) -> Cycle {
+        match self {
+            Word::Pipelined(sw) => sw.now(),
+            Word::Wide(sw) => sw.now(),
+            Word::Interleaved(sw) => sw.now(),
+        }
+    }
+
+    fn next_event(&self) -> Option<Cycle> {
+        match self {
+            Word::Pipelined(sw) => sw.next_event(),
+            Word::Wide(sw) => sw.next_event(),
+            Word::Interleaved(sw) => sw.next_event(),
+        }
+    }
+
+    fn jump_to(&mut self, target: Cycle) {
+        match self {
+            Word::Pipelined(sw) => Horizon::jump_to(&mut **sw, target),
+            Word::Wide(sw) => Horizon::jump_to(&mut **sw, target),
+            Word::Interleaved(sw) => Horizon::jump_to(&mut **sw, target),
+        }
+    }
+
+    fn counters(&self) -> SwitchCounters {
+        match self {
+            Word::Pipelined(sw) => sw.counters(),
+            Word::Wide(sw) => sw.counters(),
+            Word::Interleaved(sw) => sw.counters(),
+        }
+    }
+}
+
+/// Replay `offers` on a word-level organization; `fast` routes the
+/// inter-burst gaps through the horizon kernel, dense ticks every cycle.
+/// Returns the delivered (id, output, first, last) stream plus counters.
+fn run_word(
+    org: &str,
+    n: usize,
+    offers: &[Offer],
+    fast: bool,
+) -> (Vec<(u64, usize, Cycle, Cycle)>, SwitchCounters) {
+    let (mut sw, s) = Word::build(org, n, 4 * n);
+    let mut col = OutputCollector::new(n, s);
+    let mut current: Vec<Option<(Vec<u64>, usize)>> = vec![None; n];
+    let mut wire = vec![None; n];
+    let mut deliveries = Vec::new();
+    let mut k = 0;
+    let mut grace = 0u64;
+    loop {
+        let now = sw.now();
+        let exhausted = k == offers.len();
+        let idle = exhausted && current.iter().all(Option::is_none) && sw.next_event().is_none();
+        if idle {
+            grace += 1;
+            if grace > s as u64 + 4 {
+                break;
+            }
+        } else {
+            grace = 0;
+        }
+        assert!(now < 1_000_000, "{org} failed to drain");
+        if fast && !idle && current.iter().all(Option::is_none) {
+            let horizon = match sw.next_event() {
+                None => Some(u64::MAX),
+                Some(e) if e > now => Some(e),
+                Some(_) => None,
+            };
+            if let Some(h) = horizon {
+                let mut target = h;
+                if let Some(o) = offers.get(k) {
+                    target = target.min(o.at);
+                }
+                if target > now && target != u64::MAX {
+                    sw.jump_to(target);
+                    continue;
+                }
+            }
+        }
+        while k < offers.len() && offers[k].at == now {
+            let o = offers[k];
+            k += 1;
+            assert!(current[o.input].is_none(), "schedule violates framing");
+            let p = Packet::synth(o.id, o.input, o.dst, s, now);
+            current[o.input] = Some((p.words, 0));
+        }
+        for (w, slot) in wire.iter_mut().zip(current.iter_mut()) {
+            *w = None;
+            if let Some((words, i)) = slot {
+                *w = Some(words[*i]);
+                *i += 1;
+                if *i == words.len() {
+                    *slot = None;
+                }
+            }
+        }
+        let out = sw.tick(&wire);
+        col.observe(now, out);
+        for d in col.take() {
+            assert!(d.verify_payload(), "{org}: corrupted payload");
+            deliveries.push((d.id, d.output.index(), d.first_cycle, d.last_cycle));
+        }
+    }
+    (deliveries, sw.counters())
+}
+
+/// Replay `offers` on the behavioral model (header-per-launch, same
+/// schedule); returns the raw departure records plus key counters.
+fn run_behavioral(
+    n: usize,
+    offers: &[Offer],
+    fast: bool,
+) -> (Vec<BehavioralDeparture>, (u64, u64, u64), u64) {
+    let cfg = SwitchConfig::symmetric(n, 4 * n);
+    let s = cfg.stages();
+    let mut sw = BehavioralSwitch::new(cfg);
+    let mut arr: Vec<Option<usize>> = vec![None; n];
+    let mut k = 0;
+    let mut grace = 0u64;
+    let mut skipped = 0u64;
+    loop {
+        let now = sw.now();
+        let exhausted = k == offers.len();
+        let idle = exhausted && sw.is_quiescent();
+        if idle {
+            grace += 1;
+            if grace > s as u64 + 4 {
+                break;
+            }
+        } else {
+            grace = 0;
+        }
+        assert!(now < 1_000_000, "behavioral failed to drain");
+        if fast && !idle {
+            let horizon = match sw.next_event() {
+                None => Some(u64::MAX),
+                Some(e) if e > now => Some(e),
+                Some(_) => None,
+            };
+            if let Some(h) = horizon {
+                let mut target = h;
+                if let Some(o) = offers.get(k) {
+                    target = target.min(o.at);
+                }
+                if target > now && target != u64::MAX {
+                    skipped += target - now;
+                    Horizon::jump_to(&mut sw, target);
+                    continue;
+                }
+            }
+        }
+        arr.fill(None);
+        while k < offers.len() && offers[k].at == now {
+            let o = offers[k];
+            k += 1;
+            assert!(sw.input_free(o.input), "schedule violates framing");
+            arr[o.input] = Some(o.dst);
+        }
+        sw.tick(&arr);
+    }
+    let counters = (sw.arrived, sw.dropped, sw.overruns);
+    (sw.departures().to_vec(), counters, skipped)
+}
+
+#[test]
+fn word_orgs_fast_forward_is_bit_exact() {
+    let n = 4;
+    for org in ["pipelined", "wide", "interleaved"] {
+        for seed in 0..6u64 {
+            let s = Word::build(org, n, 4 * n).1;
+            let offers = bursty_schedule(n, s, 8, 0x5EED + seed);
+            let (dense_d, dense_c) = run_word(org, n, &offers, false);
+            let (fast_d, fast_c) = run_word(org, n, &offers, true);
+            assert_eq!(
+                dense_d, fast_d,
+                "{org} seed {seed}: departure streams diverged"
+            );
+            assert_eq!(dense_c, fast_c, "{org} seed {seed}: counters diverged");
+        }
+    }
+}
+
+#[test]
+fn behavioral_fast_forward_is_bit_exact() {
+    let n = 4;
+    let s = SwitchConfig::symmetric(n, 4 * n).stages();
+    for seed in 0..8u64 {
+        let offers = bursty_schedule(n, s, 10, 0xBEE5 + seed);
+        let (dense_d, dense_c, _) = run_behavioral(n, &offers, false);
+        let (fast_d, fast_c, _) = run_behavioral(n, &offers, true);
+        assert_eq!(dense_d, fast_d, "seed {seed}: departure streams diverged");
+        assert_eq!(dense_c, fast_c, "seed {seed}: counters diverged");
+    }
+}
+
+#[test]
+fn fast_forward_actually_skips() {
+    // Sanity: on a bursty schedule the kernel must skip the bulk of the
+    // cycles, otherwise the equivalence above is vacuous.
+    let n = 4;
+    let s = SwitchConfig::symmetric(n, 4 * n).stages();
+    let offers = bursty_schedule(n, s, 10, 0xCAFE);
+    let span = offers.last().unwrap().at;
+    let (_, _, skipped) = run_behavioral(n, &offers, true);
+    assert!(
+        skipped > span / 2,
+        "expected most of the {span}-cycle span skipped, got {skipped}"
+    );
+}

@@ -39,7 +39,7 @@ fn run_with_fault(fault: Option<(usize, usize, u64)>) -> (Outcome, Option<u64>) 
     for k in 0..s {
         let now = sw.now();
         let out = sw.tick(&[Some(p.words[k]), None]);
-        col.observe(now, &out);
+        col.observe(now, out);
     }
     // One more cycle lets the write wave's tail stage (written at
     // ws + s - 1 = cycle s) complete; in store-and-forward mode the read
@@ -47,7 +47,7 @@ fn run_with_fault(fault: Option<(usize, usize, u64)>) -> (Outcome, Option<u64>) 
     {
         let now = sw.now();
         let out = sw.tick(&[None, None]);
-        col.observe(now, &out);
+        col.observe(now, out);
     }
     let live = fault.and_then(|(stage, slot, mask)| sw.inject_bank_fault(stage, Addr(slot), mask));
     run_until_quiescent((100 * s) as u64, "fault-injection drain", |_| {
@@ -56,7 +56,7 @@ fn run_with_fault(fault: Option<(usize, usize, u64)>) -> (Outcome, Option<u64>) 
         }
         let now = sw.now();
         let out = sw.tick(&[None, None]);
-        col.observe(now, &out);
+        col.observe(now, out);
         false
     })
     .expect("drain hung — caught by the watchdog");

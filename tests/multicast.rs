@@ -25,14 +25,14 @@ fn send_multicast(n: usize, slots: usize, mask: u16) -> (Vec<DeliveredPacket>, P
         wire[0] = Some(p.words[k]);
         let now = sw.now();
         let out = sw.tick(&wire);
-        col.observe(now, &out);
+        col.observe(now, out);
     }
     let idle = vec![None; n];
     let mut guard = 0;
     while !sw.is_quiescent() && guard < 100 * s {
         let now = sw.now();
         let out = sw.tick(&idle);
-        col.observe(now, &out);
+        col.observe(now, out);
         guard += 1;
     }
     assert!(sw.is_quiescent());
@@ -104,18 +104,18 @@ fn slot_freed_only_after_last_copy_claimed() {
     for k in 0..s {
         let now = sw.now();
         let out = sw.tick(&[Some(mc.words[k]), None]);
-        col.observe(now, &out);
+        col.observe(now, out);
     }
     for k in 0..s {
         let now = sw.now();
         let out = sw.tick(&[Some(uc.words[k]), None]);
-        col.observe(now, &out);
+        col.observe(now, out);
     }
     let mut guard = 0;
     while !sw.is_quiescent() && guard < 100 * s {
         let now = sw.now();
         let out = sw.tick(&[None, None]);
-        col.observe(now, &out);
+        col.observe(now, out);
         guard += 1;
     }
     let pkts = col.take();
@@ -170,7 +170,7 @@ fn multicast_under_load_conserves() {
             }
         }
         let out = sw.tick(&wire);
-        col.observe(now, &out);
+        col.observe(now, out);
     }
     // Drain: finish any packet still on a wire, then idle.
     let mut guard = 0;
@@ -187,7 +187,7 @@ fn multicast_under_load_conserves() {
             }
         }
         let out = sw.tick(&wire);
-        col.observe(now, &out);
+        col.observe(now, out);
         guard += 1;
     }
     assert!(sw.is_quiescent());

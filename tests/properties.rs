@@ -96,7 +96,7 @@ fn execute(w: &Workload) -> (OfferedMap, Vec<DeliveredPacket>, u64, u64) {
         }
         let now = sw.now();
         let out = sw.tick(&wire);
-        col.observe(now, &out);
+        col.observe(now, out);
         if t as usize >= feeds.iter().map(|f| f.words.len()).max().unwrap_or(0) && sw.is_quiescent()
         {
             break;

@@ -36,7 +36,7 @@ fn run_rtl(
         }
         let now = sw.now();
         let out = sw.tick(&wire);
-        col.observe(now, &out);
+        col.observe(now, out);
     }
     for f in feeders.iter_mut() {
         f.halt();
@@ -48,7 +48,7 @@ fn run_rtl(
         }
         let now = sw.now();
         let out = sw.tick(&wire);
-        col.observe(now, &out);
+        col.observe(now, out);
         guard += 1;
     }
     assert!(sw.is_quiescent(), "RTL model failed to drain");
@@ -164,7 +164,7 @@ fn equivalence_store_and_forward_mode() {
             }
             let now = sw.now();
             let out = sw.tick(&wire);
-            col.observe(now, &out);
+            col.observe(now, out);
         }
         for f in feeders.iter_mut() {
             f.halt();
@@ -175,7 +175,7 @@ fn equivalence_store_and_forward_mode() {
             }
             let now = sw.now();
             let out = sw.tick(&wire);
-            col.observe(now, &out);
+            col.observe(now, out);
         }
         let mut schedule: Vec<(u64, usize, usize)> = Vec::new();
         for f in &feeders {
@@ -248,14 +248,14 @@ fn equivalence_with_multicast_traffic() {
     for row in &wires {
         let now = sw.now();
         let out = sw.tick(row);
-        col.observe(now, &out);
+        col.observe(now, out);
     }
     let idle = vec![None; n];
     let mut guard = 0;
     while !sw.is_quiescent() && guard < 20_000 {
         let now = sw.now();
         let out = sw.tick(&idle);
-        col.observe(now, &out);
+        col.observe(now, out);
         guard += 1;
     }
     assert!(sw.is_quiescent());

@@ -48,7 +48,7 @@ fn run_pipelined(wires: &[Vec<Option<u64>>], n: usize, s: usize) -> Vec<Delivere
     for row in wires {
         let now = sw.now();
         let out = sw.tick(row);
-        col.observe(now, &out);
+        col.observe(now, out);
     }
     let idle = vec![None; n];
     run_until_quiescent(10_000, "pipelined drain", |_| {
@@ -57,7 +57,7 @@ fn run_pipelined(wires: &[Vec<Option<u64>>], n: usize, s: usize) -> Vec<Delivere
         }
         let now = sw.now();
         let out = sw.tick(&idle);
-        col.observe(now, &out);
+        col.observe(now, out);
         false
     })
     .expect("pipelined switch failed to drain — hang caught by the watchdog");
@@ -79,7 +79,7 @@ fn run_wide(
     for row in wires {
         let now = sw.now();
         let out = sw.tick(row);
-        col.observe(now, &out);
+        col.observe(now, out);
     }
     let idle = vec![None; n];
     run_until_quiescent(10_000, "wide-memory drain", |_| {
@@ -88,7 +88,7 @@ fn run_wide(
         }
         let now = sw.now();
         let out = sw.tick(&idle);
-        col.observe(now, &out);
+        col.observe(now, out);
         false
     })
     .expect("wide-memory switch failed to drain — hang caught by the watchdog");
@@ -152,7 +152,7 @@ fn all_three_organizations_detect_the_same_upset() {
     for k in 0..=s {
         let now = sw.now();
         let out = sw.tick(&[p.words.get(k).copied(), None]);
-        col.observe(now, &out);
+        col.observe(now, out);
     }
     let live: Vec<usize> = (0..8)
         .filter(|&a| sw.inject_bank_fault(WORD_K, Addr(a), MASK).is_some())
@@ -164,7 +164,7 @@ fn all_three_organizations_detect_the_same_upset() {
         }
         let now = sw.now();
         let out = sw.tick(&[None, None]);
-        col.observe(now, &out);
+        col.observe(now, out);
         false
     })
     .expect("drain hung");
@@ -179,7 +179,7 @@ fn all_three_organizations_detect_the_same_upset() {
     for k in 0..=s {
         let now = wsw.now();
         let out = wsw.tick(&[p.words.get(k).copied(), None]);
-        wcol.observe(now, &out);
+        wcol.observe(now, out);
     }
     let live: Vec<usize> = (0..8)
         .filter(|&a| wsw.inject_memory_fault(Addr(a), WORD_K, MASK))
@@ -191,7 +191,7 @@ fn all_three_organizations_detect_the_same_upset() {
         }
         let now = wsw.now();
         let out = wsw.tick(&[None, None]);
-        wcol.observe(now, &out);
+        wcol.observe(now, out);
         false
     })
     .expect("drain hung");
