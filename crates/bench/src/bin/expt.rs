@@ -9,6 +9,11 @@
 //! expt bench        perf-regression harness; writes BENCH_core.json
 //!   --gate          compare against the committed BENCH_core.json
 //!                   baseline instead of overwriting it
+//! expt trace <id>   run e5/e6 with telemetry attached (see DESIGN.md §10)
+//!   --vcd PATH      write the probe stream as a VCD waveform
+//!   --metrics PATH  write the metrics pipeline's JSON
+//!   --last N        flight-recorder window (default 4096 events)
+//!   --smoke         validate the exports, write nothing
 //! expt --quick ...  shrink run lengths (CI-sized)
 //! expt --smoke ...  shrink campaign grids below --quick (determinism
 //!                   cross-checks re-run experiments several times)
@@ -35,6 +40,9 @@ fn main() -> ExitCode {
     let mut jobs: Option<usize> = None;
     let mut seeds: Option<u64> = None;
     let mut base: Option<u64> = None;
+    let mut vcd_path: Option<String> = None;
+    let mut metrics_path: Option<String> = None;
+    let mut last: Option<usize> = None;
     let mut ids: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -66,6 +74,31 @@ fn main() -> ExitCode {
                 Ok(n) if n >= 1 => jobs = Some(n),
                 _ => {
                     eprintln!("--jobs needs a positive integer, got '{v}'");
+                    return ExitCode::from(2);
+                }
+            }
+        } else if a == "--vcd" {
+            match it.next() {
+                Some(p) if !p.starts_with('-') => vcd_path = Some(p.clone()),
+                _ => {
+                    eprintln!("--vcd needs an output path");
+                    return ExitCode::from(2);
+                }
+            }
+        } else if a == "--metrics" {
+            match it.next() {
+                Some(p) if !p.starts_with('-') => metrics_path = Some(p.clone()),
+                _ => {
+                    eprintln!("--metrics needs an output path");
+                    return ExitCode::from(2);
+                }
+            }
+        } else if a == "--last" {
+            let v = it.next().map(|s| s.as_str()).unwrap_or("");
+            match v.parse::<usize>() {
+                Ok(n) if n >= 1 => last = Some(n),
+                _ => {
+                    eprintln!("--last needs a positive integer, got '{v}'");
                     return ExitCode::from(2);
                 }
             }
@@ -134,6 +167,48 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     }
 
+    if ids.iter().any(|i| i == "trace") {
+        let others: Vec<&String> = ids.iter().filter(|i| i.as_str() != "trace").collect();
+        if others.len() != 1 {
+            eprintln!(
+                "usage: expt trace <e5|e6> [--vcd PATH] [--metrics PATH] [--last N] [--smoke]"
+            );
+            return ExitCode::from(2);
+        }
+        return match bench_harness::tracecmd::run(others[0], last) {
+            Ok(out) => {
+                print!("{}", out.report);
+                if smoke {
+                    println!("[trace --smoke: VCD and metrics exports validated]");
+                } else {
+                    if let Some(p) = &vcd_path {
+                        if let Err(e) = std::fs::write(p, &out.vcd) {
+                            eprintln!("[could not write {p}: {e}]");
+                            return ExitCode::FAILURE;
+                        }
+                        eprintln!("[wrote {p}]");
+                    }
+                    if let Some(p) = &metrics_path {
+                        if let Err(e) = std::fs::write(p, &out.metrics) {
+                            eprintln!("[could not write {p}: {e}]");
+                            return ExitCode::FAILURE;
+                        }
+                        eprintln!("[wrote {p}]");
+                    }
+                }
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("trace failed: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if vcd_path.is_some() || metrics_path.is_some() || last.is_some() {
+        eprintln!("--vcd/--metrics/--last only apply to 'expt trace'");
+        return ExitCode::from(2);
+    }
+
     if ids.iter().any(|i| i == "fuzz") {
         if ids.len() > 1 {
             eprintln!("'fuzz' is a standalone campaign; drop the other ids");
@@ -159,13 +234,15 @@ fn main() -> ExitCode {
         eprintln!(
             "usage: expt [--quick] [--smoke] [--jobs N | --seq] <e1..e16 | x1..x5 | all>...\n       \
              expt fuzz [--seeds N] [--base 0xHEX] [--jobs N | --seq]\n       \
-             expt bench [--quick] [--gate]\n\nexperiments:"
+             expt bench [--quick] [--gate]\n       \
+             expt trace <e5|e6> [--vcd PATH] [--metrics PATH] [--last N] [--smoke]\n\nexperiments:"
         );
         for id in bench_harness::ALL {
             eprintln!("  {id}");
         }
         eprintln!("  fuzz  (differential conformance campaign; see EXPERIMENTS.md)");
         eprintln!("  bench (perf-regression harness; writes/gates BENCH_core.json)");
+        eprintln!("  trace (telemetry export: VCD waveform + metrics JSON; see DESIGN.md §10)");
         return if list {
             ExitCode::SUCCESS
         } else {

@@ -10,6 +10,7 @@
 use simkernel::cell::Packet;
 use switch_core::config::SwitchConfig;
 use switch_core::rtl::{OutputCollector, PipelinedSwitch, StageCtrl};
+use telemetry::{SharedRecorder, TelemetryConfig};
 
 /// One rendered cycle of the scenario.
 #[derive(Debug, Clone)]
@@ -31,11 +32,12 @@ pub fn scenario() -> (
     Vec<E5Cycle>,
     PipelinedSwitch,
     Vec<switch_core::rtl::DeliveredPacket>,
+    SharedRecorder,
 ) {
     let cfg = SwitchConfig::symmetric(2, 8);
     let s = cfg.stages();
-    let mut sw = PipelinedSwitch::new(cfg);
-    sw.enable_trace();
+    let (mut sw, rec) = PipelinedSwitch::with_telemetry(cfg, &TelemetryConfig::unbounded());
+    let rec = rec.expect("unbounded() always enables a recorder");
     let a = Packet::synth(0xA, 0, 1, s, 0);
     let b = Packet::synth(0xB, 1, 1, s, 0);
     let c_pkt = Packet::synth(0xC, 0, 0, s, 4);
@@ -75,12 +77,12 @@ pub fn scenario() -> (
         });
     }
     let delivered = col.take();
-    (cycles, sw, delivered)
+    (cycles, sw, delivered, rec)
 }
 
 /// Render the report.
 pub fn run(_quick: bool) -> String {
-    let (cycles, sw, delivered) = scenario();
+    let (cycles, _sw, delivered, rec) = scenario();
     let mut s = String::from(
         "E5: fig. 5 control-signal table — 2x2 switch, 4-word packets.\n\
          A: in0->out1 @0;  B: in1->out1 @0 (collides with A);  C: in0->out0 @4.\n\n",
@@ -107,8 +109,8 @@ pub fn run(_quick: bool) -> String {
             fmt_w(&c.wires_out[1]),
         ));
     }
-    s.push_str("\nEvent trace:\n");
-    s.push_str(&sw.trace().render());
+    s.push_str("\nEvent trace (probe stream):\n");
+    s.push_str(&rec.render());
     s.push_str(&format!(
         "\nDelivered: {} packets, all payloads intact: {}.\n\
          Paper claims checked: write wave starts 1 cycle after the header and chases\n\
@@ -124,13 +126,13 @@ pub fn run(_quick: bool) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use switch_core::events::SwitchEvent;
+    use telemetry::ProbeEvent;
 
     #[test]
     fn control_signals_are_delayed_copies() {
         // The defining fig. 5 property: stage k's control at cycle t+k
         // equals stage 0's at cycle t.
-        let (cycles, _, _) = scenario();
+        let (cycles, _, _, _) = scenario();
         for t in 0..cycles.len() {
             let m0 = &cycles[t].controls[0];
             for k in 1..4 {
@@ -148,7 +150,7 @@ mod tests {
 
     #[test]
     fn cut_through_fused_and_collision_staggered() {
-        let (_, sw, delivered) = scenario();
+        let (_, sw, delivered, _) = scenario();
         let ctr = sw.counters();
         assert_eq!(ctr.arrived, 3);
         assert_eq!(ctr.departed, 3);
@@ -168,16 +170,15 @@ mod tests {
     fn tail_transmission_never_precedes_arrival() {
         // §3.3: "transmission of the packet's tail will only be attempted
         // after that tail has arrived into the switch".
-        let (_, sw, delivered) = scenario();
+        let (_, _sw, delivered, rec) = scenario();
+        let entries = rec.entries();
         for d in &delivered {
             // Arrival of word k of packet X with header at cycle h is
             // h + k; tail arrives h + 3.
-            let birth = sw
-                .trace()
-                .entries()
+            let birth = entries
                 .iter()
                 .find_map(|e| match &e.event {
-                    SwitchEvent::HeaderArrived { id, .. } if *id == d.id => Some(e.cycle),
+                    ProbeEvent::HeaderArrived { id, .. } if *id == d.id => Some(e.cycle),
                     _ => None,
                 })
                 .expect("header event");

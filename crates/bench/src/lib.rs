@@ -54,6 +54,7 @@ pub mod fuzz;
 pub mod perf;
 pub mod sweep;
 pub mod table;
+pub mod tracecmd;
 pub mod x01;
 pub mod x02;
 pub mod x03;

@@ -20,6 +20,7 @@ use std::time::Instant;
 use switch_core::behavioral::BehavioralSwitch;
 use switch_core::config::SwitchConfig;
 use switch_core::rtl::PipelinedSwitch;
+use telemetry::{NullSink, ProbeHandle};
 use traffic::{DestDist, PacketFeeder};
 
 /// One fast-forward-vs-dense measurement point.
@@ -56,6 +57,23 @@ pub struct E6Wall {
     pub speedup: f64,
 }
 
+/// Telemetry-overhead check: the same behavioral schedule run with no
+/// probe attached vs with a [`NullSink`] probe. Baseline-free — both
+/// sides run in the same process on the same machine, so the ratio is
+/// machine-portable where absolute nanoseconds are not.
+#[derive(Debug, Clone, Copy)]
+pub struct TelemetryCheck {
+    /// ns per cycle, probe field `None` (the shipped hot path).
+    pub plain_ns: f64,
+    /// ns per cycle with a `NullSink` attached (every emission site
+    /// constructs and discards its event).
+    pub null_sink_ns: f64,
+    /// null_sink_ns / plain_ns.
+    pub ratio: f64,
+    /// Departure counts were byte-identical between the two runs.
+    pub departures_match: bool,
+}
+
 /// The full measurement set behind `BENCH_core.json`.
 #[derive(Debug, Clone)]
 pub struct PerfReport {
@@ -68,6 +86,8 @@ pub struct PerfReport {
     /// E6's low-load rows (≤ 25 % offered load) timed dense vs
     /// fast-forward — the EXPERIMENTS.md runtime-table numbers.
     pub e6: Vec<E6Wall>,
+    /// Telemetry-off vs NullSink overhead on the behavioral hot path.
+    pub telemetry: TelemetryCheck,
 }
 
 /// Simulated cycles per measurement (quick mode shrinks for CI smoke).
@@ -111,7 +131,21 @@ fn schedule(n: usize, s: usize, p: f64, total: u64, seed: u64) -> Vec<(u64, usiz
 /// Dense replay: tick every cycle. Returns the departure count (a
 /// black-box sink and a cross-check against the fast path).
 pub fn behavioral_dense(n: usize, sched: &[(u64, usize, usize)], total: u64) -> u64 {
+    behavioral_dense_probed(n, sched, total, None)
+}
+
+/// Dense replay with an optional probe attached — the telemetry-overhead
+/// measurement point.
+pub fn behavioral_dense_probed(
+    n: usize,
+    sched: &[(u64, usize, usize)],
+    total: u64,
+    probe: Option<ProbeHandle>,
+) -> u64 {
     let mut sw = BehavioralSwitch::new(SwitchConfig::symmetric(n, 4 * n.max(8)));
+    if let Some(p) = probe {
+        sw.attach_probe(p);
+    }
     let mut arr = vec![None; n];
     let mut k = 0;
     for t in 0..total {
@@ -242,11 +276,27 @@ pub fn measure(quick: bool) -> PerfReport {
         })
         .collect();
 
+    // Telemetry overhead: the same mid-load schedule, probe off vs a
+    // NullSink. Both legs run back to back so the ratio is comparable
+    // even on a noisy shared runner.
+    let (plain_secs, plain_deps) = time(|| behavioral_dense(n, &mid, total));
+    let (null_secs, null_deps) =
+        time(|| behavioral_dense_probed(n, &mid, total, Some(ProbeHandle::new(NullSink))));
+    let plain_ns = plain_secs * 1e9 / total as f64;
+    let null_sink_ns = null_secs * 1e9 / total as f64;
+    let telemetry = TelemetryCheck {
+        plain_ns,
+        null_sink_ns,
+        ratio: null_sink_ns / plain_ns.max(1e-12),
+        departures_match: plain_deps == null_deps,
+    };
+
     PerfReport {
         behavioral_cycle_ns: behavioral_secs * 1e9 / total as f64,
         rtl_cycle_ns: rtl_secs * 1e9 / rtl_total as f64,
         ff,
         e6,
+        telemetry,
     }
 }
 
@@ -281,7 +331,17 @@ pub fn to_json(r: &PerfReport) -> String {
         );
         s.push_str(if k + 1 < r.e6.len() { ",\n" } else { "\n" });
     }
-    s.push_str("  ]\n}\n");
+    s.push_str("  ],\n");
+    let _ = writeln!(
+        s,
+        "  \"telemetry\": {{\"plain_ns\": {:.1}, \"null_sink_ns\": {:.1}, \
+         \"overhead_ratio\": {:.3}, \"departures_match\": {}}}",
+        r.telemetry.plain_ns,
+        r.telemetry.null_sink_ns,
+        r.telemetry.ratio,
+        r.telemetry.departures_match
+    );
+    s.push_str("}\n");
     s
 }
 
@@ -315,6 +375,18 @@ pub fn render(r: &PerfReport) -> String {
             w.speedup
         );
     }
+    let _ = writeln!(
+        s,
+        "  telemetry off {:7.1} ns/cyc, NullSink {:7.1} ns/cyc — {:.3}x overhead, departures {}",
+        r.telemetry.plain_ns,
+        r.telemetry.null_sink_ns,
+        r.telemetry.ratio,
+        if r.telemetry.departures_match {
+            "identical"
+        } else {
+            "DIVERGED"
+        }
+    );
     s
 }
 
@@ -360,6 +432,22 @@ pub fn parse_baseline(json: &str) -> Option<Baseline> {
 /// must sit within ±0.05 of the baseline.
 pub fn gate(fresh: &PerfReport, baseline: &Baseline) -> Vec<String> {
     let mut violations = Vec::new();
+    // Telemetry checks are baseline-free (both legs ran in this very
+    // process): with the probe off the hot path must stay the hot path,
+    // and attaching a NullSink must not change behavior at all.
+    if !fresh.telemetry.departures_match {
+        violations.push(
+            "attaching a NullSink probe changed the departure count — \
+             telemetry is not behavior-neutral"
+                .to_string(),
+        );
+    }
+    if fresh.telemetry.ratio > 1.5 {
+        violations.push(format!(
+            "NullSink telemetry overhead {:.3}x exceeds the 1.5x bound",
+            fresh.telemetry.ratio
+        ));
+    }
     for p in &fresh.ff {
         let Some(&(_, base_speedup, base_skip)) = baseline
             .ff
@@ -437,6 +525,12 @@ mod tests {
                 ff_secs: 0.5,
                 speedup: 4.0,
             }],
+            telemetry: TelemetryCheck {
+                plain_ns: 100.0,
+                null_sink_ns: 110.0,
+                ratio: 1.1,
+                departures_match: true,
+            },
         };
         let b = parse_baseline(&to_json(&r)).expect("parses");
         assert_eq!(b.ff.len(), 2);
@@ -461,8 +555,37 @@ mod tests {
                 skipped_fraction: 0.30,
             }],
             e6: vec![],
+            telemetry: TelemetryCheck {
+                plain_ns: 100.0,
+                null_sink_ns: 100.0,
+                ratio: 1.0,
+                departures_match: true,
+            },
         };
         let v = gate(&bad, &base);
         assert_eq!(v.len(), 3, "floor + band + skip drift: {v:?}");
+    }
+
+    #[test]
+    fn gate_catches_telemetry_regressions() {
+        let base = Baseline {
+            ff: vec![(0.10, 10.0, 0.80)],
+        };
+        let bad = PerfReport {
+            behavioral_cycle_ns: 0.0,
+            rtl_cycle_ns: 0.0,
+            ff: vec![],
+            e6: vec![],
+            telemetry: TelemetryCheck {
+                plain_ns: 100.0,
+                null_sink_ns: 200.0,
+                ratio: 2.0,
+                departures_match: false,
+            },
+        };
+        let v = gate(&bad, &base);
+        assert_eq!(v.len(), 2, "overhead bound + behavior drift: {v:?}");
+        assert!(v.iter().any(|m| m.contains("1.5x")));
+        assert!(v.iter().any(|m| m.contains("behavior-neutral")));
     }
 }

@@ -24,6 +24,7 @@ use switch_core::faultsim::{FaultAction, FaultKind, FaultPlan};
 use switch_core::ibank::{InterleavedSwitch, InterleavedSwitchConfig};
 use switch_core::rtl::{OutputCollector, PipelinedSwitch};
 use switch_core::widemem::{WideMemorySwitchRtl, WideSwitchConfig};
+use telemetry::ProbeHandle;
 
 /// The four memory organizations under differential test.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -122,14 +123,21 @@ struct Launcher {
 }
 
 impl Launcher {
-    fn new(sc: &Scenario) -> Launcher {
+    fn new(sc: &Scenario, probe: Option<&ProbeHandle>) -> Launcher {
         let mut pending = vec![VecDeque::new(); sc.n];
         for o in &sc.offers {
             pending[o.input].push_back(*o);
         }
         let senders = sc.credited.then(|| {
             (0..sc.n)
-                .map(|_| CreditedInput::new(sc.credits_per_input(), 1))
+                .map(|i| {
+                    let mut s: CreditedInput<crate::scenario::Offer> =
+                        CreditedInput::new(sc.credits_per_input(), 1);
+                    if let Some(p) = probe {
+                        s.attach_probe(p.clone(), i);
+                    }
+                    s
+                })
                 .collect()
         });
         Launcher {
@@ -299,13 +307,23 @@ const DRAIN_CAP: Cycle = 200_000;
 
 /// Replay `sc` on organization `org` and report everything it did.
 pub fn run(sc: &Scenario, org: Org) -> RunOutcome {
+    run_with(sc, org, None)
+}
+
+/// Like [`run`], but with a telemetry probe attached to the model under
+/// test and to the credited senders: every per-cycle event (waves,
+/// arbitration, drops, credit grants/returns) streams into `probe`
+/// while the run proceeds bit-identically to an unprobed one — the
+/// flight-recorder path the fuzzer uses to dump a failure's last
+/// cycles.
+pub fn run_with(sc: &Scenario, org: Org, probe: Option<ProbeHandle>) -> RunOutcome {
     match org {
-        Org::Behavioral => run_behavioral(sc),
-        _ => run_word(sc, org),
+        Org::Behavioral => run_behavioral(sc, probe),
+        _ => run_word(sc, org, probe),
     }
 }
 
-fn run_word(sc: &Scenario, org: Org) -> RunOutcome {
+fn run_word(sc: &Scenario, org: Org, probe: Option<ProbeHandle>) -> RunOutcome {
     let n = sc.n;
     let s = sc.stages();
     let cfg = SwitchConfig::symmetric(n, sc.slots);
@@ -319,6 +337,13 @@ fn run_word(sc: &Scenario, org: Org) -> RunOutcome {
         ))),
         Org::Behavioral => unreachable!("behavioral runs via run_behavioral"),
     };
+    if let Some(p) = &probe {
+        match &mut sw {
+            WordSwitch::Pipelined(s) => s.attach_probe(p.clone()),
+            WordSwitch::Wide(s) => s.attach_probe(p.clone()),
+            WordSwitch::Interleaved(s) => s.attach_probe(p.clone()),
+        }
+    }
     // Faults strike the pipelined RTL only: the other organizations stay
     // clean references, so any effective upset becomes a divergence.
     let mut plan = match (&sw, sc.fault) {
@@ -332,7 +357,7 @@ fn run_word(sc: &Scenario, org: Org) -> RunOutcome {
         _ => None,
     };
     let mut col = OutputCollector::new(n, s);
-    let mut launcher = Launcher::new(sc);
+    let mut launcher = Launcher::new(sc, probe.as_ref());
     let mut current: Vec<Option<(Vec<u64>, usize)>> = (0..n).map(|_| None).collect();
     let mut launches = Vec::new();
     let mut deliveries = Vec::new();
@@ -469,11 +494,14 @@ fn run_word(sc: &Scenario, org: Org) -> RunOutcome {
     }
 }
 
-fn run_behavioral(sc: &Scenario) -> RunOutcome {
+fn run_behavioral(sc: &Scenario, probe: Option<ProbeHandle>) -> RunOutcome {
     let n = sc.n;
     let cfg = SwitchConfig::symmetric(n, sc.slots);
     let mut sw = BehavioralSwitch::new(cfg);
-    let mut launcher = Launcher::new(sc);
+    let mut launcher = Launcher::new(sc, probe.as_ref());
+    if let Some(p) = probe {
+        sw.attach_probe(p);
+    }
     // The behavioral model numbers packets internally; recover scenario
     // ids through the (input, birth) pair — unique because each input
     // launches at most one header per cycle.

@@ -6,12 +6,18 @@
 //! can be sharded across any number of workers (`sweep::map` in the bench
 //! harness) and still produce bit-identical reports.
 
+use crate::driver::{run_with, Org};
 use crate::oracle::{check_scenario, ScenarioStats};
 use crate::scenario::Scenario;
 use crate::shrink::shrink;
 use simkernel::error::SimError;
 use simkernel::split_seed;
 use std::fmt;
+use telemetry::{flight, TelemetryConfig};
+
+/// Cycles of probe events retained when a failing seed is replayed for
+/// its post-mortem dump (the flight-recorder window).
+pub const POST_MORTEM_WINDOW: usize = 256;
 
 /// RNG stream offset separating campaign indices from the scenario
 /// stream itself: scenario `k` of base seed `B` is generated from
@@ -30,6 +36,10 @@ pub struct Failure {
     pub shrunk: Scenario,
     /// The divergence the minimal reproducer produces.
     pub shrunk_error: SimError,
+    /// Flight-recorder post-mortem: the last [`POST_MORTEM_WINDOW`]
+    /// probe events of the shrunk reproducer replayed on the pipelined
+    /// RTL (the design under test).
+    pub dump: String,
 }
 
 impl fmt::Display for Failure {
@@ -49,8 +59,19 @@ impl fmt::Display for Failure {
             self.shrunk.offers.len(),
             self.shrunk_error
         )?;
-        write!(f, "  {}", self.shrunk)
+        writeln!(f, "  {}", self.shrunk)?;
+        write!(f, "{}", self.dump)
     }
+}
+
+/// Replay the shrunk reproducer on the pipelined RTL with a bounded
+/// flight recorder attached and render the post-mortem event window.
+fn record_post_mortem(shrunk: &Scenario, shrunk_error: &SimError) -> String {
+    let rec = TelemetryConfig::last(POST_MORTEM_WINDOW)
+        .recorder()
+        .expect("last(w) always enables a recorder");
+    let _ = run_with(shrunk, Org::Pipelined, Some(rec.handle()));
+    flight::post_mortem_shared(&format!("{shrunk_error}"), &rec)
 }
 
 /// The verdict for one campaign seed.
@@ -83,11 +104,13 @@ pub fn run_seed(base: u64, index: u64) -> SeedReport {
         Ok(stats) => SeedOutcome::Pass(stats),
         Err(error) => {
             let (shrunk, shrunk_error) = shrink(&scenario);
+            let dump = record_post_mortem(&shrunk, &shrunk_error);
             SeedOutcome::Fail(Box::new(Failure {
                 error,
                 scenario,
                 shrunk,
                 shrunk_error,
+                dump,
             }))
         }
     };
@@ -237,6 +260,24 @@ mod tests {
             }
             _ => panic!("verdict flipped between identical runs"),
         }
+    }
+
+    #[test]
+    fn post_mortem_dump_carries_the_event_window() {
+        // Any failing seed gets this dump attached; force the rendering
+        // path directly on a known-good scenario.
+        let sc = Scenario::generate(split_seed(CAMPAIGN_BASE_SEED, 0));
+        let err = SimError::Watchdog {
+            limit: 1,
+            context: "forced".to_string(),
+        };
+        let dump = record_post_mortem(&sc, &err);
+        assert!(dump.contains("post-mortem"), "headline present: {dump}");
+        assert!(dump.contains("forced"), "error text in headline");
+        assert!(
+            dump.contains("header"),
+            "the event window must show arrivals:\n{dump}"
+        );
     }
 
     #[test]

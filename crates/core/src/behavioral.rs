@@ -19,6 +19,9 @@ use crate::arbiter::{Arbiter, Decision, ReadReq, WriteReq};
 use crate::config::SwitchConfig;
 use simkernel::ids::Cycle;
 use std::collections::VecDeque;
+use telemetry::{
+    ArbOutcome, DropReason, GaugeKind, ProbeEvent, ProbeHandle, SharedRecorder, TelemetryConfig,
+};
 
 /// A departed packet, as reported by the behavioral model.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -106,6 +109,9 @@ pub struct BehavioralSwitch {
     departures: Vec<BehavioralDeparture>,
     /// Read waves still transmitting: (done_cycle, departure).
     in_tx: Vec<BehavioralDeparture>,
+    probe: Option<ProbeHandle>,
+    /// Last occupancy gauge emitted (probe attached only).
+    last_occ: u64,
     /// Reusable per-cycle scratch (hot path: one `tick` per simulated
     /// cycle, millions per experiment — these must not allocate).
     scratch_masks: Vec<Option<u32>>,
@@ -135,12 +141,34 @@ impl BehavioralSwitch {
             arrived: 0,
             departures: Vec::new(),
             in_tx: Vec::new(),
+            probe: None,
+            last_occ: 0,
             scratch_masks: Vec::with_capacity(cfg.n_in),
             scratch_done: Vec::new(),
             scratch_reads: Vec::with_capacity(cfg.n_out),
             scratch_writes: Vec::with_capacity(cfg.n_in),
             cfg,
         }
+    }
+
+    /// Build a switch with telemetry per `tel`: returns the switch and
+    /// the attached recorder (if `tel` enables one).
+    pub fn with_telemetry(
+        cfg: SwitchConfig,
+        tel: &TelemetryConfig,
+    ) -> (Self, Option<SharedRecorder>) {
+        let mut sw = Self::new(cfg);
+        let rec = tel.recorder();
+        if let Some(r) = &rec {
+            sw.attach_probe(r.handle());
+        }
+        (sw, rec)
+    }
+
+    /// Attach a probe sink; the cell-level model streams header/wave/
+    /// departure/gauge events (no per-word events — it has no words).
+    pub fn attach_probe(&mut self, probe: ProbeHandle) {
+        self.probe = Some(probe);
     }
 
     /// Current cycle.
@@ -203,6 +231,19 @@ impl BehavioralSwitch {
             }
         });
         self.departures.extend(done.iter().copied());
+        if let Some(p) = &self.probe {
+            for d in done.iter() {
+                p.emit(
+                    c,
+                    ProbeEvent::Departed {
+                        output: d.output,
+                        id: d.id,
+                        birth: d.birth,
+                        latency: c - d.birth,
+                    },
+                );
+            }
+        }
 
         // 2. Arrivals.
         for (i, a) in arrivals.iter().enumerate() {
@@ -217,6 +258,17 @@ impl BehavioralSwitch {
                 self.arriving[i] = self.stages - 1;
                 if self.buf_used == self.cfg.slots {
                     self.dropped += 1;
+                    if let Some(p) = &self.probe {
+                        // Dropped before an id was assigned (ids number
+                        // accepted packets); 0 marks "no id".
+                        p.emit(
+                            c,
+                            ProbeEvent::Drop {
+                                id: 0,
+                                reason: DropReason::BufferFull,
+                            },
+                        );
+                    }
                     continue;
                 }
                 self.arrived += 1;
@@ -235,6 +287,16 @@ impl BehavioralSwitch {
                     write_start: None,
                     output_was_idle,
                 };
+                if let Some(p) = &self.probe {
+                    p.emit(
+                        c,
+                        ProbeEvent::HeaderArrived {
+                            input: i,
+                            id,
+                            dst: primary,
+                        },
+                    );
+                }
                 let slot = match self.free_slab.pop() {
                     Some(sl) => {
                         self.packets[sl] = Some(pkt);
@@ -276,6 +338,15 @@ impl BehavioralSwitch {
                 self.free_slab.push(slot);
                 self.buf_used -= 1;
                 self.overruns += 1;
+                if let Some(probe) = &self.probe {
+                    probe.emit(
+                        c,
+                        ProbeEvent::Drop {
+                            id: p.id,
+                            reason: DropReason::LatchOverrun,
+                        },
+                    );
+                }
             }
         }
 
@@ -317,7 +388,25 @@ impl BehavioralSwitch {
                 }
             }
         }
-        match self.arb.decide(&reads, &writes) {
+        let decision = self.arb.decide(&reads, &writes);
+        if !reads.is_empty() || !writes.is_empty() {
+            if let Some(p) = &self.probe {
+                let outcome = match decision {
+                    Decision::Read(_) => ArbOutcome::Read,
+                    Decision::Write(_) => ArbOutcome::Write,
+                    Decision::Idle => ArbOutcome::Idle,
+                };
+                p.emit(
+                    c,
+                    ProbeEvent::Arbitration {
+                        reads: reads.len(),
+                        writes: writes.len(),
+                        outcome,
+                    },
+                );
+            }
+        }
+        match decision {
             Decision::Read(j) => self.start_read(j.index(), c, false),
             Decision::Write(i) => {
                 let pw = self.pending[i.index()].pop_front().expect("granted");
@@ -327,6 +416,15 @@ impl BehavioralSwitch {
                     p.write_start = Some(c);
                     dsts = p.dsts;
                     fusable = self.cfg.fused_cut_through;
+                }
+                if let Some(p) = &self.probe {
+                    p.emit(
+                        c,
+                        ProbeEvent::WriteWave {
+                            input: i.index(),
+                            addr: pw.slot,
+                        },
+                    );
                 }
                 if fusable {
                     for j in 0..self.cfg.n_out {
@@ -345,10 +443,24 @@ impl BehavioralSwitch {
         self.scratch_reads = reads;
         self.scratch_writes = writes;
 
+        if let Some(p) = &self.probe {
+            let occ = self.buf_used as u64;
+            if occ != self.last_occ {
+                self.last_occ = occ;
+                p.emit(
+                    c,
+                    ProbeEvent::Gauge {
+                        gauge: GaugeKind::Occupancy,
+                        index: 0,
+                        value: occ,
+                    },
+                );
+            }
+        }
         self.cycle = c + 1;
     }
 
-    fn start_read(&mut self, j: usize, c: Cycle, _fused: bool) {
+    fn start_read(&mut self, j: usize, c: Cycle, fused: bool) {
         let slot = self.queues[j].pop_front().expect("read from empty queue");
         let dep = {
             let p = self.packets[slot].as_mut().expect("live packet");
@@ -364,6 +476,48 @@ impl BehavioralSwitch {
                 output_was_idle: p.output_was_idle,
             }
         };
+        if let Some(p) = &self.probe {
+            p.emit(
+                c,
+                ProbeEvent::ReadWave {
+                    output: j,
+                    addr: slot,
+                    fused,
+                },
+            );
+            // Cut-through: the read overlaps the write wave still
+            // depositing this packet (always true for the fused form).
+            let ws = self.packets[slot]
+                .as_ref()
+                .and_then(|p| p.write_start)
+                .unwrap_or(c);
+            if fused || (self.cfg.cut_through && c < ws + self.stages as Cycle) {
+                p.emit(
+                    c,
+                    ProbeEvent::CutThrough {
+                        output: j,
+                        id: dep.id,
+                        fused,
+                    },
+                );
+            }
+            if !fused {
+                let earliest = if self.cfg.cut_through {
+                    ws + 1
+                } else {
+                    ws + self.stages as Cycle
+                };
+                if c > earliest {
+                    p.emit(
+                        c,
+                        ProbeEvent::StaggeredStart {
+                            output: j,
+                            id: dep.id,
+                        },
+                    );
+                }
+            }
+        }
         if self.packets[slot].as_ref().expect("live").refs == 0 {
             self.packets[slot] = None;
             self.free_slab.push(slot);

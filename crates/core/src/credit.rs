@@ -19,6 +19,7 @@
 use simkernel::error::SimError;
 use simkernel::ids::Cycle;
 use std::collections::VecDeque;
+use telemetry::{ProbeEvent, ProbeHandle};
 
 /// The upstream (sender) end of one credit-flow-controlled link.
 ///
@@ -47,6 +48,9 @@ pub struct CreditedInput<T> {
     credit_delay: Cycle,
     /// Times [`CreditedInput::resync`] recovered lost credits.
     resyncs: u64,
+    /// Telemetry probe and the input-lane index reported with each
+    /// credit event (attached by the harness; `None` in the hot path).
+    probe: Option<(ProbeHandle, usize)>,
 }
 
 impl<T> CreditedInput<T> {
@@ -60,7 +64,15 @@ impl<T> CreditedInput<T> {
             returning: VecDeque::new(),
             credit_delay,
             resyncs: 0,
+            probe: None,
         }
+    }
+
+    /// Attach a probe; credit grants and returns on this link are
+    /// reported as [`ProbeEvent::CreditGrant`]/[`ProbeEvent::CreditReturn`]
+    /// tagged with input `lane`.
+    pub fn attach_probe(&mut self, probe: ProbeHandle, lane: usize) {
+        self.probe = Some((probe, lane));
     }
 
     /// Credits currently usable.
@@ -146,6 +158,15 @@ impl<T> CreditedInput<T> {
             Some((cycle, n)) if *cycle == at => *n += 1,
             _ => self.returning.push_back((at, 1)),
         }
+        if let Some((p, lane)) = &self.probe {
+            p.emit(
+                now,
+                ProbeEvent::CreditReturn {
+                    input: *lane,
+                    remaining: u64::from(self.credits),
+                },
+            );
+        }
     }
 
     /// Advance to `now` and, if a packet is queued and a credit is
@@ -165,6 +186,15 @@ impl<T> CreditedInput<T> {
         );
         if self.credits > 0 && !self.queue.is_empty() {
             self.credits -= 1;
+            if let Some((p, lane)) = &self.probe {
+                p.emit(
+                    now,
+                    ProbeEvent::CreditGrant {
+                        input: *lane,
+                        remaining: u64::from(self.credits),
+                    },
+                );
+            }
             self.queue.pop_front()
         } else {
             None

@@ -1,86 +1,11 @@
-//! Structured events emitted by the switch models.
+//! Integrity verdicts and aggregate counters maintained by the switch
+//! models.
+//!
+//! Per-cycle observations stream through the `telemetry` probe API
+//! (`telemetry::ProbeEvent`) — there is no separate switch-level event
+//! enum; this module keeps only what the models themselves store.
 
-use simkernel::ids::{Addr, Cycle, PortId};
 use std::fmt;
-
-/// Everything observable about the switch's operation, for traces, the
-//  fig. 5 control-signal table, and test assertions.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum SwitchEvent {
-    /// A packet header appeared on an input link.
-    HeaderArrived {
-        /// Input link.
-        input: PortId,
-        /// Packet id decoded from the header.
-        id: u64,
-        /// Destination decoded from the header.
-        dst: PortId,
-    },
-    /// A write wave was initiated (stage-0 write this cycle).
-    WriteInitiated {
-        /// Input link whose latches feed the wave.
-        input: PortId,
-        /// Slot being written.
-        addr: Addr,
-    },
-    /// A read wave was initiated (stage-0 read this cycle).
-    ReadInitiated {
-        /// Output link the packet will leave on.
-        output: PortId,
-        /// Slot being read.
-        addr: Addr,
-        /// True if this read was fused onto the write wave of the same
-        /// packet in the same cycle (bus-sampled cut-through).
-        fused: bool,
-    },
-    /// A packet finished transmission on an output link (tail word sent).
-    Departed {
-        /// Output link.
-        output: PortId,
-        /// Packet id.
-        id: u64,
-        /// Cycle the packet's header arrived (for latency).
-        birth: Cycle,
-    },
-    /// A packet was dropped because no buffer slot was free at header
-    /// arrival.
-    DroppedBufferFull {
-        /// Input link.
-        input: PortId,
-        /// Packet id.
-        id: u64,
-    },
-    /// A packet was lost because its write wave could not be initiated
-    /// before its input latches were overwritten. The arbiter is designed
-    /// so this never happens (tests assert the count stays zero); the
-    /// event exists so that *if* a policy change breaks the guarantee, it
-    /// breaks loudly.
-    LatchOverrun {
-        /// Input link.
-        input: PortId,
-        /// Packet id.
-        id: u64,
-    },
-    /// A packet was detected as corrupt *before transmission* and dropped
-    /// (slot freed). This is the detect-and-survive path: an ECC-style
-    /// scrub at read initiation, an ingress payload check, or hardened
-    /// framing caught the damage while the packet was still droppable.
-    CorruptDropped {
-        /// Packet id (as decoded at ingress — possibly itself corrupt).
-        id: u64,
-        /// What the integrity machinery caught.
-        reason: IntegrityReason,
-    },
-    /// A packet already streaming on an output link failed the egress
-    /// payload check: the corruption is detected and counted, but the
-    /// words are on the wire (a link CRC would mark the frame bad).
-    CorruptDelivered {
-        /// Output link.
-        output: PortId,
-        /// Packet id decoded from the delivered header.
-        id: u64,
-    },
-}
 
 /// Why the integrity machinery condemned a packet.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -104,48 +29,6 @@ impl fmt::Display for IntegrityReason {
             IntegrityReason::BadHeader => "bad header",
             IntegrityReason::PayloadMismatch => "payload mismatch",
         })
-    }
-}
-
-impl fmt::Display for SwitchEvent {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            SwitchEvent::HeaderArrived { input, id, dst } => {
-                write!(f, "header  in={input} id={id} dst={dst}")
-            }
-            SwitchEvent::WriteInitiated { input, addr } => {
-                write!(f, "write   in={input} {addr}")
-            }
-            SwitchEvent::ReadInitiated {
-                output,
-                addr,
-                fused,
-            } => {
-                write!(
-                    f,
-                    "read    out={output} {addr}{}",
-                    if *fused { " (fused cut-through)" } else { "" }
-                )
-            }
-            SwitchEvent::Departed { output, id, birth } => {
-                write!(f, "depart  out={output} id={id} born={birth}")
-            }
-            SwitchEvent::DroppedBufferFull { input, id } => {
-                write!(f, "DROP    in={input} id={id} (buffer full)")
-            }
-            SwitchEvent::LatchOverrun { input, id } => {
-                write!(f, "OVERRUN in={input} id={id} (latch deadline missed)")
-            }
-            SwitchEvent::CorruptDropped { id, reason } => {
-                write!(f, "CORRUPT id={id} dropped ({reason})")
-            }
-            SwitchEvent::CorruptDelivered { output, id } => {
-                write!(
-                    f,
-                    "CORRUPT out={output} id={id} delivered (egress check failed)"
-                )
-            }
-        }
     }
 }
 
@@ -203,23 +86,6 @@ impl SwitchCounters {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use simkernel::ids::{Addr, PortId};
-
-    #[test]
-    fn display_forms() {
-        let e = SwitchEvent::ReadInitiated {
-            output: PortId(2),
-            addr: Addr(7),
-            fused: true,
-        };
-        assert!(e.to_string().contains("fused"));
-        let d = SwitchEvent::Departed {
-            output: PortId(1),
-            id: 9,
-            birth: 100,
-        };
-        assert!(d.to_string().contains("id=9"));
-    }
 
     #[test]
     fn in_flight_accounting() {
@@ -243,19 +109,13 @@ mod tests {
 
     #[test]
     fn integrity_display_forms() {
-        let d = SwitchEvent::CorruptDropped {
-            id: 4,
-            reason: IntegrityReason::TruncatedPacket,
-        };
-        assert!(d.to_string().contains("truncated"));
-        let v = SwitchEvent::CorruptDelivered {
-            output: PortId(3),
-            id: 8,
-        };
-        assert!(v.to_string().contains("egress"));
         assert_eq!(
             IntegrityReason::ChecksumMismatch.to_string(),
             "checksum mismatch"
+        );
+        assert_eq!(
+            IntegrityReason::TruncatedPacket.to_string(),
+            "truncated packet"
         );
     }
 }

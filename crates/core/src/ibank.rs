@@ -34,6 +34,7 @@ use membank::interleaved::{BankId, InterleavedMemory};
 use simkernel::cell::Packet;
 use simkernel::ids::Cycle;
 use std::collections::VecDeque;
+use telemetry::{DropReason, GaugeKind, ProbeEvent, ProbeHandle, SharedRecorder, TelemetryConfig};
 
 /// Configuration of the interleaved-bank switch.
 #[derive(Debug, Clone)]
@@ -103,6 +104,11 @@ pub struct InterleavedSwitch {
     tx: Vec<Option<(BankId, usize, u64, Cycle)>>,
     cycle: Cycle,
     counters: SwitchCounters,
+    probe: Option<ProbeHandle>,
+    /// Last occupancy gauge emitted (probe attached only).
+    last_occ: u64,
+    /// Last per-output queue-depth gauges emitted (probe attached only).
+    last_qdepth: Vec<u64>,
     /// Reusable per-cycle scratch (hot path: must not allocate).
     wire_out: Vec<Option<u64>>,
     scratch_freed: Vec<BankId>,
@@ -120,10 +126,32 @@ impl InterleavedSwitch {
             tx: vec![None; cfg.n],
             cycle: 0,
             counters: SwitchCounters::default(),
+            probe: None,
+            last_occ: 0,
+            last_qdepth: vec![0; cfg.n],
             wire_out: vec![None; cfg.n],
             scratch_freed: Vec::with_capacity(cfg.n),
             cfg,
         }
+    }
+
+    /// Build a switch with telemetry per `tel`: returns the switch and
+    /// the attached recorder (if `tel` enables one).
+    pub fn with_telemetry(
+        cfg: InterleavedSwitchConfig,
+        tel: &TelemetryConfig,
+    ) -> (Self, Option<SharedRecorder>) {
+        let mut sw = Self::new(cfg);
+        let rec = tel.recorder();
+        if let Some(r) = &rec {
+            sw.attach_probe(r.handle());
+        }
+        (sw, rec)
+    }
+
+    /// Attach a probe; every subsequent tick streams events into it.
+    pub fn attach_probe(&mut self, probe: ProbeHandle) {
+        self.probe = Some(probe);
     }
 
     /// Aggregate counters.
@@ -193,24 +221,54 @@ impl InterleavedSwitch {
                             // spent; the bank is freed immediately.
                             self.counters.corrupt_drops += 1;
                             freed.push(head.bank);
+                            if let Some(p) = &self.probe {
+                                p.emit(
+                                    c,
+                                    ProbeEvent::Drop {
+                                        id: head.id,
+                                        reason: DropReason::Checksum,
+                                    },
+                                );
+                            }
                         } else {
                             self.tx[j] = Some((head.bank, 0, head.id, head.birth));
+                            if let Some(p) = &self.probe {
+                                p.emit(
+                                    c,
+                                    ProbeEvent::ReadWave {
+                                        output: j,
+                                        addr: head.bank.0,
+                                        fused: false,
+                                    },
+                                );
+                            }
                         }
                     }
                 }
             }
-            if let Some((bank, k, _id, _birth)) = self.tx[j].as_mut() {
+            if let Some((bank, k, id, birth)) = self.tx[j].as_mut() {
                 let w = self
                     .mem
                     .read_word(*bank, *k)
                     .expect("output owns its bank's port");
                 *out = Some(w);
                 *k += 1;
-                if *k == s {
-                    let b = *bank;
+                let (done, b, id, birth) = (*k == s, *bank, *id, *birth);
+                if done {
                     self.tx[j] = None;
                     freed.push(b);
                     self.counters.departed += 1;
+                    if let Some(p) = &self.probe {
+                        p.emit(
+                            c,
+                            ProbeEvent::Departed {
+                                output: j,
+                                id,
+                                birth,
+                                latency: c - birth,
+                            },
+                        );
+                    }
                 }
             }
         }
@@ -232,9 +290,34 @@ impl InterleavedSwitch {
                 let (dst, id) = Packet::decode_header(*word);
                 assert!(dst < n, "bad destination {dst}");
                 self.counters.arrived += 1;
+                if let Some(p) = &self.probe {
+                    p.emit(c, ProbeEvent::HeaderArrived { input: i, id, dst });
+                }
                 let bank = self.mem.allocate();
-                if bank.is_none() {
-                    self.counters.dropped_buffer_full += 1;
+                match bank {
+                    Some(b) => {
+                        if let Some(p) = &self.probe {
+                            p.emit(
+                                c,
+                                ProbeEvent::WriteWave {
+                                    input: i,
+                                    addr: b.0,
+                                },
+                            );
+                        }
+                    }
+                    None => {
+                        self.counters.dropped_buffer_full += 1;
+                        if let Some(p) = &self.probe {
+                            p.emit(
+                                c,
+                                ProbeEvent::Drop {
+                                    id,
+                                    reason: DropReason::BufferFull,
+                                },
+                            );
+                        }
+                    }
                 }
                 self.arriving[i] = Some(Arriving {
                     bank,
@@ -271,6 +354,39 @@ impl InterleavedSwitch {
             self.mem.release(b);
         }
         self.scratch_freed = freed;
+
+        if self.probe.is_some() {
+            let occ = self.mem.occupied_count() as u64;
+            if occ != self.last_occ {
+                self.last_occ = occ;
+                if let Some(p) = &self.probe {
+                    p.emit(
+                        c,
+                        ProbeEvent::Gauge {
+                            gauge: GaugeKind::Occupancy,
+                            index: 0,
+                            value: occ,
+                        },
+                    );
+                }
+            }
+            for j in 0..n {
+                let depth = self.queues[j].len() as u64;
+                if depth != self.last_qdepth[j] {
+                    self.last_qdepth[j] = depth;
+                    if let Some(p) = &self.probe {
+                        p.emit(
+                            c,
+                            ProbeEvent::Gauge {
+                                gauge: GaugeKind::QueueDepth,
+                                index: j,
+                                value: depth,
+                            },
+                        );
+                    }
+                }
+            }
+        }
 
         self.cycle = c + 1;
         self.wire_out = wire_out;

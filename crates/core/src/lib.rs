@@ -71,7 +71,7 @@ pub use bufmgr::BufferManager;
 pub use config::SwitchConfig;
 pub use credit::CreditedInput;
 pub use ctrl::{ControlChecker, ControlPipeline};
-pub use events::{IntegrityReason, SwitchEvent};
+pub use events::IntegrityReason;
 pub use faultsim::{Fault, FaultAction, FaultKind, FaultPlan, WireFaults};
 pub use halfq::HalfQuantumBuffer;
 pub use ibank::{InterleavedSwitch, InterleavedSwitchConfig};

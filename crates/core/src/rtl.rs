@@ -31,17 +31,31 @@
 //! deadlines are S apart), so at most `n_in − 1` writes precede ours under
 //! EDF. That totals `S − 1` competitors for `S` slots — the wave always
 //! fits, even at 100 % load on every link. The model still counts
-//! [`SwitchEvent::LatchOverrun`] so that any policy change violating the
-//! argument fails tests loudly instead of silently corrupting packets.
+//! latch overruns (and probes them as [`DropReason::LatchOverrun`]) so
+//! that any policy change violating the argument fails tests loudly
+//! instead of silently corrupting packets.
 
 use crate::arbiter::{Arbiter, Decision, ReadReq, WriteReq};
 use crate::bufmgr::{BufferManager, Descriptor};
 use crate::config::SwitchConfig;
-use crate::events::{IntegrityReason, SwitchCounters, SwitchEvent};
+use crate::events::{IntegrityReason, SwitchCounters};
 use membank::bank::{PortKind, SramBank};
 use simkernel::cell::Packet;
 use simkernel::ids::{Addr, Cycle, PortId};
-use simkernel::trace::Trace;
+use telemetry::{
+    ArbOutcome, DropReason, FaultTag, GaugeKind, ProbeEvent, ProbeHandle, SharedRecorder,
+    TelemetryConfig, WaveDir,
+};
+
+/// Map an integrity verdict onto the probe stream's drop vocabulary.
+pub(crate) fn drop_reason(r: IntegrityReason) -> DropReason {
+    match r {
+        IntegrityReason::BadHeader => DropReason::BadHeader,
+        IntegrityReason::TruncatedPacket => DropReason::Truncated,
+        IntegrityReason::ChecksumMismatch => DropReason::Checksum,
+        IntegrityReason::PayloadMismatch => DropReason::Payload,
+    }
+}
 
 /// What one memory stage is doing in a given cycle (the fig. 5 control
 /// signals, reconstructed per stage).
@@ -167,7 +181,11 @@ pub struct PipelinedSwitch {
     waves: Vec<ActiveWave>,
     cycle: Cycle,
     counters: SwitchCounters,
-    trace: Trace<SwitchEvent>,
+    probe: Option<ProbeHandle>,
+    /// Last occupancy / queue-depth gauges emitted (probe attached only;
+    /// gauges are emitted on change, not per cycle).
+    last_occ: u64,
+    last_qdepth: Vec<u64>,
     last_controls: Vec<StageCtrl>,
     /// Reusable per-cycle scratch (hot path: one `tick` per simulated
     /// cycle — these must not allocate in steady state).
@@ -205,7 +223,9 @@ impl PipelinedSwitch {
             waves: Vec::new(),
             cycle: 0,
             counters: SwitchCounters::default(),
-            trace: Trace::disabled(),
+            probe: None,
+            last_occ: 0,
+            last_qdepth: vec![0; cfg.n_out],
             last_controls: vec![StageCtrl::Nop; stages],
             wire_out: vec![None; cfg.n_out],
             scratch_reads: Vec::with_capacity(cfg.n_out),
@@ -215,14 +235,25 @@ impl PipelinedSwitch {
         }
     }
 
-    /// Enable event tracing (unbounded; use for directed tests only).
-    pub fn enable_trace(&mut self) {
-        self.trace = Trace::unbounded();
+    /// Build a switch with telemetry per `tel`: returns the switch and
+    /// the attached recorder (if `tel` enables one).
+    pub fn with_telemetry(
+        cfg: SwitchConfig,
+        tel: &TelemetryConfig,
+    ) -> (Self, Option<SharedRecorder>) {
+        let mut sw = Self::new(cfg);
+        let rec = tel.recorder();
+        if let Some(r) = &rec {
+            sw.attach_probe(r.handle());
+        }
+        (sw, rec)
     }
 
-    /// The recorded event trace.
-    pub fn trace(&self) -> &Trace<SwitchEvent> {
-        &self.trace
+    /// Attach a probe sink; every subsequent tick streams structured
+    /// [`ProbeEvent`]s into it. With no probe attached the emission sites
+    /// cost one predictable branch each (the perf gate holds this).
+    pub fn attach_probe(&mut self, probe: ProbeHandle) {
+        self.probe = Some(probe);
     }
 
     /// Aggregate counters.
@@ -349,24 +380,29 @@ impl PipelinedSwitch {
             }
             if let Some((id, birth)) = ow.tail_of {
                 self.counters.departed += 1;
-                self.trace.record(
-                    c,
-                    SwitchEvent::Departed {
-                        output: ow.link,
-                        id,
-                        birth,
-                    },
-                );
+                if let Some(p) = &self.probe {
+                    p.emit(
+                        c,
+                        ProbeEvent::Departed {
+                            output: j,
+                            id,
+                            birth,
+                            latency: c - birth,
+                        },
+                    );
+                }
                 if self.cfg.integrity.payload_check {
                     if self.out_verify[j].corrupt {
                         self.counters.corrupt_delivered += 1;
-                        self.trace.record(
-                            c,
-                            SwitchEvent::CorruptDelivered {
-                                output: ow.link,
-                                id,
-                            },
-                        );
+                        if let Some(p) = &self.probe {
+                            p.emit(
+                                c,
+                                ProbeEvent::Fault {
+                                    id,
+                                    kind: FaultTag::CorruptDelivered,
+                                },
+                            );
+                        }
                     }
                     self.out_verify[j] = OutVerify::default();
                 }
@@ -396,13 +432,15 @@ impl PipelinedSwitch {
                             // words fall on the floor at the tail).
                             self.counters.arrived += 1;
                             self.counters.corrupt_drops += 1;
-                            self.trace.record(
-                                c,
-                                SwitchEvent::CorruptDropped {
-                                    id,
-                                    reason: IntegrityReason::BadHeader,
-                                },
-                            );
+                            if let Some(p) = &self.probe {
+                                p.emit(
+                                    c,
+                                    ProbeEvent::Drop {
+                                        id,
+                                        reason: DropReason::BadHeader,
+                                    },
+                                );
+                            }
                         } else {
                             assert!(
                                 !bad,
@@ -411,14 +449,16 @@ impl PipelinedSwitch {
                             );
                             let desc = Descriptor::multicast(id, PortId(i), mask, c);
                             self.counters.arrived += 1;
-                            self.trace.record(
-                                c,
-                                SwitchEvent::HeaderArrived {
-                                    input: PortId(i),
-                                    id,
-                                    dst: desc.dst,
-                                },
-                            );
+                            if let Some(p) = &self.probe {
+                                p.emit(
+                                    c,
+                                    ProbeEvent::HeaderArrived {
+                                        input: i,
+                                        id,
+                                        dst: desc.dst.index(),
+                                    },
+                                );
+                            }
                             st.expected_id = self.cfg.integrity.payload_check.then_some(id);
                             st.cur_id = id;
                             match self.mgr.alloc(desc) {
@@ -432,13 +472,15 @@ impl PipelinedSwitch {
                                 }
                                 None => {
                                     self.counters.dropped_buffer_full += 1;
-                                    self.trace.record(
-                                        c,
-                                        SwitchEvent::DroppedBufferFull {
-                                            input: PortId(i),
-                                            id,
-                                        },
-                                    );
+                                    if let Some(p) = &self.probe {
+                                        p.emit(
+                                            c,
+                                            ProbeEvent::Drop {
+                                                id,
+                                                reason: DropReason::BufferFull,
+                                            },
+                                        );
+                                    }
                                 }
                             }
                         }
@@ -449,6 +491,15 @@ impl PipelinedSwitch {
                     }
                     st.chk = st.chk.rotate_left(1) ^ *word;
                     self.latch_loads.push((i, st.k, *word));
+                    if let Some(p) = &self.probe {
+                        p.emit(
+                            c,
+                            ProbeEvent::LatchLoad {
+                                input: i,
+                                stage: st.k,
+                            },
+                        );
+                    }
                     st.k += 1;
                     if st.k == s {
                         st.k = 0;
@@ -484,13 +535,15 @@ impl PipelinedSwitch {
                                 st.pending.remove(pos);
                                 let d = self.mgr.release(addr);
                                 self.counters.corrupt_drops += 1;
-                                self.trace.record(
-                                    c,
-                                    SwitchEvent::CorruptDropped {
-                                        id: d.id,
-                                        reason: IntegrityReason::TruncatedPacket,
-                                    },
-                                );
+                                if let Some(p) = &self.probe {
+                                    p.emit(
+                                        c,
+                                        ProbeEvent::Drop {
+                                            id: d.id,
+                                            reason: DropReason::Truncated,
+                                        },
+                                    );
+                                }
                             } else if self.mgr.descriptor(addr).is_some_and(|d| d.id == st.cur_id) {
                                 // Write wave already streaming stale latch
                                 // words: poison so the read side drops it
@@ -528,13 +581,15 @@ impl PipelinedSwitch {
                 self.inputs[i].pending.pop_front();
                 let d = self.mgr.release(addr);
                 self.counters.latch_overruns += 1;
-                self.trace.record(
-                    c,
-                    SwitchEvent::LatchOverrun {
-                        input: PortId(i),
-                        id: d.id,
-                    },
-                );
+                if let Some(p) = &self.probe {
+                    p.emit(
+                        c,
+                        ProbeEvent::Drop {
+                            id: d.id,
+                            reason: DropReason::LatchOverrun,
+                        },
+                    );
+                }
             }
         }
 
@@ -583,7 +638,25 @@ impl PipelinedSwitch {
             // of the contenders to a later cycle.
             self.counters.rw_collisions += 1;
         }
-        match self.arb.decide(&reads, &writes) {
+        let decision = self.arb.decide(&reads, &writes);
+        if had_work {
+            if let Some(p) = &self.probe {
+                let outcome = match decision {
+                    Decision::Read(_) => ArbOutcome::Read,
+                    Decision::Write(_) => ArbOutcome::Write,
+                    Decision::Idle => ArbOutcome::Idle,
+                };
+                p.emit(
+                    c,
+                    ProbeEvent::Arbitration {
+                        reads: reads.len(),
+                        writes: writes.len(),
+                        outcome,
+                    },
+                );
+            }
+        }
+        match decision {
             Decision::Read(j) => {
                 let (addr, d, freed) = self.mgr.pop_and_free(j);
                 // Integrity scrub at read initiation (the ECC check a real
@@ -601,24 +674,61 @@ impl PipelinedSwitch {
                     // this path; count once, when the slot is freed.
                     if freed {
                         self.counters.corrupt_drops += 1;
-                        self.trace.record(
-                            c,
-                            SwitchEvent::CorruptDropped {
-                                id: d.id,
-                                reason: d.poisoned.unwrap_or(IntegrityReason::ChecksumMismatch),
-                            },
-                        );
+                        if let Some(p) = &self.probe {
+                            p.emit(
+                                c,
+                                ProbeEvent::Drop {
+                                    id: d.id,
+                                    reason: drop_reason(
+                                        d.poisoned.unwrap_or(IntegrityReason::ChecksumMismatch),
+                                    ),
+                                },
+                            );
+                        }
                     }
                 } else {
                     self.out_next_init[j.index()] = c + s as Cycle;
-                    self.trace.record(
-                        c,
-                        SwitchEvent::ReadInitiated {
-                            output: j,
-                            addr,
-                            fused: false,
-                        },
-                    );
+                    if let Some(p) = &self.probe {
+                        p.emit(
+                            c,
+                            ProbeEvent::ReadWave {
+                                output: j.index(),
+                                addr: addr.index(),
+                                fused: false,
+                            },
+                        );
+                        // §3.4: any unfused read started later than the
+                        // packet's earliest opportunity — the initiation
+                        // slot staggered the output's start.
+                        let earliest = d.write_start.map(|ws| {
+                            if self.cfg.cut_through {
+                                ws + 1
+                            } else {
+                                ws + s as Cycle
+                            }
+                        });
+                        if earliest.is_some_and(|e| c > e) {
+                            p.emit(
+                                c,
+                                ProbeEvent::StaggeredStart {
+                                    output: j.index(),
+                                    id: d.id,
+                                },
+                            );
+                        }
+                        // Cut-through (unfused form): the read overlaps a
+                        // write wave still depositing this packet.
+                        if d.write_start.is_some_and(|ws| c < ws + s as Cycle) {
+                            p.emit(
+                                c,
+                                ProbeEvent::CutThrough {
+                                    output: j.index(),
+                                    id: d.id,
+                                    fused: false,
+                                },
+                            );
+                        }
+                    }
                     self.waves.push(ActiveWave {
                         start: c,
                         addr,
@@ -637,13 +747,15 @@ impl PipelinedSwitch {
                     .pop_front()
                     .expect("arbiter granted a write with no pending request");
                 self.mgr.mark_write_started(pw.addr, c);
-                self.trace.record(
-                    c,
-                    SwitchEvent::WriteInitiated {
-                        input: i,
-                        addr: pw.addr,
-                    },
-                );
+                if let Some(p) = &self.probe {
+                    p.emit(
+                        c,
+                        ProbeEvent::WriteWave {
+                            input: i.index(),
+                            addr: pw.addr.index(),
+                        },
+                    );
+                }
                 let mut wave = ActiveWave {
                     start: c,
                     addr: pw.addr,
@@ -678,14 +790,24 @@ impl PipelinedSwitch {
                         debug_assert_eq!(d2.id, id);
                         self.out_next_init[dst.index()] = c + s as Cycle;
                         self.counters.fused_reads += 1;
-                        self.trace.record(
-                            c,
-                            SwitchEvent::ReadInitiated {
-                                output: dst,
-                                addr: pw.addr,
-                                fused: true,
-                            },
-                        );
+                        if let Some(p) = &self.probe {
+                            p.emit(
+                                c,
+                                ProbeEvent::ReadWave {
+                                    output: dst.index(),
+                                    addr: pw.addr.index(),
+                                    fused: true,
+                                },
+                            );
+                            p.emit(
+                                c,
+                                ProbeEvent::CutThrough {
+                                    output: dst.index(),
+                                    id,
+                                    fused: true,
+                                },
+                            );
+                        }
                         wave.read_to = Some(OutBinding {
                             out: dst,
                             id,
@@ -777,6 +899,23 @@ impl PipelinedSwitch {
                 },
                 (None, None) => unreachable!("wave with no operation"),
             };
+            if let Some(p) = &self.probe {
+                let op = match (&w.write_from, &w.read_to) {
+                    (Some(_), None) => WaveDir::Write,
+                    (None, Some(_)) => WaveDir::Read,
+                    _ => WaveDir::Fused,
+                };
+                p.emit(
+                    c,
+                    ProbeEvent::BankAccess {
+                        stage: k,
+                        addr: w.addr.index(),
+                        op,
+                        input: w.write_from.map(PortId::index),
+                        output: w.read_to.as_ref().map(|rb| rb.out.index()),
+                    },
+                );
+            }
         }
 
         // ------------------------------------------------------------------
@@ -791,6 +930,34 @@ impl PipelinedSwitch {
             *o = None;
         }
         self.waves.retain(|w| ((c - w.start) as usize) + 1 < s);
+        if let Some(p) = &self.probe {
+            let occ = self.mgr.occupancy() as u64;
+            if occ != self.last_occ {
+                self.last_occ = occ;
+                p.emit(
+                    c,
+                    ProbeEvent::Gauge {
+                        gauge: GaugeKind::Occupancy,
+                        index: 0,
+                        value: occ,
+                    },
+                );
+            }
+            for j in 0..self.cfg.n_out {
+                let depth = self.mgr.queue_len(PortId(j)) as u64;
+                if depth != self.last_qdepth[j] {
+                    self.last_qdepth[j] = depth;
+                    p.emit(
+                        c,
+                        ProbeEvent::Gauge {
+                            gauge: GaugeKind::QueueDepth,
+                            index: j,
+                            value: depth,
+                        },
+                    );
+                }
+            }
+        }
         self.cycle = c + 1;
         self.wire_out = wire_out;
         &self.wire_out
@@ -952,7 +1119,6 @@ mod tests {
     /// return (delivered packets, trace copy, counters).
     fn run_single_packet(cfg: SwitchConfig) -> (Vec<DeliveredPacket>, PipelinedSwitch) {
         let mut sw = PipelinedSwitch::new(cfg);
-        sw.enable_trace();
         let s = sw.config().stages();
         let p = Packet::synth(7, 0, 1, s, 0);
         let mut col = OutputCollector::new(sw.config().n_out, s);
@@ -1038,7 +1204,6 @@ mod tests {
         // Two packets to the same output, arriving simultaneously on
         // different inputs: one cuts through, the other queues behind it.
         let mut sw = PipelinedSwitch::new(SwitchConfig::symmetric(2, 8));
-        sw.enable_trace();
         let s = 4;
         let p0 = Packet::synth(10, 0, 0, s, 0);
         let p1 = Packet::synth(11, 1, 0, s, 0);
@@ -1069,7 +1234,6 @@ mod tests {
         // 1-slot buffer, two simultaneous arrivals: the second is dropped,
         // the first is delivered, and the switch keeps working.
         let mut sw = PipelinedSwitch::new(SwitchConfig::symmetric(2, 1));
-        sw.enable_trace();
         let s = 4;
         let p0 = Packet::synth(1, 0, 0, s, 0);
         let p1 = Packet::synth(2, 1, 1, s, 0);

@@ -33,6 +33,7 @@ use membank::wide::WideMemory;
 use simkernel::cell::Packet;
 use simkernel::ids::{Addr, Cycle};
 use std::collections::VecDeque;
+use telemetry::{DropReason, GaugeKind, ProbeEvent, ProbeHandle, SharedRecorder, TelemetryConfig};
 
 /// Configuration of the wide-memory switch.
 #[derive(Debug, Clone)]
@@ -99,6 +100,7 @@ struct BypassTx {
     input: usize,
     /// Word index to transmit next.
     k: usize,
+    id: u64,
     birth: Cycle,
 }
 
@@ -117,6 +119,9 @@ pub struct WideMemorySwitchRtl {
     outs: Vec<OutState>,
     cycle: Cycle,
     counters: SwitchCounters,
+    probe: Option<ProbeHandle>,
+    /// Last occupancy gauge emitted (probe attached only).
+    last_occ: u64,
     /// Reusable per-cycle output buffer (hot path: must not allocate).
     wire_out: Vec<Option<u64>>,
     /// Packets that had to be dropped because the staging row was still
@@ -148,10 +153,32 @@ impl WideMemorySwitchRtl {
             ],
             cycle: 0,
             counters: SwitchCounters::default(),
+            probe: None,
+            last_occ: 0,
             wire_out: vec![None; cfg.n],
             staging_overruns: 0,
             cfg,
         }
+    }
+
+    /// Build a switch with telemetry per `tel`: returns the switch and
+    /// the attached recorder (if `tel` enables one).
+    pub fn with_telemetry(
+        cfg: WideSwitchConfig,
+        tel: &TelemetryConfig,
+    ) -> (Self, Option<SharedRecorder>) {
+        let mut sw = Self::new(cfg);
+        let rec = tel.recorder();
+        if let Some(r) = &rec {
+            sw.attach_probe(r.handle());
+        }
+        (sw, rec)
+    }
+
+    /// Attach a probe sink (headers, whole-packet memory ops, bypass
+    /// cut-throughs, drops, departures, occupancy gauges).
+    pub fn attach_probe(&mut self, probe: ProbeHandle) {
+        self.probe = Some(probe);
     }
 
     /// Aggregate counters.
@@ -198,9 +225,27 @@ impl WideMemorySwitchRtl {
                     .expect("one op per cycle");
                 let sum = integrity_checksum(st.words.iter().copied());
                 self.queues[st.dst].push_back((addr, st.id, st.birth, sum));
+                if let Some(p) = &self.probe {
+                    p.emit(
+                        self.cycle,
+                        ProbeEvent::WriteWave {
+                            input: i,
+                            addr: addr.index(),
+                        },
+                    );
+                }
             }
             None => {
                 self.counters.dropped_buffer_full += 1;
+                if let Some(p) = &self.probe {
+                    p.emit(
+                        self.cycle,
+                        ProbeEvent::Drop {
+                            id: st.id,
+                            reason: DropReason::BufferFull,
+                        },
+                    );
+                }
             }
         }
     }
@@ -235,6 +280,17 @@ impl WideMemorySwitchRtl {
                     if k == s {
                         self.outs[j].bypass = None;
                         self.counters.departed += 1;
+                        if let Some(p) = &self.probe {
+                            p.emit(
+                                c,
+                                ProbeEvent::Departed {
+                                    output: j,
+                                    id: bp.id,
+                                    birth: bp.birth,
+                                    latency: c - bp.birth,
+                                },
+                            );
+                        }
                     } else {
                         self.outs[j].bypass = Some(BypassTx { k, ..bp });
                     }
@@ -246,12 +302,24 @@ impl WideMemorySwitchRtl {
                     self.outs[j].tx = Some((words, 0, id, birth));
                 }
             }
-            if let Some((words, k, _id, _birth)) = self.outs[j].tx.as_mut() {
+            if let Some((words, k, id, birth)) = self.outs[j].tx.as_mut() {
                 wire_out[j] = Some(words[*k]);
                 *k += 1;
-                if *k == s {
+                let (done, id, birth) = (*k == s, *id, *birth);
+                if done {
                     self.outs[j].tx = None;
                     self.counters.departed += 1;
+                    if let Some(p) = &self.probe {
+                        p.emit(
+                            c,
+                            ProbeEvent::Departed {
+                                output: j,
+                                id,
+                                birth,
+                                latency: c - birth,
+                            },
+                        );
+                    }
                 }
             }
         }
@@ -294,11 +362,30 @@ impl WideMemorySwitchRtl {
                 self.queues[j].pop_front();
                 let words = self.mem.read_packet(addr).expect("one op per cycle");
                 self.free.push(addr);
+                if let Some(p) = &self.probe {
+                    p.emit(
+                        c,
+                        ProbeEvent::ReadWave {
+                            output: j,
+                            addr: addr.index(),
+                            fused: false,
+                        },
+                    );
+                }
                 // Integrity scrub at fetch: the wide organization checks a
                 // whole packet in one access (its ECC word is as wide as
                 // the memory). Mismatch → detect-and-drop.
                 if integrity_checksum(words.iter().copied()) != sum {
                     self.counters.corrupt_drops += 1;
+                    if let Some(p) = &self.probe {
+                        p.emit(
+                            c,
+                            ProbeEvent::Drop {
+                                id,
+                                reason: DropReason::Checksum,
+                            },
+                        );
+                    }
                 } else {
                     self.outs[j].next = Some((words, id, birth));
                 }
@@ -344,6 +431,9 @@ impl WideMemorySwitchRtl {
                 assert!(dst < n, "bad destination {dst}");
                 self.counters.arrived += 1;
                 self.asm_meta[i] = Some((dst, id, c, false));
+                if let Some(p) = &self.probe {
+                    p.emit(c, ProbeEvent::HeaderArrived { input: i, id, dst });
+                }
                 // Cut-through over the bypass crossbar: output idle (no
                 // tx, no next, no bypass) and nothing pending for it —
                 // neither queued in the memory nor sitting in a staging
@@ -363,13 +453,23 @@ impl WideMemorySwitchRtl {
                         && self.queues[dst].is_empty()
                         && !staged_pending
                     {
-                        let _ = id;
                         self.outs[dst].bypass = Some(BypassTx {
                             input: i,
                             k: 0,
+                            id,
                             birth: c,
                         });
                         self.counters.fused_reads += 1; // bypass cut-throughs
+                        if let Some(p) = &self.probe {
+                            p.emit(
+                                c,
+                                ProbeEvent::CutThrough {
+                                    output: dst,
+                                    id,
+                                    fused: false,
+                                },
+                            );
+                        }
                         if let Some(meta) = self.asm_meta[i].as_mut() {
                             meta.3 = true; // mark as bypassed
                         }
@@ -396,14 +496,21 @@ impl WideMemorySwitchRtl {
                     self.counters.fused_reads += 0;
                 } else if self.staging[i].is_none() {
                     self.staging[i] = Some(staged);
-                } else if self.cfg.double_buffering {
-                    // Second row occupied too — true overrun even with
-                    // double buffering (memory starved for > S cycles).
-                    self.staging_overruns += 1;
-                    self.counters.latch_overruns += 1;
                 } else {
+                    // Staging row occupied — overrun. With double
+                    // buffering this takes memory starvation for > S
+                    // cycles; without, it is the expected failure mode.
                     self.staging_overruns += 1;
                     self.counters.latch_overruns += 1;
+                    if let Some(p) = &self.probe {
+                        p.emit(
+                            c,
+                            ProbeEvent::Drop {
+                                id,
+                                reason: DropReason::LatchOverrun,
+                            },
+                        );
+                    }
                 }
             }
         }
@@ -414,11 +521,36 @@ impl WideMemorySwitchRtl {
         // is overwritten (dropped).
         if !self.cfg.double_buffering {
             for i in 0..n {
-                if self.asm_fill[i] == 1 && self.staging[i].is_some() {
-                    self.staging[i] = None;
-                    self.staging_overruns += 1;
-                    self.counters.latch_overruns += 1;
+                if self.asm_fill[i] == 1 {
+                    if let Some(st) = self.staging[i].take() {
+                        self.staging_overruns += 1;
+                        self.counters.latch_overruns += 1;
+                        if let Some(p) = &self.probe {
+                            p.emit(
+                                c,
+                                ProbeEvent::Drop {
+                                    id: st.id,
+                                    reason: DropReason::LatchOverrun,
+                                },
+                            );
+                        }
+                    }
                 }
+            }
+        }
+
+        if let Some(p) = &self.probe {
+            let occ = (self.cfg.slots - self.free.len()) as u64;
+            if occ != self.last_occ {
+                self.last_occ = occ;
+                p.emit(
+                    c,
+                    ProbeEvent::Gauge {
+                        gauge: GaugeKind::Occupancy,
+                        index: 0,
+                        value: occ,
+                    },
+                );
             }
         }
 

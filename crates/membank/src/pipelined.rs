@@ -16,6 +16,7 @@
 use crate::bank::{PortKind, SramBank};
 use simkernel::ids::{Addr, Cycle};
 use std::fmt;
+use telemetry::{ProbeEvent, ProbeHandle};
 
 /// An operation wave to initiate.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -110,6 +111,7 @@ pub struct PipelinedMemory {
     active: Vec<ActiveWave>,
     cycle: Cycle,
     pending: Option<ActiveWave>,
+    probe: Option<ProbeHandle>,
     /// Reusable per-cycle scratch (hot path: must not allocate).
     scratch_done: Vec<CompletedRead>,
     scratch_still: Vec<ActiveWave>,
@@ -129,10 +131,19 @@ impl PipelinedMemory {
             active: Vec::new(),
             cycle: 0,
             pending: None,
+            probe: None,
             scratch_done: Vec::new(),
             scratch_still: Vec::new(),
             scratch_drain: Vec::new(),
         }
+    }
+
+    /// Attach a probe: each initiation emits
+    /// [`ProbeEvent::WaveLaunched`] and each stage sweep
+    /// [`ProbeEvent::WaveAdvanced`] — the membank-level view of the
+    /// one-stage-per-cycle pipeline.
+    pub fn attach_probe(&mut self, probe: ProbeHandle) {
+        self.probe = Some(probe);
     }
 
     /// Number of pipeline stages (banks).
@@ -186,6 +197,15 @@ impl PipelinedMemory {
                 body: Body::Read(Vec::with_capacity(self.stages())),
             },
         };
+        if let Some(p) = &self.probe {
+            p.emit(
+                self.cycle,
+                ProbeEvent::WaveLaunched {
+                    addr: wave.addr.index(),
+                    write: matches!(wave.body, Body::Write(_)),
+                },
+            );
+        }
         self.pending = Some(wave);
         Ok(())
     }
@@ -213,6 +233,15 @@ impl PipelinedMemory {
         for mut w in self.active.drain(..) {
             let k = (now - w.start) as usize;
             debug_assert!(k < stages, "retired wave left in active set");
+            if let Some(p) = &self.probe {
+                p.emit(
+                    now,
+                    ProbeEvent::WaveAdvanced {
+                        stage: k,
+                        addr: w.addr.index(),
+                    },
+                );
+            }
             let bank = &mut self.banks[k];
             match &mut w.body {
                 Body::Write(words) => {

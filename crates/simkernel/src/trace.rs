@@ -1,11 +1,20 @@
 //! Cycle-stamped event traces.
 //!
-//! Traces serve two purposes in this workspace: (1) the fig. 5 reproduction
-//! prints a literal cycle-by-cycle control-signal table from a trace, and
-//! (2) tests assert on exact event timing (e.g. "the cut-through word left
-//! on the output link exactly 2 cycles after it arrived").
+//! `Trace<E>` is the single storage engine behind every event stream in
+//! the workspace: the telemetry crate's flight recorder wraps a bounded
+//! trace, its metrics pipeline stores ring-buffered time series as
+//! `Trace<u64>`, and directed tests assert on exact event timing (e.g.
+//! "the cut-through word left on the output link exactly 2 cycles after
+//! it arrived").
+//!
+//! Bounded traces are O(1) ring buffers: when full, recording one event
+//! evicts exactly the oldest retained entry and increments the drop
+//! counter, so `recorded() == len() + dropped()` holds at all times —
+//! the accounting a post-mortem dump relies on to say "window shows the
+//! last K of N events".
 
 use crate::ids::Cycle;
+use std::collections::VecDeque;
 use std::fmt;
 
 /// One trace record: an event of type `E` observed at a cycle.
@@ -24,9 +33,10 @@ pub struct TraceEntry<E> {
 /// (for short directed tests).
 #[derive(Debug, Clone)]
 pub struct Trace<E> {
-    entries: Vec<TraceEntry<E>>,
+    entries: VecDeque<TraceEntry<E>>,
     capacity: Option<usize>,
     dropped: u64,
+    recorded: u64,
     enabled: bool,
 }
 
@@ -40,9 +50,10 @@ impl<E> Trace<E> {
     /// A trace that keeps every entry.
     pub fn unbounded() -> Self {
         Trace {
-            entries: Vec::new(),
+            entries: VecDeque::new(),
             capacity: None,
             dropped: 0,
+            recorded: 0,
             enabled: true,
         }
     }
@@ -51,9 +62,10 @@ impl<E> Trace<E> {
     pub fn bounded(capacity: usize) -> Self {
         assert!(capacity > 0, "bounded trace needs capacity > 0");
         Trace {
-            entries: Vec::with_capacity(capacity),
+            entries: VecDeque::with_capacity(capacity),
             capacity: Some(capacity),
             dropped: 0,
+            recorded: 0,
             enabled: true,
         }
     }
@@ -62,9 +74,10 @@ impl<E> Trace<E> {
     /// long statistical runs where tracing would dominate runtime.
     pub fn disabled() -> Self {
         Trace {
-            entries: Vec::new(),
+            entries: VecDeque::new(),
             capacity: None,
             dropped: 0,
+            recorded: 0,
             enabled: false,
         }
     }
@@ -74,24 +87,42 @@ impl<E> Trace<E> {
         self.enabled
     }
 
-    /// Record an event.
+    /// Record an event. O(1): a full bounded trace evicts its oldest
+    /// entry (ring-buffer pop) rather than shifting the whole backlog.
     pub fn record(&mut self, cycle: Cycle, event: E) {
+        self.recorded += 1;
         if !self.enabled {
             self.dropped += 1;
             return;
         }
         if let Some(cap) = self.capacity {
             if self.entries.len() == cap {
-                self.entries.remove(0);
+                self.entries.pop_front();
                 self.dropped += 1;
             }
         }
-        self.entries.push(TraceEntry { cycle, event });
+        self.entries.push_back(TraceEntry { cycle, event });
     }
 
-    /// All retained entries, oldest first.
-    pub fn entries(&self) -> &[TraceEntry<E>] {
-        &self.entries
+    /// Retained entries, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceEntry<E>> {
+        self.entries.iter()
+    }
+
+    /// Number of retained entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no entries are retained.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total events ever offered to [`Trace::record`], retained or not.
+    /// Invariant: `recorded() == len() as u64 + dropped()`.
+    pub fn recorded(&self) -> u64 {
+        self.recorded
     }
 
     /// Number of events not retained (evicted or disabled).
@@ -140,27 +171,36 @@ mod tests {
         for c in 0..100u64 {
             t.record(c, c * 2);
         }
-        assert_eq!(t.entries().len(), 100);
+        assert_eq!(t.len(), 100);
         assert_eq!(t.dropped(), 0);
+        assert_eq!(t.recorded(), 100);
     }
 
     #[test]
-    fn bounded_evicts_oldest() {
+    fn bounded_evicts_oldest_and_accounts_exactly() {
+        // A bounded flight recorder must report drops *exactly*: after N
+        // records into a capacity-K ring, dropped == N - K, the retained
+        // window is the most recent K entries in order, and the total
+        // offered count reconciles: recorded == len + dropped.
         let mut t = Trace::bounded(3);
-        for c in 0..5u64 {
+        for c in 0..10u64 {
             t.record(c, c);
         }
-        assert_eq!(t.dropped(), 2);
-        let kept: Vec<u64> = t.entries().iter().map(|e| e.event).collect();
-        assert_eq!(kept, vec![2, 3, 4]);
+        assert_eq!(t.dropped(), 7);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.recorded(), 10);
+        assert_eq!(t.recorded(), t.len() as u64 + t.dropped());
+        let kept: Vec<u64> = t.iter().map(|e| e.event).collect();
+        assert_eq!(kept, vec![7, 8, 9]);
     }
 
     #[test]
     fn disabled_records_nothing() {
         let mut t = Trace::disabled();
         t.record(1, "x");
-        assert!(t.entries().is_empty());
+        assert!(t.is_empty());
         assert_eq!(t.dropped(), 1);
+        assert_eq!(t.recorded(), 1);
     }
 
     #[test]

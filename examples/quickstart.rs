@@ -8,6 +8,7 @@
 use telegraphos::simkernel::cell::Packet;
 use telegraphos::switch_core::config::SwitchConfig;
 use telegraphos::switch_core::rtl::{OutputCollector, PipelinedSwitch, StageCtrl};
+use telegraphos::telemetry::TelemetryConfig;
 
 fn main() {
     // A 4×4 switch: 8 pipeline stages, 8-word packets — the Telegraphos
@@ -21,8 +22,8 @@ fn main() {
         cfg.slots,
         cfg.capacity_bits() / 1024
     );
-    let mut sw = PipelinedSwitch::new(cfg);
-    sw.enable_trace();
+    let (mut sw, rec) = PipelinedSwitch::with_telemetry(cfg, &TelemetryConfig::unbounded());
+    let rec = rec.expect("unbounded() always enables a recorder");
 
     // Three packets: two collide on output 2, one has output 0 to itself.
     let packets = [
@@ -58,7 +59,7 @@ fn main() {
         }
     }
 
-    println!("\nEvent trace:\n{}", sw.trace().render());
+    println!("\nEvent trace (probe stream):\n{}", rec.render());
     let delivered = col.take();
     println!("Delivered {} packets:", delivered.len());
     for d in &delivered {

@@ -67,7 +67,6 @@ fn main() {
     let cfg = SwitchConfig::symmetric(4, 16);
     let s = cfg.stages();
     let mut sw = PipelinedSwitch::new(cfg);
-    sw.enable_trace();
     let mc = Packet::synth_multicast(9, 0, 0b1101, s, 0);
     let mut col = OutputCollector::new(4, s);
     for k in 0..s {

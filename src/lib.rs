@@ -45,5 +45,6 @@ pub use netsim;
 pub use simkernel;
 pub use stats;
 pub use switch_core;
+pub use telemetry;
 pub use traffic;
 pub use vlsimodel;

@@ -17,7 +17,6 @@ fn send_multicast(n: usize, slots: usize, mask: u16) -> (Vec<DeliveredPacket>, P
     let cfg = SwitchConfig::symmetric(n, slots);
     let s = cfg.stages();
     let mut sw = PipelinedSwitch::new(cfg);
-    sw.enable_trace();
     let p = Packet::synth_multicast(7, 0, mask, s, 0);
     let mut col = OutputCollector::new(n, s);
     for k in 0..s {

@@ -1,0 +1,327 @@
+//! Telemetry is behavior-neutral (DESIGN.md §10).
+//!
+//! Attaching a probe must never change what a switch *does* — only what
+//! it *reports*. This property test drives every organization
+//! (behavioral, pipelined RTL, wide-memory, interleaved) over seeded
+//! bursty schedules three times: probe off, [`NullSink`] attached, and a
+//! bounded [`Recorder`] attached. The departure streams and counters
+//! must be byte-identical across all three. A golden-file test pins the
+//! VCD export of a tiny deterministic run byte-for-byte alongside.
+
+use telegraphos::simkernel::cell::Packet;
+use telegraphos::simkernel::ids::Cycle;
+use telegraphos::simkernel::{Horizon, SplitMix64};
+use telegraphos::switch_core::behavioral::BehavioralSwitch;
+use telegraphos::switch_core::config::SwitchConfig;
+use telegraphos::switch_core::events::SwitchCounters;
+use telegraphos::switch_core::ibank::{InterleavedSwitch, InterleavedSwitchConfig};
+use telegraphos::switch_core::rtl::{OutputCollector, PipelinedSwitch};
+use telegraphos::switch_core::widemem::{WideMemorySwitchRtl, WideSwitchConfig};
+use telegraphos::telemetry::{vcd, NullSink, ProbeHandle, Recorder, Shared, TelemetryConfig};
+
+/// One observed delivery: (id, output, first cycle, last cycle).
+type Delivery = (u64, usize, Cycle, Cycle);
+
+/// One scheduled launch: header enters input `input` at cycle `at`.
+#[derive(Debug, Clone, Copy)]
+struct Offer {
+    at: Cycle,
+    input: usize,
+    dst: usize,
+    id: u64,
+}
+
+/// A bursty schedule (same shape as `tests/fast_forward.rs`): clusters
+/// of back-to-back packets separated by idle gaps, framing-respecting.
+fn bursty_schedule(n: usize, s: usize, bursts: usize, seed: u64) -> Vec<Offer> {
+    let mut rng = SplitMix64::new(seed);
+    let mut offers = Vec::new();
+    let mut next_free = vec![0u64; n];
+    let mut base = 0u64;
+    let mut id = 1u64;
+    for _ in 0..bursts {
+        base += 50 + rng.below(400);
+        let packets_per_input = 1 + rng.below(3);
+        for (i, nf) in next_free.iter_mut().enumerate() {
+            if !rng.chance(0.8) {
+                continue;
+            }
+            let mut at = base.max(*nf) + rng.below(4);
+            for _ in 0..packets_per_input {
+                offers.push(Offer {
+                    at,
+                    input: i,
+                    dst: rng.below_usize(n),
+                    id,
+                });
+                id += 1;
+                *nf = at + s as u64;
+                at = *nf + rng.below(3);
+            }
+        }
+    }
+    offers.sort_by_key(|o| (o.at, o.input));
+    offers
+}
+
+/// The probe a run gets attached.
+#[derive(Clone, Copy)]
+enum Sink {
+    Off,
+    Null,
+    Bounded,
+}
+
+impl Sink {
+    fn build(self) -> Option<ProbeHandle> {
+        match self {
+            Sink::Off => None,
+            Sink::Null => Some(ProbeHandle::new(NullSink)),
+            Sink::Bounded => Some(Shared::new(Recorder::bounded(128)).handle()),
+        }
+    }
+}
+
+/// The three word-level organizations behind one interface.
+enum Word {
+    Pipelined(Box<PipelinedSwitch>),
+    Wide(Box<WideMemorySwitchRtl>),
+    Interleaved(Box<InterleavedSwitch>),
+}
+
+impl Word {
+    fn build(org: &str, n: usize, slots: usize, sink: Sink) -> (Self, usize) {
+        let probe = sink.build();
+        match org {
+            "pipelined" => {
+                let cfg = SwitchConfig::symmetric(n, slots);
+                let s = cfg.stages();
+                let mut sw = PipelinedSwitch::new(cfg);
+                if let Some(p) = probe {
+                    sw.attach_probe(p);
+                }
+                (Word::Pipelined(Box::new(sw)), s)
+            }
+            "wide" => {
+                let cfg = WideSwitchConfig::fig3(n, slots);
+                let s = cfg.packet_words();
+                let mut sw = WideMemorySwitchRtl::new(cfg);
+                if let Some(p) = probe {
+                    sw.attach_probe(p);
+                }
+                (Word::Wide(Box::new(sw)), s)
+            }
+            "interleaved" => {
+                let cfg = InterleavedSwitchConfig::symmetric(n, slots);
+                let s = cfg.packet_words();
+                let mut sw = InterleavedSwitch::new(cfg);
+                if let Some(p) = probe {
+                    sw.attach_probe(p);
+                }
+                (Word::Interleaved(Box::new(sw)), s)
+            }
+            other => panic!("unknown org {other}"),
+        }
+    }
+
+    fn tick(&mut self, wire: &[Option<u64>]) -> &[Option<u64>] {
+        match self {
+            Word::Pipelined(sw) => sw.tick(wire),
+            Word::Wide(sw) => sw.tick(wire),
+            Word::Interleaved(sw) => sw.tick(wire),
+        }
+    }
+
+    fn now(&self) -> Cycle {
+        match self {
+            Word::Pipelined(sw) => sw.now(),
+            Word::Wide(sw) => sw.now(),
+            Word::Interleaved(sw) => sw.now(),
+        }
+    }
+
+    fn next_event(&self) -> Option<Cycle> {
+        match self {
+            Word::Pipelined(sw) => sw.next_event(),
+            Word::Wide(sw) => sw.next_event(),
+            Word::Interleaved(sw) => sw.next_event(),
+        }
+    }
+
+    fn counters(&self) -> SwitchCounters {
+        match self {
+            Word::Pipelined(sw) => sw.counters(),
+            Word::Wide(sw) => sw.counters(),
+            Word::Interleaved(sw) => sw.counters(),
+        }
+    }
+}
+
+/// Replay `offers` densely on a word-level organization with `sink`
+/// attached; returns the delivery stream plus counters.
+fn run_word(org: &str, n: usize, offers: &[Offer], sink: Sink) -> (Vec<Delivery>, SwitchCounters) {
+    let (mut sw, s) = Word::build(org, n, 4 * n, sink);
+    let mut col = OutputCollector::new(n, s);
+    let mut current: Vec<Option<(Vec<u64>, usize)>> = vec![None; n];
+    let mut wire = vec![None; n];
+    let mut deliveries = Vec::new();
+    let mut k = 0;
+    let mut grace = 0u64;
+    loop {
+        let now = sw.now();
+        let exhausted = k == offers.len();
+        let idle = exhausted && current.iter().all(Option::is_none) && sw.next_event().is_none();
+        if idle {
+            grace += 1;
+            if grace > s as u64 + 4 {
+                break;
+            }
+        } else {
+            grace = 0;
+        }
+        assert!(now < 1_000_000, "{org} failed to drain");
+        while k < offers.len() && offers[k].at == now {
+            let o = offers[k];
+            k += 1;
+            let p = Packet::synth(o.id, o.input, o.dst, s, now);
+            current[o.input] = Some((p.words, 0));
+        }
+        for (w, slot) in wire.iter_mut().zip(current.iter_mut()) {
+            *w = None;
+            if let Some((words, i)) = slot {
+                *w = Some(words[*i]);
+                *i += 1;
+                if *i == words.len() {
+                    *slot = None;
+                }
+            }
+        }
+        let out = sw.tick(&wire);
+        col.observe(now, out);
+        for d in col.take() {
+            assert!(d.verify_payload(), "{org}: corrupted payload");
+            deliveries.push((d.id, d.output.index(), d.first_cycle, d.last_cycle));
+        }
+    }
+    (deliveries, sw.counters())
+}
+
+/// Replay `offers` on the behavioral model with `sink` attached.
+fn run_behavioral(n: usize, offers: &[Offer], sink: Sink) -> (Vec<Delivery>, (u64, u64, u64)) {
+    let cfg = SwitchConfig::symmetric(n, 4 * n);
+    let s = cfg.stages();
+    let mut sw = BehavioralSwitch::new(cfg);
+    if let Some(p) = sink.build() {
+        sw.attach_probe(p);
+    }
+    let mut arr: Vec<Option<usize>> = vec![None; n];
+    let mut k = 0;
+    let mut grace = 0u64;
+    loop {
+        let now = sw.now();
+        let exhausted = k == offers.len();
+        let idle = exhausted && sw.is_quiescent();
+        if idle {
+            grace += 1;
+            if grace > s as u64 + 4 {
+                break;
+            }
+        } else {
+            grace = 0;
+        }
+        assert!(now < 1_000_000, "behavioral failed to drain");
+        arr.fill(None);
+        while k < offers.len() && offers[k].at == now {
+            let o = offers[k];
+            k += 1;
+            arr[o.input] = Some(o.dst);
+        }
+        sw.tick(&arr);
+    }
+    let departures = sw
+        .departures()
+        .iter()
+        .map(|d| (d.id, d.output, d.birth, d.done))
+        .collect();
+    (departures, (sw.arrived, sw.dropped, sw.overruns))
+}
+
+#[test]
+fn word_orgs_are_probe_invariant() {
+    let n = 4;
+    for org in ["pipelined", "wide", "interleaved"] {
+        for seed in 0..4u64 {
+            let s = Word::build(org, n, 4 * n, Sink::Off).1;
+            let offers = bursty_schedule(n, s, 6, 0x7E1E + seed);
+            let (off_d, off_c) = run_word(org, n, &offers, Sink::Off);
+            let (null_d, null_c) = run_word(org, n, &offers, Sink::Null);
+            let (rec_d, rec_c) = run_word(org, n, &offers, Sink::Bounded);
+            assert_eq!(
+                off_d, null_d,
+                "{org} seed {seed}: NullSink changed deliveries"
+            );
+            assert_eq!(
+                off_c, null_c,
+                "{org} seed {seed}: NullSink changed counters"
+            );
+            assert_eq!(
+                off_d, rec_d,
+                "{org} seed {seed}: Recorder changed deliveries"
+            );
+            assert_eq!(off_c, rec_c, "{org} seed {seed}: Recorder changed counters");
+        }
+    }
+}
+
+#[test]
+fn behavioral_is_probe_invariant() {
+    let n = 4;
+    let s = SwitchConfig::symmetric(n, 4 * n).stages();
+    for seed in 0..4u64 {
+        let offers = bursty_schedule(n, s, 6, 0xAB1E + seed);
+        let (off_d, off_c) = run_behavioral(n, &offers, Sink::Off);
+        let (null_d, null_c) = run_behavioral(n, &offers, Sink::Null);
+        let (rec_d, rec_c) = run_behavioral(n, &offers, Sink::Bounded);
+        assert_eq!(off_d, null_d, "seed {seed}: NullSink changed departures");
+        assert_eq!(off_c, null_c, "seed {seed}: NullSink changed counters");
+        assert_eq!(off_d, rec_d, "seed {seed}: Recorder changed departures");
+        assert_eq!(off_c, rec_c, "seed {seed}: Recorder changed counters");
+    }
+}
+
+/// The tiny deterministic run behind the golden VCD: a 2×2 pipelined
+/// switch, one packet in0 → out1, drained.
+fn tiny_traced_run() -> String {
+    let cfg = SwitchConfig::symmetric(2, 8);
+    let s = cfg.stages();
+    let (mut sw, rec) = PipelinedSwitch::with_telemetry(cfg, &TelemetryConfig::unbounded());
+    let rec = rec.expect("unbounded() always enables a recorder");
+    let p = Packet::synth(1, 0, 1, s, 0);
+    for k in 0..16 {
+        let wire = [p.words.get(k).copied(), None];
+        sw.tick(&wire);
+    }
+    let entries = rec.entries();
+    let topo = vcd::Topo {
+        n_in: 2,
+        n_out: 2,
+        stages: s,
+    };
+    vcd::export(entries.iter(), &topo)
+}
+
+#[test]
+fn vcd_export_matches_the_golden_file() {
+    let doc = tiny_traced_run();
+    vcd::validate(&doc).expect("well-formed VCD");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/tiny.vcd");
+        std::fs::write(path, &doc).expect("rewrite golden");
+    }
+    let golden = include_str!("golden/tiny.vcd");
+    assert_eq!(
+        doc, golden,
+        "VCD export drifted from tests/golden/tiny.vcd; if the change is \
+         intentional, rerun this test with UPDATE_GOLDEN=1 and review the diff"
+    );
+}
