@@ -14,6 +14,23 @@
 //! n_out` words; a packet arriving on input `i` occupies that link for
 //! cycles `[a, a+S-1]`; a packet departing on output `j` occupies it for
 //! `[rs+1, rs+S]` where `rs` is its read-wave initiation cycle.
+//!
+//! ## The bit-parallel dense path
+//!
+//! The per-cycle hot loop never walks the output queues or the packet
+//! slab. Instead the model maintains three flat arrays — `ready_at[j]`
+//! (earliest read-initiation cycle for output `j`'s current head,
+//! `Cycle::MAX` when none), `welig_at[i]` / `wdead_at[i]` (eligibility
+//! and latch deadline of input `i`'s front pending write) — and each
+//! cycle folds them into packed `u64` request masks with branchless
+//! compares. The masks feed [`Arbiter::decide_dense`]; popcounts feed
+//! the arbitration probe event. The arrays are refreshed only at the
+//! control points where the underlying state can change (queue push,
+//! write grant, read initiation, overrun), so a steady-state cycle costs
+//! a handful of word operations instead of pointer-chasing scans. The
+//! scalar-reference twin ([`crate::reference::BehavioralSwitchRef`]) and
+//! the differential property test pin this path byte-identical —
+//! departures, counters, and probe streams — to the pre-rework model.
 
 use crate::arbiter::{Arbiter, Decision, ReadReq, WriteReq};
 use crate::config::SwitchConfig;
@@ -68,16 +85,63 @@ struct BhvPacket {
     /// Copies not yet claimed by a read initiation.
     refs: u32,
     birth: Cycle,
-    write_start: Option<Cycle>,
     output_was_idle: bool,
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 struct PendingArrival {
     /// Index into `packets` slab.
     slot: usize,
     eligible: Cycle,
     deadline: Cycle,
+}
+
+/// Fixed-capacity ring of pending writes per input. Arrivals are spaced
+/// `S` cycles apart and a pending write lives at most `S` cycles before
+/// it is granted or swept, so the queue never holds more than three
+/// entries (two steady-state, three transiently on an overrun cycle).
+#[derive(Debug, Clone)]
+struct PendingRing {
+    buf: [PendingArrival; 4],
+    head: u8,
+    len: u8,
+}
+
+impl PendingRing {
+    fn new() -> Self {
+        PendingRing {
+            buf: [PendingArrival {
+                slot: 0,
+                eligible: 0,
+                deadline: 0,
+            }; 4],
+            head: 0,
+            len: 0,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    fn front(&self) -> Option<&PendingArrival> {
+        (self.len > 0).then(|| &self.buf[self.head as usize])
+    }
+
+    fn push_back(&mut self, p: PendingArrival) {
+        assert!(self.len < 4, "pending ring overflow");
+        self.buf[(self.head as usize + self.len as usize) & 3] = p;
+        self.len += 1;
+    }
+
+    fn pop_front(&mut self) -> Option<PendingArrival> {
+        (self.len > 0).then(|| {
+            let p = self.buf[self.head as usize];
+            self.head = (self.head + 1) & 3;
+            self.len -= 1;
+            p
+        })
+    }
 }
 
 /// The behavioral switch.
@@ -87,17 +151,41 @@ pub struct BehavioralSwitch {
     stages: usize,
     /// Slab of live packets (slot reuse via free list).
     packets: Vec<Option<BhvPacket>>,
+    /// Write-wave start cycle per slab slot (`Cycle::MAX` until the
+    /// write wave is granted) — kept outside the slab so the hot
+    /// readiness refresh reads one word, not a packet struct.
+    wstart: Vec<Cycle>,
     free_slab: Vec<usize>,
     /// Buffer slots in use (≤ cfg.slots).
     buf_used: usize,
-    /// Per-input: pending write requests (at most 2).
-    pending: Vec<VecDeque<PendingArrival>>,
+    /// Per-input: pending write requests.
+    pending: Vec<PendingRing>,
     /// Per-input: cycles remaining of the packet currently on the wire.
     arriving: Vec<usize>,
     /// Per-output FIFO of slab indices.
     queues: Vec<VecDeque<usize>>,
     /// Per-output: earliest next read initiation.
     out_next_init: Vec<Cycle>,
+    /// Bit-parallel dense-path state: earliest cycle output `j` could
+    /// initiate a read for its current queue head (`Cycle::MAX` when the
+    /// queue is empty or the head's write wave has not started). Already
+    /// folds `out_next_init`.
+    ready_at: Vec<Cycle>,
+    /// Eligibility cycle of each input's front pending write
+    /// (`Cycle::MAX` when none).
+    welig_at: Vec<Cycle>,
+    /// Latch deadline of each input's front pending write (`Cycle::MAX`
+    /// when none) — doubles as the overrun-sweep guard.
+    wdead_at: Vec<Cycle>,
+    /// Earliest `done` cycle among in-flight transmissions (`Cycle::MAX`
+    /// when none).
+    tx_next_done: Cycle,
+    /// More ports than a machine word: fall back to slice-based
+    /// arbitration (cold; no shipped configuration hits this).
+    wide_ports: bool,
+    /// Cycles from write-wave start to head readiness: 1 under
+    /// cut-through, `S` store-and-forward (precomputed from `cfg`).
+    ready_base: Cycle,
     arb: Arbiter,
     cycle: Cycle,
     /// Packets dropped because the buffer pool was full.
@@ -106,16 +194,23 @@ pub struct BehavioralSwitch {
     pub overruns: u64,
     /// Packets accepted.
     pub arrived: u64,
+    /// Every departure, written once at read initiation. One initiation
+    /// per cycle and `done = rs + S` make done cycles strictly increasing
+    /// in push order, so `departures[..committed]` is exactly the
+    /// completed set and `departures[committed..]` the in-flight
+    /// transmissions, in completion order.
     departures: Vec<BehavioralDeparture>,
-    /// Read waves still transmitting: (done_cycle, departure).
-    in_tx: Vec<BehavioralDeparture>,
+    /// Departures whose tail word has been transmitted.
+    committed: usize,
+    /// Index into `departures` where this cycle's completions start —
+    /// `tick` returns `&departures[dep_mark..committed]`.
+    dep_mark: usize,
     probe: Option<ProbeHandle>,
     /// Last occupancy gauge emitted (probe attached only).
     last_occ: u64,
     /// Reusable per-cycle scratch (hot path: one `tick` per simulated
     /// cycle, millions per experiment — these must not allocate).
     scratch_masks: Vec<Option<u32>>,
-    scratch_done: Vec<BehavioralDeparture>,
     scratch_reads: Vec<ReadReq>,
     scratch_writes: Vec<WriteReq>,
 }
@@ -128,23 +223,30 @@ impl BehavioralSwitch {
         BehavioralSwitch {
             stages,
             packets: Vec::new(),
+            wstart: Vec::new(),
             free_slab: Vec::new(),
             buf_used: 0,
-            pending: vec![VecDeque::new(); cfg.n_in],
+            pending: vec![PendingRing::new(); cfg.n_in],
             arriving: vec![0; cfg.n_in],
             queues: vec![VecDeque::new(); cfg.n_out],
             out_next_init: vec![0; cfg.n_out],
+            ready_at: vec![Cycle::MAX; cfg.n_out],
+            welig_at: vec![Cycle::MAX; cfg.n_in],
+            wdead_at: vec![Cycle::MAX; cfg.n_in],
+            tx_next_done: Cycle::MAX,
+            wide_ports: cfg.n_in > 64 || cfg.n_out > 64,
+            ready_base: if cfg.cut_through { 1 } else { stages as Cycle },
             arb: Arbiter::new(cfg.arbiter),
             cycle: 0,
             dropped: 0,
             overruns: 0,
             arrived: 0,
             departures: Vec::new(),
-            in_tx: Vec::new(),
+            committed: 0,
+            dep_mark: 0,
             probe: None,
             last_occ: 0,
             scratch_masks: Vec::with_capacity(cfg.n_in),
-            scratch_done: Vec::new(),
             scratch_reads: Vec::with_capacity(cfg.n_out),
             scratch_writes: Vec::with_capacity(cfg.n_in),
             cfg,
@@ -200,50 +302,41 @@ impl BehavioralSwitch {
         let mut masks = std::mem::take(&mut self.scratch_masks);
         masks.clear();
         masks.extend(arrivals.iter().map(|a| a.map(|d| 1u32 << d)));
-        self.advance(&masks);
+        self.dispatch_advance(&masks);
         self.scratch_masks = masks;
-        &self.scratch_done
+        &self.departures[self.dep_mark..self.committed]
     }
 
     /// Like [`BehavioralSwitch::tick`] but arrivals carry destination
     /// bitmasks (multicast parity with the RTL model).
     pub fn tick_masks(&mut self, arrivals: &[Option<u32>]) -> &[BehavioralDeparture] {
-        self.advance(arrivals);
-        &self.scratch_done
+        self.dispatch_advance(arrivals);
+        &self.departures[self.dep_mark..self.committed]
     }
 
-    /// One cycle of the model; completed departures land in
-    /// `scratch_done`.
-    fn advance(&mut self, arrivals: &[Option<u32>]) {
+    /// Monomorphization split: the probe field is set once (or never),
+    /// so the per-cycle kernel is compiled twice — with every telemetry
+    /// emission site folded away, and with them live — and the `PROBED`
+    /// branch is taken once per entry instead of several times per cycle.
+    #[inline]
+    fn dispatch_advance(&mut self, arrivals: &[Option<u32>]) {
+        if self.probe.is_some() {
+            self.advance::<true>(arrivals);
+        } else {
+            self.advance::<false>(arrivals);
+        }
+    }
+
+    /// One cycle of the model; this cycle's completed departures are
+    /// `departures[dep_mark..committed]` afterwards.
+    fn advance<const PROBED: bool>(&mut self, arrivals: &[Option<u32>]) {
         assert_eq!(arrivals.len(), self.cfg.n_in);
         let c = self.cycle;
         let s = self.stages as Cycle;
+        self.dep_mark = self.committed;
 
-        // 1. Completed transmissions.
-        let done = &mut self.scratch_done;
-        done.clear();
-        self.in_tx.retain(|d| {
-            if d.done == c {
-                done.push(*d);
-                false
-            } else {
-                true
-            }
-        });
-        self.departures.extend(done.iter().copied());
-        if let Some(p) = &self.probe {
-            for d in done.iter() {
-                p.emit(
-                    c,
-                    ProbeEvent::Departed {
-                        output: d.output,
-                        id: d.id,
-                        birth: d.birth,
-                        latency: c - d.birth,
-                    },
-                );
-            }
-        }
+        // 1. Completed transmission.
+        self.complete_tx::<PROBED>(c);
 
         // 2. Arrivals.
         for (i, a) in arrivals.iter().enumerate() {
@@ -258,16 +351,18 @@ impl BehavioralSwitch {
                 self.arriving[i] = self.stages - 1;
                 if self.buf_used == self.cfg.slots {
                     self.dropped += 1;
-                    if let Some(p) = &self.probe {
-                        // Dropped before an id was assigned (ids number
-                        // accepted packets); 0 marks "no id".
-                        p.emit(
-                            c,
-                            ProbeEvent::Drop {
-                                id: 0,
-                                reason: DropReason::BufferFull,
-                            },
-                        );
+                    if PROBED {
+                        if let Some(p) = &self.probe {
+                            // Dropped before an id was assigned (ids number
+                            // accepted packets); 0 marks "no id".
+                            p.emit(
+                                c,
+                                ProbeEvent::Drop {
+                                    id: 0,
+                                    reason: DropReason::BufferFull,
+                                },
+                            );
+                        }
                     }
                     continue;
                 }
@@ -284,26 +379,29 @@ impl BehavioralSwitch {
                     dsts: *mask,
                     refs: mask.count_ones(),
                     birth: c,
-                    write_start: None,
                     output_was_idle,
                 };
-                if let Some(p) = &self.probe {
-                    p.emit(
-                        c,
-                        ProbeEvent::HeaderArrived {
-                            input: i,
-                            id,
-                            dst: primary,
-                        },
-                    );
+                if PROBED {
+                    if let Some(p) = &self.probe {
+                        p.emit(
+                            c,
+                            ProbeEvent::HeaderArrived {
+                                input: i,
+                                id,
+                                dst: primary,
+                            },
+                        );
+                    }
                 }
                 let slot = match self.free_slab.pop() {
                     Some(sl) => {
                         self.packets[sl] = Some(pkt);
+                        self.wstart[sl] = Cycle::MAX;
                         sl
                     }
                     None => {
                         self.packets.push(Some(pkt));
+                        self.wstart.push(Cycle::MAX);
                         self.packets.len() - 1
                     }
                 };
@@ -317,132 +415,273 @@ impl BehavioralSwitch {
                     eligible: c + 1,
                     deadline: c + s,
                 });
+                if self.pending[i].len() == 1 {
+                    self.welig_at[i] = c + 1;
+                    self.wdead_at[i] = c + s;
+                }
+                // No `ready_at` refresh: a fresh queue head has no write
+                // wave yet, so its readiness stays `Cycle::MAX` either way.
             }
         }
 
-        // 3. Latch-overrun sweep (diagnostic; unreachable under shipped
-        //    policies).
-        for i in 0..self.cfg.n_in {
-            while let Some(front) = self.pending[i].front() {
-                if front.deadline >= c {
-                    break;
-                }
-                let slot = front.slot;
-                self.pending[i].pop_front();
-                let p = self.packets[slot].take().expect("live packet");
-                for j in 0..self.cfg.n_out {
-                    if p.dsts & (1 << j) != 0 {
-                        self.queues[j].retain(|&sl| sl != slot);
-                    }
-                }
-                self.free_slab.push(slot);
-                self.buf_used -= 1;
-                self.overruns += 1;
-                if let Some(probe) = &self.probe {
-                    probe.emit(
+        // 3. Latch-overrun sweep; 4. arbitration.
+        self.sweep_if_overdue(c);
+        self.arbitrate::<PROBED>(c);
+        self.emit_occupancy::<PROBED>(c);
+        self.cycle = c + 1;
+    }
+
+    /// Run `n` input-idle cycles as one fused batch — the bit-parallel
+    /// kernel's multi-cycle entry point. Identical observable behavior
+    /// to `n` calls of [`BehavioralSwitch::tick`] with all-`None`
+    /// arrivals (same grants, probes, counters, departures), but the
+    /// per-tick wrapper, the arrival scan, and the per-cycle link-pacing
+    /// decrements are hoisted out of the loop: control can only change
+    /// at arbitration decisions, so everything else fuses.
+    ///
+    /// Afterwards this batch's completed departures are
+    /// `departures[dep_mark..committed]` (also the window
+    /// [`BehavioralSwitch::tick`] would return).
+    pub fn tick_idle_batch(&mut self, n: u64) {
+        if self.probe.is_some() {
+            self.idle_batch_impl::<true>(n);
+        } else {
+            self.idle_batch_impl::<false>(n);
+        }
+    }
+
+    fn idle_batch_impl<const PROBED: bool>(&mut self, n: u64) {
+        self.dep_mark = self.committed;
+        let end = self.cycle + n;
+        while self.cycle < end {
+            let c = self.cycle;
+            self.complete_tx::<PROBED>(c);
+            self.sweep_if_overdue(c);
+            self.arbitrate::<PROBED>(c);
+            self.emit_occupancy::<PROBED>(c);
+            self.cycle = c + 1;
+        }
+        // Link pacing: under idle input the `arriving` counters only
+        // drain, so the per-cycle decrements collapse to one subtract.
+        let n = usize::try_from(n).unwrap_or(usize::MAX);
+        for a in &mut self.arriving {
+            *a = a.saturating_sub(n);
+        }
+    }
+
+    /// Step 1: completed transmission — the cached next done-cycle turns
+    /// the common nothing-completes cycle into one compare. Read
+    /// initiations are unique per cycle, so done cycles are globally
+    /// distinct: at most one transmission completes per cycle, and it is
+    /// always the next uncommitted departure.
+    #[inline]
+    fn complete_tx<const PROBED: bool>(&mut self, c: Cycle) {
+        if self.tx_next_done == c {
+            if PROBED {
+                if let Some(p) = &self.probe {
+                    let d = &self.departures[self.committed];
+                    p.emit(
                         c,
-                        ProbeEvent::Drop {
-                            id: p.id,
-                            reason: DropReason::LatchOverrun,
+                        ProbeEvent::Departed {
+                            output: d.output,
+                            id: d.id,
+                            birth: d.birth,
+                            latency: c - d.birth,
                         },
                     );
                 }
             }
+            self.committed += 1;
+            self.tx_next_done = self
+                .departures
+                .get(self.committed)
+                .map_or(Cycle::MAX, |d| d.done);
         }
+    }
 
-        // 4. Arbitration (identical structure to the RTL model).
-        let mut reads = std::mem::take(&mut self.scratch_reads);
-        reads.clear();
-        for j in 0..self.cfg.n_out {
-            if c < self.out_next_init[j] {
-                continue;
-            }
-            if let Some(&slot) = self.queues[j].front() {
-                let p = self.packets[slot].as_ref().expect("queued packet live");
-                let ready = match p.write_start {
-                    None => false,
-                    Some(ws) => {
-                        if self.cfg.cut_through {
-                            ws < c
-                        } else {
-                            c >= ws + s
+    /// Step 3: latch-overrun sweep (diagnostic; unreachable under
+    /// shipped policies) — guarded by the cached front deadlines, so
+    /// the steady state pays one compare per input.
+    #[inline]
+    fn sweep_if_overdue(&mut self, c: Cycle) {
+        let mut overdue = false;
+        for &d in &self.wdead_at {
+            overdue |= d < c;
+        }
+        if overdue {
+            for i in 0..self.cfg.n_in {
+                while let Some(front) = self.pending[i].front() {
+                    if front.deadline >= c {
+                        break;
+                    }
+                    let slot = front.slot;
+                    self.pending[i].pop_front();
+                    let p = self.packets[slot].take().expect("live packet");
+                    for j in 0..self.cfg.n_out {
+                        if p.dsts & (1 << j) != 0 {
+                            self.queues[j].retain(|&sl| sl != slot);
                         }
                     }
-                };
-                if ready {
+                    self.free_slab.push(slot);
+                    self.buf_used -= 1;
+                    self.overruns += 1;
+                    if let Some(probe) = &self.probe {
+                        probe.emit(
+                            c,
+                            ProbeEvent::Drop {
+                                id: p.id,
+                                reason: DropReason::LatchOverrun,
+                            },
+                        );
+                    }
+                }
+            }
+            // Queue heads and pending fronts moved arbitrarily: rebuild
+            // the flat request state (cold path).
+            self.rebuild_request_state();
+        }
+    }
+
+    /// Step 4: arbitration — fold the flat readiness arrays into packed
+    /// request masks (one branchless compare per port), let the arbiter
+    /// pick from the machine words, and execute the grant.
+    #[inline]
+    fn arbitrate<const PROBED: bool>(&mut self, c: Cycle) {
+        let decision;
+        if self.wide_ports {
+            // Cold fallback for >64-port fabrics: same flat arrays,
+            // slice-based requests.
+            let mut reads = std::mem::take(&mut self.scratch_reads);
+            reads.clear();
+            for (j, &r) in self.ready_at.iter().enumerate() {
+                if r <= c {
                     reads.push(ReadReq {
                         port: simkernel::ids::PortId(j),
                     });
                 }
             }
-        }
-        let mut writes = std::mem::take(&mut self.scratch_writes);
-        writes.clear();
-        for (i, q) in self.pending.iter().enumerate() {
-            if let Some(front) = q.front() {
-                if front.eligible <= c {
+            let mut writes = std::mem::take(&mut self.scratch_writes);
+            writes.clear();
+            for (i, &e) in self.welig_at.iter().enumerate() {
+                if e <= c {
                     writes.push(WriteReq {
                         port: simkernel::ids::PortId(i),
-                        deadline: front.deadline,
+                        deadline: self.wdead_at[i],
                     });
                 }
             }
-        }
-        let decision = self.arb.decide(&reads, &writes);
-        if !reads.is_empty() || !writes.is_empty() {
-            if let Some(p) = &self.probe {
-                let outcome = match decision {
-                    Decision::Read(_) => ArbOutcome::Read,
-                    Decision::Write(_) => ArbOutcome::Write,
-                    Decision::Idle => ArbOutcome::Idle,
-                };
-                p.emit(
-                    c,
-                    ProbeEvent::Arbitration {
-                        reads: reads.len(),
-                        writes: writes.len(),
-                        outcome,
-                    },
-                );
-            }
-        }
-        match decision {
-            Decision::Read(j) => self.start_read(j.index(), c, false),
-            Decision::Write(i) => {
-                let pw = self.pending[i.index()].pop_front().expect("granted");
-                let (dsts, fusable);
-                {
-                    let p = self.packets[pw.slot].as_mut().expect("live");
-                    p.write_start = Some(c);
-                    dsts = p.dsts;
-                    fusable = self.cfg.fused_cut_through;
-                }
+            decision = self.arb.decide(&reads, &writes);
+            if PROBED && (!reads.is_empty() || !writes.is_empty()) {
                 if let Some(p) = &self.probe {
+                    let outcome = match decision {
+                        Decision::Read(_) => ArbOutcome::Read,
+                        Decision::Write(_) => ArbOutcome::Write,
+                        Decision::Idle => ArbOutcome::Idle,
+                    };
                     p.emit(
                         c,
-                        ProbeEvent::WriteWave {
-                            input: i.index(),
-                            addr: pw.slot,
+                        ProbeEvent::Arbitration {
+                            reads: reads.len(),
+                            writes: writes.len(),
+                            outcome,
                         },
                     );
                 }
-                if fusable {
-                    for j in 0..self.cfg.n_out {
-                        if dsts & (1 << j) == 0 {
-                            continue;
-                        }
-                        if c >= self.out_next_init[j] && self.queues[j].front() == Some(&pw.slot) {
-                            self.start_read(j, c, true);
-                            break;
+            }
+            self.scratch_reads = reads;
+            self.scratch_writes = writes;
+        } else {
+            let mut read_mask = 0u64;
+            for (j, &r) in self.ready_at.iter().enumerate() {
+                read_mask |= ((r <= c) as u64) << j;
+            }
+            let mut write_mask = 0u64;
+            for (i, &e) in self.welig_at.iter().enumerate() {
+                write_mask |= ((e <= c) as u64) << i;
+            }
+            // No requests → the arbiter idles without touching its state;
+            // skip the call on the (low-load) common path. The popcounts
+            // feed only the probe event, so they live in its branch.
+            if read_mask | write_mask == 0 {
+                decision = Decision::Idle;
+            } else {
+                decision = self.arb.decide_dense(read_mask, write_mask, &self.wdead_at);
+                if PROBED {
+                    if let Some(p) = &self.probe {
+                        let outcome = match decision {
+                            Decision::Read(_) => ArbOutcome::Read,
+                            Decision::Write(_) => ArbOutcome::Write,
+                            Decision::Idle => ArbOutcome::Idle,
+                        };
+                        p.emit(
+                            c,
+                            ProbeEvent::Arbitration {
+                                reads: read_mask.count_ones() as usize,
+                                writes: write_mask.count_ones() as usize,
+                                outcome,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+        match decision {
+            Decision::Read(j) => self.start_read::<PROBED>(j.index(), c, false),
+            Decision::Write(i) => {
+                let i = i.index();
+                let pw = self.pending[i].pop_front().expect("granted");
+                match self.pending[i].front() {
+                    None => {
+                        self.welig_at[i] = Cycle::MAX;
+                        self.wdead_at[i] = Cycle::MAX;
+                    }
+                    Some(f) => {
+                        self.welig_at[i] = f.eligible;
+                        self.wdead_at[i] = f.deadline;
+                    }
+                }
+                self.wstart[pw.slot] = c;
+                let dsts = self.packets[pw.slot].as_ref().expect("live").dsts;
+                let fusable = self.cfg.fused_cut_through;
+                if PROBED {
+                    if let Some(p) = &self.probe {
+                        p.emit(
+                            c,
+                            ProbeEvent::WriteWave {
+                                input: i,
+                                addr: pw.slot,
+                            },
+                        );
+                    }
+                }
+                // The write wave makes this packet readable wherever it
+                // heads a destination queue; the first idle such output
+                // (ascending) fuses a read onto the write wave.
+                let head_ready = c + self.ready_base;
+                let mut fused_done = false;
+                let mut m = dsts;
+                while m != 0 {
+                    let j = m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    if self.queues[j].front() == Some(&pw.slot) {
+                        self.ready_at[j] = head_ready.max(self.out_next_init[j]);
+                        if fusable && !fused_done && c >= self.out_next_init[j] {
+                            self.start_read::<PROBED>(j, c, true);
+                            fused_done = true;
                         }
                     }
                 }
             }
             Decision::Idle => {}
         }
-        self.scratch_reads = reads;
-        self.scratch_writes = writes;
+    }
 
+    /// Tail step: occupancy gauge, emitted only on change.
+    #[inline]
+    fn emit_occupancy<const PROBED: bool>(&mut self, c: Cycle) {
+        if !PROBED {
+            return;
+        }
         if let Some(p) = &self.probe {
             let occ = self.buf_used as u64;
             if occ != self.last_occ {
@@ -457,84 +696,136 @@ impl BehavioralSwitch {
                 );
             }
         }
-        self.cycle = c + 1;
     }
 
-    fn start_read(&mut self, j: usize, c: Cycle, fused: bool) {
+    fn start_read<const PROBED: bool>(&mut self, j: usize, c: Cycle, fused: bool) {
         let slot = self.queues[j].pop_front().expect("read from empty queue");
-        let dep = {
+        let (dep, free) = {
             let p = self.packets[slot].as_mut().expect("live packet");
             debug_assert!(p.refs > 0);
             p.refs -= 1;
-            BehavioralDeparture {
-                id: p.id,
-                input: p.input,
-                output: j,
-                birth: p.birth,
-                read_start: c,
-                done: c + self.stages as Cycle,
-                output_was_idle: p.output_was_idle,
-            }
-        };
-        if let Some(p) = &self.probe {
-            p.emit(
-                c,
-                ProbeEvent::ReadWave {
+            (
+                BehavioralDeparture {
+                    id: p.id,
+                    input: p.input,
                     output: j,
-                    addr: slot,
-                    fused,
+                    birth: p.birth,
+                    read_start: c,
+                    done: c + self.stages as Cycle,
+                    output_was_idle: p.output_was_idle,
                 },
-            );
-            // Cut-through: the read overlaps the write wave still
-            // depositing this packet (always true for the fused form).
-            let ws = self.packets[slot]
-                .as_ref()
-                .and_then(|p| p.write_start)
-                .unwrap_or(c);
-            if fused || (self.cfg.cut_through && c < ws + self.stages as Cycle) {
-                p.emit(
-                    c,
-                    ProbeEvent::CutThrough {
-                        output: j,
-                        id: dep.id,
-                        fused,
-                    },
-                );
-            }
-            if !fused {
-                let earliest = if self.cfg.cut_through {
-                    ws + 1
-                } else {
-                    ws + self.stages as Cycle
-                };
-                if c > earliest {
-                    p.emit(
-                        c,
-                        ProbeEvent::StaggeredStart {
-                            output: j,
-                            id: dep.id,
-                        },
-                    );
-                }
-            }
+                p.refs == 0,
+            )
+        };
+        if PROBED {
+            self.probe_read(j, c, fused, slot, &dep);
         }
-        if self.packets[slot].as_ref().expect("live").refs == 0 {
+        if free {
             self.packets[slot] = None;
             self.free_slab.push(slot);
             self.buf_used -= 1;
         }
         self.out_next_init[j] = c + self.stages as Cycle;
-        self.in_tx.push(dep);
+        self.tx_next_done = self.tx_next_done.min(dep.done);
+        self.departures.push(dep);
+        self.refresh_ready(j);
+    }
+
+    /// Telemetry for a read initiation (only compiled into the probed
+    /// instantiation of the kernel).
+    #[cold]
+    fn probe_read(&self, j: usize, c: Cycle, fused: bool, slot: usize, dep: &BehavioralDeparture) {
+        let Some(p) = &self.probe else { return };
+        // A fused read starts on the write wave itself; an unfused one
+        // measures its stagger against the packet's write start (`c` for
+        // heads granted their read before any write wave — impossible
+        // today, but kept defensive).
+        let ws = self.wstart[slot];
+        let ws = if ws == Cycle::MAX { c } else { ws };
+        p.emit(
+            c,
+            ProbeEvent::ReadWave {
+                output: j,
+                addr: slot,
+                fused,
+            },
+        );
+        // Cut-through: the read overlaps the write wave still
+        // depositing this packet (always true for the fused form).
+        if fused || (self.cfg.cut_through && c < ws + self.stages as Cycle) {
+            p.emit(
+                c,
+                ProbeEvent::CutThrough {
+                    output: j,
+                    id: dep.id,
+                    fused,
+                },
+            );
+        }
+        if !fused {
+            let earliest = if self.cfg.cut_through {
+                ws + 1
+            } else {
+                ws + self.stages as Cycle
+            };
+            if c > earliest {
+                p.emit(
+                    c,
+                    ProbeEvent::StaggeredStart {
+                        output: j,
+                        id: dep.id,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Recompute `ready_at[j]` from output `j`'s queue head — control-
+    /// point maintenance of the dense-path arrays.
+    fn refresh_ready(&mut self, j: usize) {
+        self.ready_at[j] = match self.queues[j].front() {
+            None => Cycle::MAX,
+            Some(&slot) => {
+                let ws = self.wstart[slot];
+                if ws == Cycle::MAX {
+                    Cycle::MAX
+                } else {
+                    (ws + self.ready_base).max(self.out_next_init[j])
+                }
+            }
+        };
+    }
+
+    /// Full rebuild of the dense-path request arrays. Cold path: only an
+    /// overrun sweep rearranges queues arbitrarily enough to need it.
+    fn rebuild_request_state(&mut self) {
+        for j in 0..self.cfg.n_out {
+            self.refresh_ready(j);
+        }
+        for i in 0..self.cfg.n_in {
+            match self.pending[i].front() {
+                None => {
+                    self.welig_at[i] = Cycle::MAX;
+                    self.wdead_at[i] = Cycle::MAX;
+                }
+                Some(f) => {
+                    self.welig_at[i] = f.eligible;
+                    self.wdead_at[i] = f.deadline;
+                }
+            }
+        }
     }
 
     /// All departures so far (accumulating).
     pub fn departures(&self) -> &[BehavioralDeparture] {
-        &self.departures
+        &self.departures[..self.committed]
     }
 
     /// True when the switch holds nothing.
     pub fn is_quiescent(&self) -> bool {
-        self.buf_used == 0 && self.in_tx.is_empty() && self.arriving.iter().all(|&a| a == 0)
+        self.buf_used == 0
+            && self.tx_next_done == Cycle::MAX
+            && self.arriving.iter().all(|&a| a == 0)
     }
 
     /// Run idle cycles until quiescent, appending completed departures to
@@ -552,9 +843,9 @@ impl BehavioralSwitch {
             let mut masks = std::mem::take(&mut sw.scratch_masks);
             masks.clear();
             masks.resize(n_in, None);
-            sw.advance(&masks);
+            sw.dispatch_advance(&masks);
             sw.scratch_masks = masks;
-            out.extend(sw.scratch_done.iter().copied());
+            out.extend_from_slice(&sw.departures[sw.dep_mark..sw.committed]);
         })
     }
 }
@@ -566,7 +857,7 @@ impl simkernel::Horizon for BehavioralSwitch {
 
     /// Event derivation (see `simkernel::horizon` for the contract).
     /// Under idle input the only state transitions are: a transmission
-    /// completing (`in_tx` done cycle), a pending write becoming
+    /// completing (`tx_next_done`), a pending write becoming
     /// eligible, and a queued packet becoming read-ready at its output's
     /// next initiation slot. Everything else — the `arriving` link
     /// counters — is pure bookkeeping that `jump_to` replays in O(1).
@@ -574,42 +865,31 @@ impl simkernel::Horizon for BehavioralSwitch {
         if self.is_quiescent() {
             return None;
         }
+        // The dense-path arrays already hold every schedulable event:
+        // `tx_next_done` (a transmission completing), `welig_at` (a
+        // pending write becoming eligible — heads with write_start ==
+        // None are covered here), `ready_at` (a queued head becoming
+        // read-ready, `out_next_init` folded in).
         let now = self.cycle;
-        let s = self.stages as Cycle;
-        let mut ev: Option<Cycle> = None;
-        let fold = |ev: &mut Option<Cycle>, c: Cycle| {
-            *ev = Some(ev.map_or(c, |e| e.min(c)));
-        };
-        for d in &self.in_tx {
-            fold(&mut ev, d.done);
+        let mut ev = self.tx_next_done;
+        for &e in &self.welig_at {
+            ev = ev.min(e);
         }
-        for q in &self.pending {
-            if let Some(front) = q.front() {
-                fold(&mut ev, front.eligible);
-            }
+        for &r in &self.ready_at {
+            ev = ev.min(r);
         }
-        for (j, q) in self.queues.iter().enumerate() {
-            if let Some(&slot) = q.front() {
-                let p = self.packets[slot].as_ref().expect("queued packet live");
-                if let Some(ws) = p.write_start {
-                    let ready = if self.cfg.cut_through { ws + 1 } else { ws + s };
-                    fold(&mut ev, ready.max(self.out_next_init[j]));
-                }
-                // write_start == None: the write is still pending and its
-                // input's `pending` front already contributed an event.
-            }
+        if ev != Cycle::MAX {
+            return Some(ev);
         }
-        match ev {
-            Some(e) => Some(e),
-            // No scheduled event but not quiescent: either only the
-            // `arriving` link counters are still draining (skippable —
-            // the "event" is quiescence itself), or something is live
-            // that we failed to account for (conservative dense tick).
-            None if self.buf_used == 0 && self.in_tx.is_empty() => {
-                let max_arr = self.arriving.iter().copied().max().unwrap_or(0) as Cycle;
-                Some(now + max_arr)
-            }
-            None => Some(now),
+        // No scheduled event but not quiescent: either only the
+        // `arriving` link counters are still draining (skippable —
+        // the "event" is quiescence itself), or something is live
+        // that we failed to account for (conservative dense tick).
+        if self.buf_used == 0 && self.tx_next_done == Cycle::MAX {
+            let max_arr = self.arriving.iter().copied().max().unwrap_or(0) as Cycle;
+            Some(now + max_arr)
+        } else {
+            Some(now)
         }
     }
 
@@ -620,9 +900,15 @@ impl simkernel::Horizon for BehavioralSwitch {
             *a = a.saturating_sub(delta);
         }
         // Dense idle ticking through a dead span leaves last cycle's
-        // completion scratch empty; match that.
-        self.scratch_done.clear();
+        // completion window empty; match that.
+        self.dep_mark = self.committed;
         self.cycle = target;
+    }
+}
+
+impl simkernel::BatchTick for BehavioralSwitch {
+    fn tick_idle_batch(&mut self, n: u64) {
+        BehavioralSwitch::tick_idle_batch(self, n);
     }
 }
 

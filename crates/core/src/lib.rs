@@ -60,6 +60,7 @@ pub mod events;
 pub mod faultsim;
 pub mod halfq;
 pub mod ibank;
+pub mod reference;
 pub mod rtl;
 pub mod vcroute;
 pub mod widemem;

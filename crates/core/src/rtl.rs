@@ -162,8 +162,10 @@ pub struct PipelinedSwitch {
     cfg: SwitchConfig,
     stages: usize,
     banks: Vec<SramBank>,
-    /// Committed input latch values, `latches[input][stage]`.
-    latches: Vec<Vec<u64>>,
+    /// Committed input latch values, flat row-major: entry
+    /// `input * stages + stage`. One contiguous allocation keeps the
+    /// per-wave latch fetch a single indexed load.
+    latches: Vec<u64>,
     /// Latch loads scheduled this cycle: `(input, stage, word)`.
     latch_loads: Vec<(usize, usize, u64)>,
     inputs: Vec<InputState>,
@@ -178,7 +180,22 @@ pub struct PipelinedSwitch {
     stuck_write: Option<(usize, Cycle)>,
     mgr: BufferManager,
     arb: Arbiter,
-    waves: Vec<ActiveWave>,
+    /// Active waves as a ring indexed by `start % stages`. A wave lives
+    /// exactly `stages` cycles and at most one initiates per cycle, so
+    /// live slots never collide; retirement clears exactly one slot per
+    /// cycle (the one whose wave entered `stages` cycles ago) — no
+    /// per-cycle scan-and-shift.
+    waves: Vec<Option<ActiveWave>>,
+    /// Live entries in the wave ring.
+    waves_live: usize,
+    /// Live wave ring slots as a machine word: bit `k` set when
+    /// `waves[k]` is occupied. Maintained for `stages ≤ 128`; wider
+    /// fabrics fall back to walking the ring.
+    wave_mask: u128,
+    /// Output-register-row occupancy as a machine word: bit `k` set when
+    /// `outreg_cur[k]` holds a word. Maintained for `stages ≤ 128`;
+    /// wider fabrics fall back to scanning the row.
+    outreg_mask: u128,
     cycle: Cycle,
     counters: SwitchCounters,
     probe: Option<ProbeHandle>,
@@ -187,6 +204,10 @@ pub struct PipelinedSwitch {
     last_occ: u64,
     last_qdepth: Vec<u64>,
     last_controls: Vec<StageCtrl>,
+    /// Stages whose `last_controls` entry is non-Nop: bit `k` set when
+    /// stage `k` executed a control last cycle, so the per-cycle reset
+    /// touches only those entries (maintained for `stages ≤ 128`).
+    ctrl_mask: u128,
     /// Reusable per-cycle scratch (hot path: one `tick` per simulated
     /// cycle — these must not allocate in steady state).
     wire_out: Vec<Option<u64>>,
@@ -210,7 +231,7 @@ impl PipelinedSwitch {
         PipelinedSwitch {
             stages,
             banks,
-            latches: vec![vec![0; stages]; cfg.n_in],
+            latches: vec![0; cfg.n_in * stages],
             latch_loads: Vec::new(),
             inputs: vec![InputState::default(); cfg.n_in],
             outreg_cur: vec![None; stages],
@@ -220,13 +241,17 @@ impl PipelinedSwitch {
             stuck_write: None,
             mgr: BufferManager::new(cfg.slots, cfg.n_out),
             arb: Arbiter::new(cfg.arbiter),
-            waves: Vec::new(),
+            waves: vec![None; stages],
+            waves_live: 0,
+            wave_mask: 0,
+            outreg_mask: 0,
             cycle: 0,
             counters: SwitchCounters::default(),
             probe: None,
             last_occ: 0,
             last_qdepth: vec![0; cfg.n_out],
             last_controls: vec![StageCtrl::Nop; stages],
+            ctrl_mask: 0,
             wire_out: vec![None; cfg.n_out],
             scratch_reads: Vec::with_capacity(cfg.n_out),
             scratch_writes: Vec::with_capacity(cfg.n_in),
@@ -308,6 +333,7 @@ impl PipelinedSwitch {
         // be on its way to this stage.
         self.waves
             .iter()
+            .flatten()
             .find(|w| w.addr == addr && w.start + stage as Cycle >= self.cycle)
             .and_then(|w| w.read_to.as_ref())
             .map(|rb| rb.id)
@@ -331,10 +357,169 @@ impl PipelinedSwitch {
     /// True if the switch holds no packets and no waves are in flight
     /// (safe to stop feeding idle cycles).
     pub fn is_quiescent(&self) -> bool {
+        let outreg_empty = if self.stages <= 128 {
+            self.outreg_mask == 0
+        } else {
+            self.outreg_cur.iter().all(Option::is_none)
+        };
         self.mgr.occupancy() == 0
-            && self.waves.is_empty()
-            && self.outreg_cur.iter().all(Option::is_none)
+            && self.waves_live == 0
+            && outreg_empty
             && self.inputs.iter().all(|s| s.k == 0 && s.pending.is_empty())
+    }
+
+    /// Park a freshly initiated wave in its ring slot.
+    #[inline]
+    fn push_wave(&mut self, w: ActiveWave) {
+        let slot = (w.start % self.stages as Cycle) as usize;
+        debug_assert!(self.waves[slot].is_none(), "wave ring slot collision");
+        self.waves[slot] = Some(w);
+        self.waves_live += 1;
+        if let Some(bit) = 1u128.checked_shl(slot as u32) {
+            self.wave_mask |= bit;
+        }
+    }
+
+    /// Execute the live wave in ring slot `this` for cycle `c`: its
+    /// single bank access, output-register load, control latch, and
+    /// telemetry. Called once per live wave from the stage-execution
+    /// walk; the wave's stage is `c - start`.
+    fn exec_wave_slot(&mut self, this: usize, c: Cycle, outreg_next_mask: &mut u128) {
+        let s = self.stages;
+        let Some(w) = &self.waves[this] else { return };
+        let k = (c - w.start) as usize;
+        debug_assert!(k < s);
+        let bank = &mut self.banks[k];
+        bank.begin_cycle(c);
+        let bus_value = match w.write_from {
+            Some(i) => {
+                let v = self.latches[i.index() * s + k];
+                let stuck = self
+                    .stuck_write
+                    .is_some_and(|(ks, until)| ks == k && c <= until);
+                if stuck {
+                    // Stuck stage control: the word never lands in the
+                    // bank. The bus still carries it, so a fused
+                    // output register samples the correct value — but
+                    // the slot keeps a stale word, which the checksum
+                    // scrub catches at (store-and-forward) read time.
+                    self.counters.writes_suppressed += 1;
+                } else {
+                    bank.write(w.addr, v)
+                        .expect("wave stagger guarantees bank availability");
+                }
+                Some(v)
+            }
+            None => None,
+        };
+        if let Some(rb) = &w.read_to {
+            let v = match bus_value {
+                // Fused: the output register samples the write bus.
+                Some(v) => v,
+                None => bank
+                    .read(w.addr)
+                    .expect("wave stagger guarantees bank availability"),
+            };
+            debug_assert!(
+                self.outreg_next[k].is_none(),
+                "two waves loaded output register {k} in cycle {c}"
+            );
+            self.outreg_next[k] = Some(OutWord {
+                link: rb.out,
+                word: v,
+                tail_of: (k + 1 == s).then_some((rb.id, rb.birth)),
+            });
+            *outreg_next_mask |= 1u128.checked_shl(k as u32).unwrap_or(0);
+        }
+        self.last_controls[k] = match (&w.write_from, &w.read_to) {
+            (Some(i), None) => StageCtrl::Write {
+                addr: w.addr,
+                link: *i,
+            },
+            (None, Some(rb)) => StageCtrl::Read {
+                addr: w.addr,
+                link: rb.out,
+            },
+            (Some(i), Some(rb)) => StageCtrl::Fused {
+                addr: w.addr,
+                input: *i,
+                output: rb.out,
+            },
+            (None, None) => unreachable!("wave with no operation"),
+        };
+        if let Some(bit) = 1u128.checked_shl(k as u32) {
+            self.ctrl_mask |= bit;
+        }
+        if let Some(p) = &self.probe {
+            let op = match (&w.write_from, &w.read_to) {
+                (Some(_), None) => WaveDir::Write,
+                (None, Some(_)) => WaveDir::Read,
+                _ => WaveDir::Fused,
+            };
+            p.emit(
+                c,
+                ProbeEvent::BankAccess {
+                    stage: k,
+                    addr: w.addr.index(),
+                    op,
+                    input: w.write_from.map(PortId::index),
+                    output: w.read_to.as_ref().map(|rb| rb.out.index()),
+                },
+            );
+        }
+    }
+
+    /// Drive one committed output-register word onto its link: egress
+    /// verification, departure accounting, telemetry.
+    fn egress_word(&mut self, c: Cycle, ow: OutWord, wire_out: &mut [Option<u64>]) {
+        let j = ow.link.index();
+        assert!(
+            wire_out[j].is_none(),
+            "two output registers drove link {j} in cycle {c}"
+        );
+        wire_out[j] = Some(ow.word);
+        if self.cfg.integrity.payload_check {
+            // Egress verification (the modeled link CRC): every word
+            // on the wire is checked against the synthesis rule.
+            let v = &mut self.out_verify[j];
+            if v.k == 0 {
+                let (mask, id) = Packet::decode_header_any(ow.word);
+                v.id = id;
+                v.corrupt = mask & (1 << j) == 0;
+            } else if ow.word != Packet::payload_word(v.id, v.k) {
+                v.corrupt = true;
+            }
+            v.k += 1;
+        }
+        if let Some((id, birth)) = ow.tail_of {
+            self.counters.departed += 1;
+            if let Some(p) = &self.probe {
+                p.emit(
+                    c,
+                    ProbeEvent::Departed {
+                        output: j,
+                        id,
+                        birth,
+                        latency: c - birth,
+                    },
+                );
+            }
+            if self.cfg.integrity.payload_check {
+                if self.out_verify[j].corrupt {
+                    self.counters.corrupt_delivered += 1;
+                    if let Some(p) = &self.probe {
+                        p.emit(
+                            c,
+                            ProbeEvent::Fault {
+                                id,
+                                kind: FaultTag::CorruptDelivered,
+                            },
+                        );
+                    }
+                }
+                self.out_verify[j] = OutVerify::default();
+            }
+        }
     }
 
     /// Advance one clock cycle.
@@ -358,53 +543,20 @@ impl PipelinedSwitch {
         let mut wire_out = std::mem::take(&mut self.wire_out);
         wire_out.clear();
         wire_out.resize(self.cfg.n_out, None);
-        for ow in self.outreg_cur.iter().flatten() {
-            let j = ow.link.index();
-            assert!(
-                wire_out[j].is_none(),
-                "two output registers drove link {j} in cycle {c}"
-            );
-            wire_out[j] = Some(ow.word);
-            if self.cfg.integrity.payload_check {
-                // Egress verification (the modeled link CRC): every word
-                // on the wire is checked against the synthesis rule.
-                let v = &mut self.out_verify[j];
-                if v.k == 0 {
-                    let (mask, id) = Packet::decode_header_any(ow.word);
-                    v.id = id;
-                    v.corrupt = mask & (1 << j) == 0;
-                } else if ow.word != Packet::payload_word(v.id, v.k) {
-                    v.corrupt = true;
-                }
-                v.k += 1;
+        if self.stages <= 128 {
+            // Bit-parallel: visit only occupied register slots, in stage
+            // order (identical visit order to the full scan).
+            let mut m = self.outreg_mask;
+            while m != 0 {
+                let k = m.trailing_zeros() as usize;
+                m &= m - 1;
+                let ow = self.outreg_cur[k].expect("occupancy bit set on empty slot");
+                self.egress_word(c, ow, &mut wire_out);
             }
-            if let Some((id, birth)) = ow.tail_of {
-                self.counters.departed += 1;
-                if let Some(p) = &self.probe {
-                    p.emit(
-                        c,
-                        ProbeEvent::Departed {
-                            output: j,
-                            id,
-                            birth,
-                            latency: c - birth,
-                        },
-                    );
-                }
-                if self.cfg.integrity.payload_check {
-                    if self.out_verify[j].corrupt {
-                        self.counters.corrupt_delivered += 1;
-                        if let Some(p) = &self.probe {
-                            p.emit(
-                                c,
-                                ProbeEvent::Fault {
-                                    id,
-                                    kind: FaultTag::CorruptDelivered,
-                                },
-                            );
-                        }
-                    }
-                    self.out_verify[j] = OutVerify::default();
+        } else {
+            for k in 0..s {
+                if let Some(ow) = self.outreg_cur[k] {
+                    self.egress_word(c, ow, &mut wire_out);
                 }
             }
         }
@@ -598,25 +750,29 @@ impl PipelinedSwitch {
         // ------------------------------------------------------------------
         let mut reads = std::mem::take(&mut self.scratch_reads);
         reads.clear();
-        for j in 0..self.cfg.n_out {
-            if c < self.out_next_init[j] {
-                continue;
-            }
-            if let Some((_, d)) = self.mgr.head(PortId(j)) {
-                let ready = match d.write_start {
-                    None => false,
-                    Some(ws) => {
-                        if self.cfg.cut_through {
-                            ws < c
-                        } else {
-                            // Store-and-forward: wait until the write wave
-                            // has deposited the tail word.
-                            c >= ws + s as Cycle
+        // An empty buffer has no queue heads: skip the per-output scan
+        // outright (occupancy is an O(1) counter).
+        if self.mgr.occupancy() > 0 {
+            for j in 0..self.cfg.n_out {
+                if c < self.out_next_init[j] {
+                    continue;
+                }
+                if let Some((_, d)) = self.mgr.head(PortId(j)) {
+                    let ready = match d.write_start {
+                        None => false,
+                        Some(ws) => {
+                            if self.cfg.cut_through {
+                                ws < c
+                            } else {
+                                // Store-and-forward: wait until the write
+                                // wave has deposited the tail word.
+                                c >= ws + s as Cycle
+                            }
                         }
+                    };
+                    if ready {
+                        reads.push(ReadReq { port: PortId(j) });
                     }
-                };
-                if ready {
-                    reads.push(ReadReq { port: PortId(j) });
                 }
             }
         }
@@ -729,7 +885,7 @@ impl PipelinedSwitch {
                             );
                         }
                     }
-                    self.waves.push(ActiveWave {
+                    self.push_wave(ActiveWave {
                         start: c,
                         addr,
                         write_from: None,
@@ -817,7 +973,7 @@ impl PipelinedSwitch {
                     }
                     self.scratch_dsts = dsts;
                 }
-                self.waves.push(wave);
+                self.push_wave(wave);
             }
             Decision::Idle => {
                 if had_work {
@@ -834,87 +990,55 @@ impl PipelinedSwitch {
         // 5. Stage execution: every active wave performs its per-stage
         //    operation on the (port-checked) banks.
         // ------------------------------------------------------------------
-        for b in &mut self.banks {
-            b.begin_cycle(c);
-        }
-        for ctrl in self.last_controls.iter_mut() {
-            *ctrl = StageCtrl::Nop;
-        }
-        for w in &self.waves {
-            let k = (c - w.start) as usize;
-            debug_assert!(k < s);
-            let bank = &mut self.banks[k];
-            let bus_value = match w.write_from {
-                Some(i) => {
-                    let v = self.latches[i.index()][k];
-                    let stuck = self
-                        .stuck_write
-                        .is_some_and(|(ks, until)| ks == k && c <= until);
-                    if stuck {
-                        // Stuck stage control: the word never lands in the
-                        // bank. The bus still carries it, so a fused
-                        // output register samples the correct value — but
-                        // the slot keeps a stale word, which the checksum
-                        // scrub catches at (store-and-forward) read time.
-                        self.counters.writes_suppressed += 1;
-                    } else {
-                        bank.write(w.addr, v)
-                            .expect("wave stagger guarantees bank availability");
-                    }
-                    Some(v)
-                }
-                None => None,
-            };
-            if let Some(rb) = &w.read_to {
-                let v = match bus_value {
-                    // Fused: the output register samples the write bus.
-                    Some(v) => v,
-                    None => bank
-                        .read(w.addr)
-                        .expect("wave stagger guarantees bank availability"),
-                };
-                debug_assert!(
-                    self.outreg_next[k].is_none(),
-                    "two waves loaded output register {k} in cycle {c}"
-                );
-                self.outreg_next[k] = Some(OutWord {
-                    link: rb.out,
-                    word: v,
-                    tail_of: (k + 1 == s).then_some((rb.id, rb.birth)),
-                });
+        // Clear only the control entries set last cycle (their stages are
+        // tracked in `ctrl_mask`); wider fabrics reset the whole row.
+        if s <= 128 {
+            let mut m = self.ctrl_mask;
+            while m != 0 {
+                let k = m.trailing_zeros() as usize;
+                m &= m - 1;
+                self.last_controls[k] = StageCtrl::Nop;
             }
-            self.last_controls[k] = match (&w.write_from, &w.read_to) {
-                (Some(i), None) => StageCtrl::Write {
-                    addr: w.addr,
-                    link: *i,
-                },
-                (None, Some(rb)) => StageCtrl::Read {
-                    addr: w.addr,
-                    link: rb.out,
-                },
-                (Some(i), Some(rb)) => StageCtrl::Fused {
-                    addr: w.addr,
-                    input: *i,
-                    output: rb.out,
-                },
-                (None, None) => unreachable!("wave with no operation"),
-            };
-            if let Some(p) = &self.probe {
-                let op = match (&w.write_from, &w.read_to) {
-                    (Some(_), None) => WaveDir::Write,
-                    (None, Some(_)) => WaveDir::Read,
-                    _ => WaveDir::Fused,
-                };
-                p.emit(
-                    c,
-                    ProbeEvent::BankAccess {
-                        stage: k,
-                        addr: w.addr.index(),
-                        op,
-                        input: w.write_from.map(PortId::index),
-                        output: w.read_to.as_ref().map(|rb| rb.out.index()),
-                    },
-                );
+        } else {
+            for ctrl in self.last_controls.iter_mut() {
+                *ctrl = StageCtrl::Nop;
+            }
+        }
+        self.ctrl_mask = 0;
+        // Visit live waves oldest-first (ascending start — the same order
+        // the retired Vec kept), walking the ring from slot (c+1) % s.
+        // Banks begin their cycle lazily, right before their single
+        // access: `begin_cycle` is idempotent and wave starts are unique
+        // per cycle, so each live wave touches a distinct bank and the
+        // port-violation budget is identical to eagerly resetting every
+        // bank.
+        let mut outreg_next_mask: u128 = 0;
+        if self.waves_live > 0 {
+            if s <= 128 {
+                // Bit-parallel: visit only the occupied ring slots. The
+                // two mask passes — bits ≥ first, then bits < first, each
+                // ascending — reproduce the wrapping ring order exactly.
+                let first = ((c + 1) % s as Cycle) as usize;
+                let low = (1u128 << first) - 1;
+                for mut m in [self.wave_mask & !low, self.wave_mask & low] {
+                    while m != 0 {
+                        let this = m.trailing_zeros() as usize;
+                        m &= m - 1;
+                        self.exec_wave_slot(this, c, &mut outreg_next_mask);
+                    }
+                }
+            } else {
+                let mut slot = ((c + 1) % s as Cycle) as usize;
+                for _ in 0..s {
+                    let this = slot;
+                    slot += 1;
+                    if slot == s {
+                        slot = 0;
+                    }
+                    if self.waves[this].is_some() {
+                        self.exec_wave_slot(this, c, &mut outreg_next_mask);
+                    }
+                }
             }
         }
 
@@ -923,13 +1047,36 @@ impl PipelinedSwitch {
         //    completed waves, advance time.
         // ------------------------------------------------------------------
         for &(i, k, word) in &self.latch_loads {
-            self.latches[i][k] = word;
+            self.latches[i * s + k] = word;
         }
         std::mem::swap(&mut self.outreg_cur, &mut self.outreg_next);
-        for o in self.outreg_next.iter_mut() {
-            *o = None;
+        // Clear only the slots the old register row occupied (the new
+        // row's occupancy word was built during stage execution).
+        if self.stages <= 128 {
+            let mut m = self.outreg_mask;
+            while m != 0 {
+                let k = m.trailing_zeros() as usize;
+                m &= m - 1;
+                self.outreg_next[k] = None;
+            }
+        } else {
+            for o in self.outreg_next.iter_mut() {
+                *o = None;
+            }
         }
-        self.waves.retain(|w| ((c - w.start) as usize) + 1 < s);
+        self.outreg_mask = outreg_next_mask;
+        // Retire the wave that entered `s` cycles ago: its ring slot is
+        // the one a wave starting next cycle would claim.
+        let retire_slot = ((c + 1) % s as Cycle) as usize;
+        if let Some(w) = &self.waves[retire_slot] {
+            if (c - w.start) as usize + 1 >= s {
+                self.waves[retire_slot] = None;
+                self.waves_live -= 1;
+                if let Some(bit) = 1u128.checked_shl(retire_slot as u32) {
+                    self.wave_mask &= !bit;
+                }
+            }
+        }
         if let Some(p) = &self.probe {
             let occ = self.mgr.occupancy() as u64;
             if occ != self.last_occ {
@@ -1007,7 +1154,21 @@ impl simkernel::Horizon for PipelinedSwitch {
         for ctrl in &mut self.last_controls {
             *ctrl = StageCtrl::Nop;
         }
+        self.ctrl_mask = 0;
         self.cycle = target;
+    }
+}
+
+impl simkernel::BatchTick for PipelinedSwitch {
+    /// The word-level model has no fused multi-cycle kernel (every
+    /// cycle touches latch rows and bank ports), so the batch entry is
+    /// a plain idle-tick loop: the driver-side win (no per-cycle
+    /// horizon query) still applies, the model-side fusion does not.
+    fn tick_idle_batch(&mut self, n: u64) {
+        let empty = vec![None; self.cfg.n_in];
+        for _ in 0..n {
+            self.tick(&empty);
+        }
     }
 }
 

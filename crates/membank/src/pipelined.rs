@@ -108,13 +108,23 @@ struct ActiveWave {
 #[derive(Debug, Clone)]
 pub struct PipelinedMemory {
     banks: Vec<SramBank>,
-    active: Vec<ActiveWave>,
+    /// Active waves as a ring indexed by `start % stages`. A wave lives
+    /// exactly `stages` cycles and at most one initiates per cycle, so
+    /// live slots never collide, and a wave's body never moves while in
+    /// flight (the old drain-and-rebuild shuffled every wave's word
+    /// vector through memory each cycle).
+    waves: Vec<Option<ActiveWave>>,
+    /// Ring occupancy as a machine word: bit `s` set when `waves[s]` is
+    /// live. Maintained for `stages ≤ 128`; longer pipelines scan the
+    /// ring instead.
+    live_mask: u128,
+    /// Live entries in the wave ring.
+    waves_live: usize,
     cycle: Cycle,
     pending: Option<ActiveWave>,
     probe: Option<ProbeHandle>,
     /// Reusable per-cycle scratch (hot path: must not allocate).
     scratch_done: Vec<CompletedRead>,
-    scratch_still: Vec<ActiveWave>,
     scratch_drain: Vec<CompletedRead>,
 }
 
@@ -128,12 +138,13 @@ impl PipelinedMemory {
             banks: (0..stages)
                 .map(|_| SramBank::new(depth, width_bits, PortKind::SinglePort))
                 .collect(),
-            active: Vec::new(),
+            waves: vec![None; stages],
+            live_mask: 0,
+            waves_live: 0,
             cycle: 0,
             pending: None,
             probe: None,
             scratch_done: Vec::new(),
-            scratch_still: Vec::new(),
             scratch_drain: Vec::new(),
         }
     }
@@ -169,7 +180,7 @@ impl PipelinedMemory {
     /// Number of waves currently sweeping the banks (including one
     /// initiated this cycle, before `tick`).
     pub fn in_flight(&self) -> usize {
-        self.active.len() + usize::from(self.pending.is_some())
+        self.waves_live + usize::from(self.pending.is_some())
     }
 
     /// Initiate a wave in the current cycle. At most one per cycle.
@@ -215,68 +226,113 @@ impl PipelinedMemory {
     /// time by one cycle. The returned slice borrows internal scratch
     /// and is valid until the next tick.
     pub fn tick(&mut self) -> &[CompletedRead] {
-        if let Some(w) = self.pending.take() {
-            self.active.push(w);
-        }
         let stages = self.stages();
         let now = self.cycle;
-        for b in &mut self.banks {
-            b.begin_cycle(now);
+        if let Some(w) = self.pending.take() {
+            let slot = (w.start % stages as Cycle) as usize;
+            debug_assert!(self.waves[slot].is_none(), "wave ring slot collision");
+            self.waves[slot] = Some(w);
+            self.waves_live += 1;
+            if let Some(bit) = 1u128.checked_shl(slot as u32) {
+                self.live_mask |= bit;
+            }
         }
-        // Reuse the completion and survivor buffers across cycles;
-        // `mem::take` sidesteps the simultaneous borrow of the buffers
-        // and `&mut self`.
+        // Reuse the completion buffer across cycles; `mem::take`
+        // sidesteps the simultaneous borrow of the buffer and `&mut self`.
         let mut done = std::mem::take(&mut self.scratch_done);
         done.clear();
-        let mut still = std::mem::take(&mut self.scratch_still);
-        still.clear();
-        for mut w in self.active.drain(..) {
-            let k = (now - w.start) as usize;
-            debug_assert!(k < stages, "retired wave left in active set");
-            if let Some(p) = &self.probe {
-                p.emit(
-                    now,
-                    ProbeEvent::WaveAdvanced {
-                        stage: k,
-                        addr: w.addr.index(),
-                    },
-                );
-            }
-            let bank = &mut self.banks[k];
-            match &mut w.body {
-                Body::Write(words) => {
-                    // The port check is the proof obligation: staggered
-                    // initiation must imply conflict-free banks.
-                    bank.write(w.addr, words[k])
-                        .expect("wave stagger guarantees bank availability");
-                }
-                Body::Read(out) => {
-                    let v = bank
-                        .read(w.addr)
-                        .expect("wave stagger guarantees bank availability");
-                    out.push(v);
-                }
-            }
-            if k + 1 == stages {
-                if let Body::Read(words) = w.body {
-                    done.push(CompletedRead {
-                        addr: w.addr,
-                        initiated: w.start,
-                        completed: now,
-                        words,
-                    });
+        if self.waves_live > 0 {
+            // Walk the ring oldest wave first (the wave started at
+            // `now - stages + 1` sits at slot `(now + 1) % stages`), so
+            // probe events and completions keep initiation order.
+            let first = ((now + 1) % stages as Cycle) as usize;
+            if stages <= 128 {
+                // Two ascending passes over the occupancy word — slots
+                // `first..stages`, then `0..first` — visit live slots in
+                // ring order without touching empty ones.
+                let low = (1u128 << first) - 1;
+                for mut m in [self.live_mask & !low, self.live_mask & low] {
+                    while m != 0 {
+                        let slot = m.trailing_zeros() as usize;
+                        m &= m - 1;
+                        self.sweep_slot(slot, now, stages, &mut done);
+                    }
                 }
             } else {
-                still.push(w);
+                let mut slot = first;
+                for _ in 0..stages {
+                    let this = slot;
+                    slot += 1;
+                    if slot == stages {
+                        slot = 0;
+                    }
+                    if self.waves[this].is_some() {
+                        self.sweep_slot(this, now, stages, &mut done);
+                    }
+                }
             }
         }
-        // Swap so `scratch_still` keeps the drained-out buffer (and its
-        // capacity) for the next cycle.
-        std::mem::swap(&mut self.active, &mut still);
-        self.scratch_still = still;
         self.cycle += 1;
         self.scratch_done = done;
         &self.scratch_done
+    }
+
+    /// Advance the wave in ring slot `slot` one stage: perform its bank
+    /// access for this cycle, and retire it (pushing onto `done` if it
+    /// was a read) once it has swept the last stage.
+    fn sweep_slot(
+        &mut self,
+        slot: usize,
+        now: Cycle,
+        stages: usize,
+        done: &mut Vec<CompletedRead>,
+    ) {
+        let w = self.waves[slot].as_mut().expect("sweep of empty ring slot");
+        let k = (now - w.start) as usize;
+        debug_assert!(k < stages, "retired wave left in ring");
+        if let Some(p) = &self.probe {
+            p.emit(
+                now,
+                ProbeEvent::WaveAdvanced {
+                    stage: k,
+                    addr: w.addr.index(),
+                },
+            );
+        }
+        // Each live wave sits at a distinct stage, so touching only the
+        // banks that live waves visit is equivalent to opening the cycle
+        // on every bank.
+        let bank = &mut self.banks[k];
+        bank.begin_cycle(now);
+        match &mut w.body {
+            Body::Write(words) => {
+                // The port check is the proof obligation: staggered
+                // initiation must imply conflict-free banks.
+                bank.write(w.addr, words[k])
+                    .expect("wave stagger guarantees bank availability");
+            }
+            Body::Read(out) => {
+                let v = bank
+                    .read(w.addr)
+                    .expect("wave stagger guarantees bank availability");
+                out.push(v);
+            }
+        }
+        if k + 1 == stages {
+            let w = self.waves[slot].take().expect("retiring wave vanished");
+            self.waves_live -= 1;
+            if let Some(bit) = 1u128.checked_shl(slot as u32) {
+                self.live_mask &= !bit;
+            }
+            if let Body::Read(words) = w.body {
+                done.push(CompletedRead {
+                    addr: w.addr,
+                    initiated: w.start,
+                    completed: now,
+                    words,
+                });
+            }
+        }
     }
 
     /// Run idle cycles until all in-flight waves complete, returning any

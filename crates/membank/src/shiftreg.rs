@@ -7,6 +7,13 @@
 //! claim can be demonstrated: data is only available after traversing the
 //! full register chain (no random access, hence no cut-through), and
 //! `vlsimodel` carries the 4× area factor.
+//!
+//! The *semantics* are a physical word-by-word shift, but the *model*
+//! realizes each shift as an O(1) rotation of a circular buffer: moving
+//! the head pointer back one slot relabels every word one position later
+//! in the chain, which is exactly what copying all of them would do.
+//! Validity is a packed bitset (64 slots per machine word) and occupancy
+//! is maintained incrementally, so no operation scans the chain.
 
 use simkernel::ids::Cycle;
 
@@ -14,8 +21,15 @@ use simkernel::ids::Cycle;
 /// unchanged and in order, exactly `length` cycles later.
 #[derive(Debug, Clone)]
 pub struct ShiftRegisterBank {
+    /// Word storage, addressed physically; logical chain position `i`
+    /// lives at physical index `(head + i) % length`.
     slots: Vec<u64>,
-    valid: Vec<bool>,
+    /// Validity bits over *physical* slot indices, packed 64 per word.
+    valid: Vec<u64>,
+    /// Physical index of logical slot 0 (the input end of the chain).
+    head: usize,
+    /// Valid words currently in the chain, maintained incrementally.
+    occupied: usize,
     cycle: Cycle,
     shifted_this_cycle: bool,
 }
@@ -26,7 +40,9 @@ impl ShiftRegisterBank {
         assert!(length >= 1);
         ShiftRegisterBank {
             slots: vec![0; length],
-            valid: vec![false; length],
+            valid: vec![0; length.div_ceil(64)],
+            head: 0,
+            occupied: 0,
             cycle: 0,
             shifted_this_cycle: false,
         }
@@ -45,6 +61,21 @@ impl ShiftRegisterBank {
         }
     }
 
+    #[inline]
+    fn is_valid(&self, phys: usize) -> bool {
+        self.valid[phys >> 6] & (1u64 << (phys & 63)) != 0
+    }
+
+    #[inline]
+    fn set_valid(&mut self, phys: usize, v: bool) {
+        let (word, bit) = (phys >> 6, 1u64 << (phys & 63));
+        if v {
+            self.valid[word] |= bit;
+        } else {
+            self.valid[word] &= !bit;
+        }
+    }
+
     /// Shift once: optionally push a new word in; returns the word falling
     /// out of the far end, if that slot held valid data. At most one shift
     /// per cycle — a shift register has exactly one clocked movement.
@@ -54,18 +85,28 @@ impl ShiftRegisterBank {
             "a shift register shifts once per cycle"
         );
         self.shifted_this_cycle = true;
-        let out = self.valid[self.slots.len() - 1].then(|| self.slots[self.slots.len() - 1]);
-        for i in (1..self.slots.len()).rev() {
-            self.slots[i] = self.slots[i - 1];
-            self.valid[i] = self.valid[i - 1];
+        // The physical slot just before `head` is the logical far end of
+        // the chain; after the rotation it is also exactly where the new
+        // head lands, so the word falling out and the word pushed in share
+        // one physical slot.
+        let tail = if self.head == 0 {
+            self.slots.len() - 1
+        } else {
+            self.head - 1
+        };
+        let out = self.is_valid(tail).then(|| self.slots[tail]);
+        if out.is_some() {
+            self.occupied -= 1;
         }
+        self.head = tail;
         match input {
             Some(w) => {
-                self.slots[0] = w;
-                self.valid[0] = true;
+                self.slots[tail] = w;
+                self.set_valid(tail, true);
+                self.occupied += 1;
             }
             None => {
-                self.valid[0] = false;
+                self.set_valid(tail, false);
             }
         }
         out
@@ -73,7 +114,15 @@ impl ShiftRegisterBank {
 
     /// Words of valid data currently in the chain.
     pub fn occupancy(&self) -> usize {
-        self.valid.iter().filter(|&&v| v).count()
+        debug_assert_eq!(
+            self.occupied,
+            self.valid
+                .iter()
+                .map(|w| w.count_ones() as usize)
+                .sum::<usize>(),
+            "incremental occupancy out of sync with validity bits"
+        );
+        self.occupied
     }
 }
 
@@ -133,5 +182,28 @@ mod tests {
         s.begin_cycle(2);
         s.shift(None);
         assert_eq!(s.occupancy(), 2);
+    }
+
+    #[test]
+    fn long_chain_wraps_correctly() {
+        // Exercise the circular wrap across many multiples of the length,
+        // with a chain longer than one validity word.
+        let len = 70;
+        let mut s = ShiftRegisterBank::new(len);
+        let mut out = Vec::new();
+        for c in 0..500u64 {
+            s.begin_cycle(c);
+            // Sparse input: every third cycle carries a word.
+            let input = (c % 3 == 0).then_some(c);
+            if let Some(w) = s.shift(input) {
+                out.push(w);
+            }
+        }
+        // Word pushed at cycle c emerges at c + len; everything pushed
+        // before cycle 500 - len has emerged, in order.
+        let expect: Vec<u64> = (0..500 - len as u64).filter(|c| c % 3 == 0).collect();
+        assert_eq!(out, expect);
+        let still_in = (500 - len as u64..500).filter(|c| c % 3 == 0).count();
+        assert_eq!(s.occupancy(), still_in);
     }
 }

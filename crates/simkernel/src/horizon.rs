@@ -72,6 +72,29 @@ pub fn ff_executed() -> u64 {
     FF_EXECUTED.load(Ordering::Relaxed)
 }
 
+/// Skip windows at or below this width are not worth a jump: the
+/// horizon query plus the jump bookkeeping cost more than just ticking
+/// through. [`advance_to`] and [`advance_to_batched`] dense-step such
+/// windows (including the event cycle itself) in one run, with a single
+/// counter update — this is what removes the 95%-load regression where
+/// per-cycle horizon bookkeeping made fast-forward *slower* than plain
+/// dense stepping.
+pub const DENSE_FALLTHROUGH: u64 = 4;
+
+/// A model whose idle cycles can be executed as one fused batch.
+///
+/// `tick_idle_batch(n)` must be observably identical to `n` single
+/// dense ticks with idle input — same grants, same counters, same
+/// probe events, same departures — but may hoist per-tick wrapper work
+/// (argument scans, per-cycle pacing decrements, assertions) out of the
+/// loop. This is the multi-cycle entry point of the bit-parallel dense
+/// path: between arbitration decisions control cannot change, so the
+/// batch body is just the fused per-cycle kernel.
+pub trait BatchTick {
+    /// Run `n` cycles with idle input as one fused batch.
+    fn tick_idle_batch(&mut self, n: u64);
+}
+
 /// A model that can report its event horizon and jump over dead time.
 ///
 /// See the module docs for the exact contract. Implementations must be
@@ -104,11 +127,55 @@ pub fn advance_to<M: Horizon>(m: &mut M, target: Cycle, mut dense_tick: impl FnM
         let now = m.now();
         let stop = match m.next_event() {
             None => target,
-            Some(e) if e > now => e.min(target),
-            Some(_) => {
-                dense_tick(m);
+            Some(e) if e > now + DENSE_FALLTHROUGH => e.min(target),
+            Some(e) => {
+                // Near-zero skip window: fall through to dense stepping
+                // across the window *and* the event cycle, with one
+                // counter update for the whole run instead of per-cycle
+                // horizon bookkeeping.
+                let run_end = target.min(e.max(now) + 1);
+                while m.now() < run_end {
+                    dense_tick(m);
+                }
                 debug_assert!(m.now() > now, "dense_tick must advance the clock");
                 note_executed(m.now() - now);
+                continue;
+            }
+        };
+        note_skipped(stop - now);
+        m.jump_to(stop);
+    }
+}
+
+/// [`advance_to`] for models with a fused idle-batch path: dense runs go
+/// through [`BatchTick::tick_idle_batch`] instead of a per-cycle tick
+/// closure, so the near-window fall-through executes without any
+/// per-cycle driver overhead. On a saturated model the horizon demands
+/// dense stepping almost every cycle; consecutive dense rounds escalate
+/// the batch length (up to 8× [`DENSE_FALLTHROUGH`]) so the horizon
+/// query itself drops out of the per-cycle cost. Escalation only ever
+/// *executes* cycles it might instead have skipped — never skips cycles
+/// it should have executed — so bit-exactness is unconditional.
+pub fn advance_to_batched<M: Horizon + BatchTick>(m: &mut M, target: Cycle) {
+    let mut streak: u64 = 0;
+    while m.now() < target {
+        let now = m.now();
+        let stop = match m.next_event() {
+            None => target,
+            Some(e) if e > now + DENSE_FALLTHROUGH => {
+                streak = 0;
+                e.min(target)
+            }
+            Some(e) => {
+                let mut run_end = target.min(e.max(now) + 1);
+                if streak >= 2 {
+                    let escalated = DENSE_FALLTHROUGH * streak.min(8);
+                    run_end = run_end.max(target.min(now + escalated));
+                }
+                streak += 1;
+                m.tick_idle_batch(run_end - now);
+                debug_assert!(m.now() == run_end, "tick_idle_batch must advance n cycles");
+                note_executed(run_end - now);
                 continue;
             }
         };
@@ -282,6 +349,89 @@ mod tests {
             err,
             crate::error::SimError::Watchdog { limit: 50, .. }
         ));
+    }
+
+    impl BatchTick for Toy {
+        fn tick_idle_batch(&mut self, n: u64) {
+            for _ in 0..n {
+                toy_tick(self);
+            }
+        }
+    }
+
+    #[test]
+    fn batched_matches_per_cycle_driver() {
+        let mut a = Toy {
+            now: 0,
+            done_at: Some(100),
+            ticked: Vec::new(),
+        };
+        let mut b = Toy {
+            now: 0,
+            done_at: Some(100),
+            ticked: Vec::new(),
+        };
+        advance_to(&mut a, 200, toy_tick);
+        advance_to_batched(&mut b, 200);
+        assert_eq!(a.now, b.now);
+        assert_eq!(a.ticked, b.ticked);
+        assert_eq!(a.done_at, b.done_at);
+    }
+
+    #[test]
+    fn batched_escalates_on_saturated_model() {
+        // A model that is never skippable: the horizon demands dense
+        // stepping every cycle. The batched driver must still execute
+        // every cycle exactly once, but in escalating runs so the
+        // horizon query drops out of the per-cycle cost.
+        struct Saturated {
+            now: Cycle,
+            batches: Vec<u64>,
+        }
+        impl Horizon for Saturated {
+            fn now(&self) -> Cycle {
+                self.now
+            }
+            fn next_event(&self) -> Option<Cycle> {
+                Some(self.now)
+            }
+            fn jump_to(&mut self, t: Cycle) {
+                self.now = t;
+            }
+        }
+        impl BatchTick for Saturated {
+            fn tick_idle_batch(&mut self, n: u64) {
+                self.batches.push(n);
+                self.now += n;
+            }
+        }
+        let mut m = Saturated {
+            now: 0,
+            batches: Vec::new(),
+        };
+        advance_to_batched(&mut m, 1000);
+        assert_eq!(m.now, 1000);
+        assert_eq!(m.batches.iter().sum::<u64>(), 1000);
+        // Escalation caps runs at 8 × DENSE_FALLTHROUGH, so the driver
+        // consulted the horizon far less than once per cycle.
+        assert!(m.batches.len() < 1000 / DENSE_FALLTHROUGH as usize + 8);
+        assert!(m.batches.iter().all(|&n| n <= 8 * DENSE_FALLTHROUGH));
+    }
+
+    #[test]
+    fn near_window_falls_through_to_dense() {
+        // Event 2 cycles ahead: within DENSE_FALLTHROUGH, so advance_to
+        // must dense-step the window and the event cycle rather than
+        // jump. (The ticked vec is the proof: a jump would leave cycles
+        // 0 and 1 out of it.)
+        let mut t = Toy {
+            now: 0,
+            done_at: Some(2),
+            ticked: Vec::new(),
+        };
+        advance_to(&mut t, 3, toy_tick);
+        assert_eq!(t.now, 3);
+        assert_eq!(t.ticked, vec![0, 1, 2]);
     }
 
     #[test]

@@ -48,7 +48,7 @@ pub mod wave;
 
 pub use cell::{Cell, CellId, Packet, PacketId};
 pub use error::{run_until_quiescent, SimError};
-pub use horizon::{advance_to, Horizon};
+pub use horizon::{advance_to, advance_to_batched, BatchTick, Horizon};
 pub use ids::{Addr, Cycle, PortId, StageId};
 pub use reg::Reg;
 pub use rng::{split_seed, SplitMix64};
