@@ -1,7 +1,7 @@
 //! `expt` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! expt <id>...      run specific experiments (e1..e16, x1..x5)
+//! expt <id>...      run specific experiments (e1..e17, x1..x5)
 //! expt all          run everything
 //! expt fuzz         differential conformance fuzz campaign
 //!   --seeds N       campaign width (default 256)
@@ -19,6 +19,8 @@
 //!                   cross-checks re-run experiments several times)
 //! expt --jobs N     sweep-engine worker count (default: all cores)
 //! expt --seq        fully sequential (same as --jobs 1)
+//! expt --watchdog N override every drain-loop budget with N cycles and
+//!                   exit nonzero (with a message) if any drain expires
 //! expt --list       list experiments
 //! ```
 //!
@@ -43,6 +45,7 @@ fn main() -> ExitCode {
     let mut vcd_path: Option<String> = None;
     let mut metrics_path: Option<String> = None;
     let mut last: Option<usize> = None;
+    let mut watchdog: Option<u64> = None;
     let mut ids: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -102,6 +105,15 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             }
+        } else if a == "--watchdog" {
+            let v = it.next().map(|s| s.as_str()).unwrap_or("");
+            match v.parse::<u64>() {
+                Ok(n) if n >= 1 => watchdog = Some(n),
+                _ => {
+                    eprintln!("--watchdog needs a positive cycle count, got '{v}'");
+                    return ExitCode::from(2);
+                }
+            }
         } else if let Some(v) = a.strip_prefix("--jobs=") {
             match v.parse::<usize>() {
                 Ok(n) if n >= 1 => jobs = Some(n),
@@ -120,6 +132,28 @@ fn main() -> ExitCode {
     }
     bench_harness::sweep::set_jobs(if seq { 1 } else { jobs.unwrap_or(0) });
     bench_harness::sweep::set_smoke(smoke);
+    if let Some(n) = watchdog {
+        simkernel::watchdog::set_limit(n);
+    }
+    // Snapshot the expiry ledger so the exit-code decision below reports
+    // only drains that hung during *this* invocation.
+    let wd_baseline = simkernel::watchdog::expiries();
+    let watchdog_verdict = move || -> Result<(), ExitCode> {
+        let Some(limit) = watchdog else {
+            return Ok(());
+        };
+        let hung = simkernel::watchdog::expiries_since(wd_baseline);
+        if hung == 0 {
+            return Ok(());
+        }
+        eprintln!(
+            "[watchdog: {hung} drain{} failed to reach quiescence under the \
+             {limit}-cycle budget (escalation included); results above are \
+             complete but the run is marked failed]",
+            if hung == 1 { "" } else { "s" }
+        );
+        Err(ExitCode::FAILURE)
+    };
 
     if ids.iter().any(|i| i == "bench") {
         if ids.len() > 1 {
@@ -219,10 +253,12 @@ fn main() -> ExitCode {
             base.unwrap_or(bench_harness::fuzz::DEFAULT_BASE),
         );
         println!("{report}");
-        return if ok {
-            ExitCode::SUCCESS
-        } else {
-            ExitCode::FAILURE
+        if !ok {
+            return ExitCode::FAILURE;
+        }
+        return match watchdog_verdict() {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(code) => code,
         };
     }
     if seeds.is_some() || base.is_some() {
@@ -232,7 +268,7 @@ fn main() -> ExitCode {
 
     if list || ids.is_empty() {
         eprintln!(
-            "usage: expt [--quick] [--smoke] [--jobs N | --seq] <e1..e16 | x1..x5 | all>...\n       \
+            "usage: expt [--quick] [--smoke] [--jobs N | --seq] [--watchdog N] <e1..e17 | x1..x5 | all>...\n       \
              expt fuzz [--seeds N] [--base 0xHEX] [--jobs N | --seq]\n       \
              expt bench [--quick] [--gate]\n       \
              expt trace <e5|e6> [--vcd PATH] [--metrics PATH] [--last N] [--smoke]\n\nexperiments:"
@@ -322,7 +358,10 @@ fn main() -> ExitCode {
             }
         }
     }
-    ExitCode::SUCCESS
+    match watchdog_verdict() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(code) => code,
+    }
 }
 
 /// Render the machine-readable sweep report (hand-rolled JSON: the

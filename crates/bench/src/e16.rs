@@ -138,6 +138,7 @@ pub fn run_point(spec: &CampaignSpec) -> CampaignRow {
     const AUDIT_PERIOD: u64 = 200;
 
     let mut wire = vec![None; n];
+    let mut due_faults: Vec<switch_core::faultsim::Fault> = Vec::new();
     let mut step = |sw: &mut PipelinedSwitch,
                     streams: &mut [Option<(Packet, usize)>],
                     rngs: &mut [SplitMix64],
@@ -147,7 +148,8 @@ pub fn run_point(spec: &CampaignSpec) -> CampaignRow {
         let now = sw.now();
         // 1. Injection: storage/control faults to the switch hooks, wire
         //    faults to the mangler, credit losses to the armed counters.
-        for f in plan.take_due(now) {
+        plan.take_due_into(now, &mut due_faults);
+        for f in due_faults.drain(..) {
             match f.action {
                 FaultAction::BankUpset { stage, slot, mask } => {
                     if let Some(id) = sw.inject_bank_fault(stage, slot, mask) {
@@ -254,8 +256,10 @@ pub fn run_point(spec: &CampaignSpec) -> CampaignRow {
     }
     // Drain under the structured watchdog: no new traffic, faults done;
     // in-flight packets finish, credited backlogs flush (audits keep
-    // running, so lost credits cannot wedge the drain).
-    let drained = simkernel::run_until_quiescent(40_000, "campaign drain", |_| {
+    // running, so lost credits cannot wedge the drain). The CLI
+    // `--watchdog` flag overrides the default budget.
+    let drain_budget = simkernel::watchdog::limit_or(40_000);
+    let drained = simkernel::run_until_quiescent(drain_budget, "campaign drain", |_| {
         let backlog: usize = senders.iter().map(|c| c.backlog()).sum();
         if sw.is_quiescent() && streams.iter().all(Option::is_none) && backlog == 0 {
             return true;
@@ -271,6 +275,11 @@ pub fn run_point(spec: &CampaignSpec) -> CampaignRow {
         false
     })
     .is_ok();
+    if !drained {
+        // Surface the hang in the process-wide ledger so the CLI's
+        // `--watchdog` reporting can fail the run gracefully.
+        simkernel::watchdog::note_expiry();
+    }
 
     let ctr = sw.counters();
     // Effective faults and typed detections, per class (footnoted in the

@@ -31,6 +31,7 @@
 //! | [`e14`] | §5.3 | PRIZMA crossbar cost ratio |
 //! | [`e15`] | §2 figs 1–2 | architecture throughput/latency sweep |
 //! | [`e16`] | extension | fault-injection campaign: detection coverage |
+//! | [`e17`] | extension | chaos campaign: recovery ladder, MTTR, degraded throughput |
 
 #![forbid(unsafe_code)]
 
@@ -50,6 +51,7 @@ pub mod e13;
 pub mod e14;
 pub mod e15;
 pub mod e16;
+pub mod e17;
 pub mod fuzz;
 pub mod perf;
 pub mod sweep;
@@ -64,7 +66,7 @@ pub mod x05;
 /// All paper experiment ids, in order.
 pub const ALL: &[&str] = &[
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "e16", "x1", "x2", "x3", "x4", "x5",
+    "e16", "e17", "x1", "x2", "x3", "x4", "x5",
 ];
 
 /// Run one experiment by id ("e1".."e15"); `quick` shrinks run lengths.
@@ -86,6 +88,7 @@ pub fn run_experiment(id: &str, quick: bool) -> Option<String> {
         "e14" => e14::run(quick),
         "e15" => e15::run(quick),
         "e16" => e16::run(quick),
+        "e17" => e17::run(quick),
         "x1" => x01::run(quick),
         "x2" => x02::run(quick),
         "x3" => x03::run(quick),

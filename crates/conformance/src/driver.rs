@@ -20,8 +20,9 @@ use switch_core::behavioral::BehavioralSwitch;
 use switch_core::config::SwitchConfig;
 use switch_core::credit::CreditedInput;
 use switch_core::events::SwitchCounters;
-use switch_core::faultsim::{FaultAction, FaultKind, FaultPlan};
+use switch_core::faultsim::{Fault, FaultAction, FaultKind, FaultPlan};
 use switch_core::ibank::{InterleavedSwitch, InterleavedSwitchConfig};
+use switch_core::recovery::{RecoveryConfig, RecoveryReport};
 use switch_core::rtl::{OutputCollector, PipelinedSwitch};
 use switch_core::widemem::{WideMemorySwitchRtl, WideSwitchConfig};
 use telemetry::ProbeHandle;
@@ -109,6 +110,9 @@ pub struct RunOutcome {
     pub idle_head_latencies: Vec<Cycle>,
     /// Watchdog or credit-audit failure, if the run did not end cleanly.
     pub error: Option<SimError>,
+    /// Recovery ledger (corrections, failovers, declared windows); all
+    /// zeros unless the scenario armed recovery.
+    pub recovery: RecoveryReport,
 }
 
 /// Shared launch logic: turns the scenario's offers into per-cycle
@@ -299,6 +303,14 @@ impl WordSwitch {
             WordSwitch::Interleaved(sw) => sw.counters(),
         }
     }
+
+    fn recovery_report(&self) -> RecoveryReport {
+        match self {
+            WordSwitch::Pipelined(sw) => sw.recovery_report(),
+            WordSwitch::Wide(sw) => sw.recovery_report(),
+            WordSwitch::Interleaved(sw) => sw.recovery_report(),
+        }
+    }
 }
 
 /// Hard cap on simulated cycles past the scenario horizon before a run is
@@ -326,14 +338,21 @@ pub fn run_with(sc: &Scenario, org: Org, probe: Option<ProbeHandle>) -> RunOutco
 fn run_word(sc: &Scenario, org: Org, probe: Option<ProbeHandle>) -> RunOutcome {
     let n = sc.n;
     let s = sc.stages();
-    let cfg = SwitchConfig::symmetric(n, sc.slots);
+    // ECC-only recovery: corrections are timing-invisible, so the armed
+    // run must stay cycle-identical to an unarmed clean one.
+    let rec = if sc.recovery {
+        RecoveryConfig::ecc_only()
+    } else {
+        RecoveryConfig::default()
+    };
+    let cfg = SwitchConfig::symmetric(n, sc.slots).with_recovery(rec);
     let mut sw = match org {
         Org::Pipelined => WordSwitch::Pipelined(Box::new(PipelinedSwitch::new(cfg.clone()))),
-        Org::Wide => WordSwitch::Wide(Box::new(WideMemorySwitchRtl::new(WideSwitchConfig::fig3(
-            n, sc.slots,
-        )))),
+        Org::Wide => WordSwitch::Wide(Box::new(WideMemorySwitchRtl::new(
+            WideSwitchConfig::fig3(n, sc.slots).with_recovery(rec),
+        ))),
         Org::Interleaved => WordSwitch::Interleaved(Box::new(InterleavedSwitch::new(
-            InterleavedSwitchConfig::symmetric(n, sc.slots),
+            InterleavedSwitchConfig::symmetric(n, sc.slots).with_recovery(rec),
         ))),
         Org::Behavioral => unreachable!("behavioral runs via run_behavioral"),
     };
@@ -367,6 +386,7 @@ fn run_word(sc: &Scenario, org: Org, probe: Option<ProbeHandle>) -> RunOutcome {
     let cap = sc.horizon + DRAIN_CAP;
     let mut grace: Cycle = 0;
     let mut wire: Vec<Option<u64>> = vec![None; n];
+    let mut due_faults: Vec<Fault> = Vec::new();
     loop {
         let now = sw.now();
         // The buffer manager can be empty while tail words are still on
@@ -417,7 +437,8 @@ fn run_word(sc: &Scenario, org: Org, probe: Option<ProbeHandle>) -> RunOutcome {
         }
         simkernel::horizon::note_executed(1);
         if let Some(plan) = &mut plan {
-            for f in plan.take_due(now) {
+            plan.take_due_into(now, &mut due_faults);
+            for f in due_faults.drain(..) {
                 if let (FaultAction::BankUpset { stage, slot, mask }, WordSwitch::Pipelined(sw)) =
                     (f.action, &mut sw)
                 {
@@ -491,6 +512,7 @@ fn run_word(sc: &Scenario, org: Org, probe: Option<ProbeHandle>) -> RunOutcome {
         same_cycle_starts: launcher.same_cycle_starts,
         idle_head_latencies: Vec::new(),
         error,
+        recovery: sw.recovery_report(),
     }
 }
 
@@ -619,6 +641,7 @@ fn run_behavioral(sc: &Scenario, probe: Option<ProbeHandle>) -> RunOutcome {
         same_cycle_starts: launcher.same_cycle_starts,
         idle_head_latencies,
         error,
+        recovery: RecoveryReport::default(),
     }
 }
 
@@ -650,6 +673,7 @@ mod tests {
             ],
             horizon: 64,
             fault: None,
+            recovery: false,
         }
     }
 
@@ -713,6 +737,7 @@ mod tests {
             ],
             horizon: 64,
             fault: None,
+            recovery: false,
         };
         let r = run(&sc, Org::Interleaved);
         assert!(r.error.is_none(), "{:?}", r.error);

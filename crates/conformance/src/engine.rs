@@ -99,7 +99,18 @@ pub struct SeedReport {
 /// its arguments — shard it freely.
 pub fn run_seed(base: u64, index: u64) -> SeedReport {
     let scenario_seed = split_seed(base, index);
-    let scenario = Scenario::generate(scenario_seed);
+    let mut scenario = Scenario::generate(scenario_seed);
+    // Every fourth seed replays under an ECC-recovery overlay: a low-rate
+    // upset plan the armed organizations must correct back to full
+    // conformance (open-loop — an uncorrectable double-hit in credited
+    // mode would leak a credit and wedge the drain, which is the e16
+    // harness's resync territory, not the differential oracle's).
+    if index % 4 == 3 {
+        scenario = scenario
+            .with_fault(0.02, scenario_seed ^ 0x0ECC)
+            .with_recovery();
+        scenario.credited = false;
+    }
     let outcome = match check_scenario(&scenario) {
         Ok(stats) => SeedOutcome::Pass(stats),
         Err(error) => {

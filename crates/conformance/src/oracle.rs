@@ -68,9 +68,24 @@ pub fn check_runs(sc: &Scenario, runs: &[RunOutcome]) -> Result<ScenarioStats, S
     }
     let rtl = &runs[0];
     let bhv = &runs[1];
-    check_rtl_behavioral_exact(rtl, bhv)?;
-    if sc.credited {
-        check_delivered_sets_equal(runs)?;
+    // Declared recovery activity legitimately perturbs cross-organization
+    // exactness: failover windows shed packets, and an *uncorrectable*
+    // upset (a multi-bit hit beyond SEC-DED) falls back to detect-and-
+    // drop, removing a packet the clean reference delivers. Corrections
+    // alone excuse nothing — a corrections-only armed run still faces the
+    // full oracle.
+    let recovering = sc.recovery
+        && runs.iter().any(|r| {
+            r.recovery.windows.count() > 0
+                || r.counters.recovery_shed > 0
+                || r.counters.ecc_uncorrectable > 0
+                || r.counters.corrupt_drops > 0
+        });
+    if !recovering {
+        check_rtl_behavioral_exact(rtl, bhv)?;
+        if sc.credited {
+            check_delivered_sets_equal(runs)?;
+        }
     }
     check_latency(sc, bhv)?;
     let mut stats = ScenarioStats {
@@ -124,7 +139,12 @@ fn check_one(sc: &Scenario, r: &RunOutcome) -> Result<(), SimError> {
             ),
         ));
     }
-    if r.payload_failures > 0 {
+    // An armed run with uncorrectable residue may deliver a damaged
+    // packet the egress check flags (a multi-bit hit on a cut-through
+    // path, past the droppable point) — that is declared, detected
+    // degradation, not a model bug.
+    let uncorrectable_residue = sc.recovery && c.ecc_uncorrectable > 0;
+    if r.payload_failures > 0 && !uncorrectable_residue {
         return Err(div(
             &format!("{org}-payload"),
             format!(
@@ -133,12 +153,17 @@ fn check_one(sc: &Scenario, r: &RunOutcome) -> Result<(), SimError> {
             ),
         ));
     }
-    if sc.credited && (c.dropped_buffer_full > 0 || c.latch_overruns > 0) {
+    // Credited zero-loss, outside declared recovery windows: shedding at
+    // admission during a window is the one sanctioned loss (it is a
+    // sub-count of `dropped_buffer_full`, so conservation above already
+    // covered it).
+    if sc.credited && (c.dropped_buffer_full > c.recovery_shed || c.latch_overruns > 0) {
         return Err(div(
             &format!("{org}-zero-loss"),
             format!(
-                "credit backpressure active yet {} buffer-full drops, {} overruns",
-                c.dropped_buffer_full, c.latch_overruns
+                "credit backpressure active yet {} buffer-full drops ({} excused as \
+                 in-window recovery shed), {} overruns",
+                c.dropped_buffer_full, c.recovery_shed, c.latch_overruns
             ),
         ));
     }
@@ -370,5 +395,44 @@ mod tests {
             }
         }
         assert!(caught >= 7, "only {caught}/12 fault overlays detected");
+    }
+
+    #[test]
+    fn ecc_recovery_restores_conformance_under_upsets() {
+        // The same fault overlays that the previous test requires the
+        // oracle to *catch* must, with ECC recovery armed, be corrected
+        // in place — every organization back in exact agreement with the
+        // clean behavioral reference, full oracle strictness included
+        // (corrections open no recovery windows).
+        let mut corrected = 0u64;
+        let mut fully_exact = 0u64;
+        for seed in 0..12u64 {
+            let mut sc = Scenario::generate(seed)
+                .with_fault(0.3, seed ^ 0xFA17)
+                .with_recovery();
+            // Open-loop offers: a packet condemned as uncorrectable never
+            // returns its credit, and the conformance driver (unlike the
+            // e16 harness) runs no mid-flight credit resync — a credited
+            // schedule would wedge on exactly the rare double-hit this
+            // test tolerates.
+            sc.credited = false;
+            let runs: Vec<crate::driver::RunOutcome> =
+                Org::ALL.iter().map(|&o| run(&sc, o)).collect();
+            check_runs(&sc, &runs).unwrap_or_else(|e| {
+                panic!("seed {seed} diverged with recovery armed: {e}\n{sc}");
+            });
+            // A multi-bit double hit on one word is beyond SEC-DED and
+            // legitimately falls back to detect-and-drop; at this rate it
+            // must stay the rare exception, not the rule.
+            if runs[0].counters.corrupt_drops == 0 && runs[0].counters.ecc_uncorrectable == 0 {
+                fully_exact += 1;
+            }
+            corrected += runs[0].recovery.corrections;
+        }
+        assert!(corrected > 0, "the overlays never exercised the ECC path");
+        assert!(
+            fully_exact >= 9,
+            "only {fully_exact}/12 armed runs were corrected to full exactness"
+        );
     }
 }

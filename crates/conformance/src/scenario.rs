@@ -68,6 +68,11 @@ pub struct Scenario {
     pub horizon: Cycle,
     /// Optional seeded bank-upset overlay (pipelined RTL only).
     pub fault: Option<SeededFault>,
+    /// Arm ECC recovery on the word-level organizations. Corrections are
+    /// timing-invisible, so a recovery-enabled run must restore *exact*
+    /// conformance with the clean behavioral reference even under a
+    /// fault overlay — upsets are repaired instead of detect-dropped.
+    pub recovery: bool,
 }
 
 impl Scenario {
@@ -157,12 +162,20 @@ impl Scenario {
             offers,
             horizon,
             fault: None,
+            recovery: false,
         }
     }
 
     /// The same scenario with a seeded bank-upset overlay.
     pub fn with_fault(mut self, rate: f64, seed: u64) -> Scenario {
         self.fault = Some(SeededFault { rate, seed });
+        self
+    }
+
+    /// The same scenario with ECC recovery armed on the word-level
+    /// organizations.
+    pub fn with_recovery(mut self) -> Scenario {
+        self.recovery = true;
         self
     }
 
@@ -199,6 +212,9 @@ impl fmt::Display for Scenario {
                 " fault=bank-upset rate={:.4} fseed={:#x}",
                 sf.rate, sf.seed
             )?;
+        }
+        if self.recovery {
+            write!(f, " recovery=ecc")?;
         }
         for o in &self.offers {
             write!(

@@ -1,6 +1,7 @@
 //! Switch configuration and validation.
 
 use crate::arbiter::ArbiterPolicy;
+use crate::recovery::RecoveryConfig;
 
 /// Datapath-integrity machinery of the switch (the detect-and-survive
 /// hardening exercised by the fault-injection campaigns).
@@ -69,6 +70,10 @@ pub struct SwitchConfig {
     /// Datapath-integrity machinery (checksum scrub, egress payload
     /// check, hardened framing).
     pub integrity: IntegrityConfig,
+    /// Fault-recovery machinery (ECC correction, spare-bank failover,
+    /// degraded-mode admission). Disabled by default — and zero-cost on
+    /// the datapath when disabled, which the perf gate enforces.
+    pub recovery: RecoveryConfig,
 }
 
 impl SwitchConfig {
@@ -84,7 +89,14 @@ impl SwitchConfig {
             fused_cut_through: true,
             arbiter: ArbiterPolicy::ReadPriority,
             integrity: IntegrityConfig::default(),
+            recovery: RecoveryConfig::default(),
         }
+    }
+
+    /// The same configuration with the given recovery policy armed.
+    pub fn with_recovery(mut self, recovery: RecoveryConfig) -> Self {
+        self.recovery = recovery;
+        self
     }
 
     /// The Telegraphos III configuration (§4.4): 8×8, 16 stages, 256
@@ -120,6 +132,12 @@ impl SwitchConfig {
         );
         if self.fused_cut_through {
             assert!(self.cut_through, "fused cut-through requires cut-through");
+        }
+        if self.recovery.failover_threshold > 0 {
+            assert!(
+                self.recovery.ecc,
+                "failover requires ECC: corrections drive the threshold"
+            );
         }
     }
 

@@ -64,6 +64,16 @@ pub struct SwitchCounters {
     /// port forces the arbiter to resolve (reads win under the shipped
     /// policy). Conformance-fuzz coverage requires this to be exercised.
     pub rw_collisions: u64,
+    /// Single-bit bank upsets corrected in place by ECC (recovery armed).
+    pub ecc_corrected: u64,
+    /// Words found corrupted beyond single-error correction.
+    pub ecc_uncorrectable: u64,
+    /// Banks hot-swapped for a spare column after repeated ECC failures.
+    pub bank_failovers: u64,
+    /// Packets shed at admission during a recovery window (also counted
+    /// in `dropped_buffer_full`, so conservation is unchanged; this
+    /// sub-count is what the oracle excuses as declared in-window loss).
+    pub recovery_shed: u64,
 }
 
 impl SwitchCounters {
@@ -100,6 +110,7 @@ mod tests {
             corrupt_delivered: 1,
             writes_suppressed: 0,
             rw_collisions: 0,
+            ..Default::default()
         };
         // corrupt_delivered packets also count as departed; only the
         // pre-transmission drops leave the in-flight population.

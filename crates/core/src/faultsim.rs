@@ -187,9 +187,12 @@ impl FaultPlan {
         self.faults.front().map(|f| f.at)
     }
 
-    /// Pop every fault scheduled at or before `now` (call once per cycle).
-    pub fn take_due(&mut self, now: Cycle) -> Vec<Fault> {
-        let mut due = Vec::new();
+    /// Pop every fault scheduled at or before `now` into `due`
+    /// (call once per cycle). The buffer is cleared first; passing a
+    /// caller-owned scratch keeps the per-cycle fault poll off the
+    /// allocator on the hot simulation loops.
+    pub fn take_due_into(&mut self, now: Cycle, due: &mut Vec<Fault>) {
+        due.clear();
         while let Some(&f) = self.faults.front() {
             if f.at > now {
                 break;
@@ -197,6 +200,13 @@ impl FaultPlan {
             due.push(f);
             self.faults.pop_front();
         }
+    }
+
+    /// Allocating convenience wrapper over [`FaultPlan::take_due_into`]
+    /// (tests and cold paths only).
+    pub fn take_due(&mut self, now: Cycle) -> Vec<Fault> {
+        let mut due = Vec::new();
+        self.take_due_into(now, &mut due);
         due
     }
 }

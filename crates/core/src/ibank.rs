@@ -29,12 +29,16 @@
 //! accounting; this model pins the behavior.
 
 use crate::events::SwitchCounters;
+use crate::recovery::{RecoveryConfig, RecoveryReport, RecoveryWindows};
 use crate::rtl::integrity_checksum;
 use membank::interleaved::{BankId, InterleavedMemory};
+use membank::EccOutcome;
 use simkernel::cell::Packet;
 use simkernel::ids::Cycle;
 use std::collections::VecDeque;
-use telemetry::{DropReason, GaugeKind, ProbeEvent, ProbeHandle, SharedRecorder, TelemetryConfig};
+use telemetry::{
+    DropReason, GaugeKind, ProbeEvent, ProbeHandle, RecoveryTag, SharedRecorder, TelemetryConfig,
+};
 
 /// Configuration of the interleaved-bank switch.
 #[derive(Debug, Clone)]
@@ -45,6 +49,13 @@ pub struct InterleavedSwitchConfig {
     pub banks: usize,
     /// Checksum scrub at transmission start (detect-and-drop).
     pub scrub: bool,
+    /// Fault-recovery machinery. One packet per bank makes this the most
+    /// natural failover organization: a bank whose cumulative ECC
+    /// corrections cross the threshold is retired from the allocation
+    /// pool (draining its in-flight packet first) and a spare bank
+    /// promoted in its place; with the reserve dry, capacity degrades by
+    /// one bank per retirement.
+    pub recovery: RecoveryConfig,
 }
 
 impl InterleavedSwitchConfig {
@@ -55,7 +66,14 @@ impl InterleavedSwitchConfig {
             n,
             banks,
             scrub: true,
+            recovery: RecoveryConfig::default(),
         }
+    }
+
+    /// The same configuration with the given recovery policy armed.
+    pub fn with_recovery(mut self, recovery: RecoveryConfig) -> Self {
+        self.recovery = recovery;
+        self
     }
 
     /// Packet size in words (kept equal to the pipelined quantum `2n` so
@@ -112,6 +130,8 @@ pub struct InterleavedSwitch {
     /// Reusable per-cycle scratch (hot path: must not allocate).
     wire_out: Vec<Option<u64>>,
     scratch_freed: Vec<BankId>,
+    /// Declared recovery windows (failover settle periods).
+    recovery_windows: RecoveryWindows,
 }
 
 impl InterleavedSwitch {
@@ -119,8 +139,13 @@ impl InterleavedSwitch {
     pub fn new(cfg: InterleavedSwitchConfig) -> Self {
         assert!(cfg.n >= 1 && cfg.banks >= 1);
         let s = cfg.packet_words();
+        let mut mem =
+            InterleavedMemory::new_with_spares(cfg.banks, cfg.recovery.spare_banks, s, 64);
+        if cfg.recovery.ecc {
+            mem.enable_ecc();
+        }
         InterleavedSwitch {
-            mem: InterleavedMemory::new(cfg.banks, s, 64),
+            mem,
             arriving: vec![None; cfg.n],
             queues: vec![VecDeque::new(); cfg.n],
             tx: vec![None; cfg.n],
@@ -131,6 +156,7 @@ impl InterleavedSwitch {
             last_qdepth: vec![0; cfg.n],
             wire_out: vec![None; cfg.n],
             scratch_freed: Vec::with_capacity(cfg.n),
+            recovery_windows: RecoveryWindows::default(),
             cfg,
         }
     }
@@ -177,6 +203,108 @@ impl InterleavedSwitch {
             && self.queues.iter().all(VecDeque::is_empty)
     }
 
+    /// ECC-scrub every word of bank `b`; retire the bank when its
+    /// cumulative corrections cross the failover threshold.
+    fn scrub_bank(&mut self, b: BankId, c: Cycle) {
+        for k in 0..self.cfg.packet_words() {
+            match self.mem.scrub_word(b, k) {
+                EccOutcome::Clean => {}
+                EccOutcome::Corrected { bit } => {
+                    self.counters.ecc_corrected += 1;
+                    if let Some(p) = &self.probe {
+                        p.emit(
+                            c,
+                            ProbeEvent::Recovery {
+                                tag: RecoveryTag::EccCorrected,
+                                index: b.0,
+                                info: u64::from(bit),
+                            },
+                        );
+                    }
+                }
+                EccOutcome::Uncorrectable => {
+                    self.counters.ecc_uncorrectable += 1;
+                    if let Some(p) = &self.probe {
+                        p.emit(
+                            c,
+                            ProbeEvent::Recovery {
+                                tag: RecoveryTag::EccUncorrectable,
+                                index: b.0,
+                                info: k as u64,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+        if self.cfg.recovery.failover_enabled()
+            && self.mem.bank_corrections(b) >= self.cfg.recovery.failover_threshold
+        {
+            let before = self.mem.failovers();
+            let spare = self.mem.retire(b);
+            if self.mem.failovers() > before {
+                self.counters.bank_failovers += 1;
+                let settle = if self.cfg.recovery.degrade_window > 0 {
+                    self.cfg.recovery.degrade_window
+                } else {
+                    self.cfg.packet_words() as u64
+                };
+                self.recovery_windows.open(c, settle);
+                if let Some(p) = &self.probe {
+                    p.emit(
+                        c,
+                        ProbeEvent::Recovery {
+                            tag: RecoveryTag::BankFailover,
+                            index: b.0,
+                            info: self.mem.spares_remaining() as u64,
+                        },
+                    );
+                }
+                if spare.is_none() {
+                    if let Some(p) = &self.probe {
+                        p.emit(
+                            c,
+                            ProbeEvent::Recovery {
+                                tag: RecoveryTag::DegradedEnter,
+                                index: b.0,
+                                info: self.mem.banks() as u64,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// True once retirements have outrun the spare pool and bank
+    /// capacity dropped below the configured count.
+    pub fn is_degraded(&self) -> bool {
+        self.mem.banks() < self.cfg.banks
+    }
+
+    /// Spare banks still in reserve.
+    pub fn spares_remaining(&self) -> usize {
+        self.mem.spares_remaining()
+    }
+
+    /// Declared recovery windows (failover settle spans).
+    pub fn recovery_windows(&self) -> &RecoveryWindows {
+        &self.recovery_windows
+    }
+
+    /// Snapshot of the recovery ledger.
+    pub fn recovery_report(&self) -> RecoveryReport {
+        RecoveryReport {
+            corrections: self.counters.ecc_corrected,
+            uncorrectable: self.counters.ecc_uncorrectable,
+            failovers: self.counters.bank_failovers,
+            shed: self.counters.recovery_shed,
+            retries: 0,
+            retry_give_ups: 0,
+            windows: self.recovery_windows.clone(),
+        }
+    }
+
     /// Fault injection (testbench only): flip the bits of `mask` in word
     /// `k` of bank `b`. Returns `true` when the bank currently holds a
     /// fully stored, not-yet-transmitting packet — i.e. the upset can
@@ -213,6 +341,14 @@ impl InterleavedSwitch {
                 if let Some(&head) = self.queues[j].front() {
                     if head.ready <= c {
                         self.queues[j].pop_front();
+                        // ECC pass over the bank before the checksum
+                        // samples it: single-bit upsets are corrected in
+                        // place, and a bank failing repeatedly is retired
+                        // (it drains this packet first, then leaves the
+                        // pool on release).
+                        if self.cfg.recovery.ecc {
+                            self.scrub_bank(head.bank, c);
+                        }
                         let scrub_fail = self.cfg.scrub
                             && integrity_checksum((0..s).map(|k| self.mem.peek_word(head.bank, k)))
                                 != head.sum;
@@ -545,6 +681,78 @@ mod tests {
         assert!(col.take().is_empty(), "corrupted packet must not deliver");
         assert_eq!(sw.counters().corrupt_drops, 1);
         assert_eq!(sw.occupancy(), 0, "condemned bank freed");
+    }
+
+    /// Store one packet, upset its live bank, drain; returns delivered
+    /// packets and the drained switch.
+    fn run_one_with_upset(
+        cfg: InterleavedSwitchConfig,
+    ) -> (Vec<crate::rtl::DeliveredPacket>, InterleavedSwitch) {
+        let s = cfg.packet_words();
+        let n = cfg.n;
+        let total = cfg.banks + cfg.recovery.spare_banks;
+        let mut sw = InterleavedSwitch::new(cfg);
+        let mut col = OutputCollector::new(n, s);
+        let p = Packet::synth(5, 0, 1, s, 0);
+        for k in 0..s {
+            let now = sw.now();
+            let out = sw.tick(&[Some(p.words[k]), None]);
+            col.observe(now, out);
+        }
+        let live = (0..total)
+            .filter(|&b| sw.inject_bank_fault(BankId(b), 2, 1))
+            .count();
+        assert_eq!(live, 1, "one bank holds the packet");
+        simkernel::run_until_quiescent(100, "ecc drain", |_| {
+            if sw.is_quiescent() {
+                return true;
+            }
+            let now = sw.now();
+            let out = sw.tick(&[None, None]);
+            col.observe(now, out);
+            false
+        })
+        .expect("drain hung");
+        (col.take(), sw)
+    }
+
+    #[test]
+    fn ecc_corrects_bank_upset_and_delivers() {
+        // Same strike as `stored_upset_caught_by_scrub`, but with ECC
+        // armed the transmission-start scrub repairs the bit and the
+        // packet delivers intact.
+        let cfg =
+            InterleavedSwitchConfig::symmetric(2, 4).with_recovery(RecoveryConfig::ecc_only());
+        let (pkts, sw) = run_one_with_upset(cfg);
+        assert_eq!(pkts.len(), 1, "corrected packet delivers");
+        assert!(pkts[0].verify_payload());
+        assert_eq!(sw.counters().corrupt_drops, 0);
+        assert_eq!(sw.counters().ecc_corrected, 1);
+        assert!(!sw.is_degraded());
+    }
+
+    #[test]
+    fn repeated_corrections_retire_the_bank_spare_first() {
+        // Threshold 1: the first correction retires the struck bank. The
+        // retired bank drains its packet, then leaves the pool; the
+        // spare keeps capacity whole.
+        let cfg =
+            InterleavedSwitchConfig::symmetric(2, 4).with_recovery(RecoveryConfig::full(1, 1));
+        let (pkts, sw) = run_one_with_upset(cfg);
+        assert_eq!(pkts.len(), 1, "retiring bank still drains its packet");
+        assert_eq!(sw.counters().bank_failovers, 1);
+        assert_eq!(sw.spares_remaining(), 0, "spare promoted into service");
+        assert!(!sw.is_degraded(), "spare kept capacity whole");
+        assert_eq!(sw.recovery_windows().count(), 1, "one settle window");
+        assert!(sw.is_quiescent());
+
+        // No reserve: the same strike shrinks capacity by one bank.
+        let cfg =
+            InterleavedSwitchConfig::symmetric(2, 4).with_recovery(RecoveryConfig::full(0, 1));
+        let (_, sw) = run_one_with_upset(cfg);
+        assert_eq!(sw.counters().bank_failovers, 1);
+        assert!(sw.is_degraded(), "no spare: capacity shrinks");
+        assert!(sw.is_quiescent());
     }
 
     #[test]

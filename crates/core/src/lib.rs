@@ -60,6 +60,7 @@ pub mod events;
 pub mod faultsim;
 pub mod halfq;
 pub mod ibank;
+pub mod recovery;
 pub mod reference;
 pub mod rtl;
 pub mod vcroute;
@@ -76,6 +77,10 @@ pub use events::IntegrityReason;
 pub use faultsim::{Fault, FaultAction, FaultKind, FaultPlan, WireFaults};
 pub use halfq::HalfQuantumBuffer;
 pub use ibank::{InterleavedSwitch, InterleavedSwitchConfig};
+pub use recovery::{
+    RecoveryConfig, RecoveryReport, RecoveryWindows, RetryConfig, RetryReceiver, RetrySender,
+    RxVerdict,
+};
 pub use rtl::{DeliveredPacket, PipelinedSwitch};
 pub use vcroute::{RoutingTable, TranslatedSwitch};
 pub use widemem::{WideMemorySwitchRtl, WideSwitchConfig};

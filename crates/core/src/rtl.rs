@@ -39,12 +39,13 @@ use crate::arbiter::{Arbiter, Decision, ReadReq, WriteReq};
 use crate::bufmgr::{BufferManager, Descriptor};
 use crate::config::SwitchConfig;
 use crate::events::{IntegrityReason, SwitchCounters};
-use membank::bank::{PortKind, SramBank};
+use crate::recovery::{RecoveryReport, RecoveryWindows};
+use membank::bank::{EccOutcome, PortKind, SramBank};
 use simkernel::cell::Packet;
 use simkernel::ids::{Addr, Cycle, PortId};
 use telemetry::{
-    ArbOutcome, DropReason, FaultTag, GaugeKind, ProbeEvent, ProbeHandle, SharedRecorder,
-    TelemetryConfig, WaveDir,
+    ArbOutcome, DropReason, FaultTag, GaugeKind, ProbeEvent, ProbeHandle, RecoveryTag,
+    SharedRecorder, TelemetryConfig, WaveDir,
 };
 
 /// Map an integrity verdict onto the probe stream's drop vocabulary.
@@ -178,6 +179,25 @@ pub struct PipelinedSwitch {
     /// Injected stuck-stage-control fault: `(stage, until_cycle)` — bank
     /// writes at that stage are suppressed through `until_cycle`.
     stuck_write: Option<(usize, Cycle)>,
+    /// Spare bank columns held in reserve for hot failover.
+    spares: Vec<SramBank>,
+    /// Declared recovery outages (failover settle spans, degraded-mode
+    /// shedding); loss inside a window is excused by the oracle.
+    recovery_windows: RecoveryWindows,
+    /// Any recovery machinery armed (one precomputed flag so the
+    /// disabled path pays a single predictable branch per header).
+    recovery_on: bool,
+    /// Spares exhausted and a bank over threshold: admission permanently
+    /// capped at `admission_cap`.
+    degraded: bool,
+    /// Occupancy ceiling for new admissions (normally `slots`).
+    admission_cap: usize,
+    /// Cycles of admission pause charged per failover (settle time).
+    degrade_len: u64,
+    /// Stage whose bank crossed the correction threshold mid-wave; the
+    /// failover runs after the stage walk (the wave borrow forbids it
+    /// inline).
+    pending_failover: Option<usize>,
     mgr: BufferManager,
     arb: Arbiter,
     /// Active waves as a ring indexed by `start % stages`. A wave lives
@@ -225,9 +245,17 @@ impl PipelinedSwitch {
         // physical width used for capacity/throughput accounting (and by
         // `vlsimodel`), not a functional truncation — truncating payloads
         // would only obscure data-integrity checks.
-        let banks = (0..stages)
+        let mut banks: Vec<SramBank> = (0..stages)
             .map(|_| SramBank::new(cfg.slots, 64, PortKind::SinglePort))
             .collect();
+        let mut spares: Vec<SramBank> = (0..cfg.recovery.spare_banks)
+            .map(|_| SramBank::new(cfg.slots, 64, PortKind::SinglePort))
+            .collect();
+        if cfg.recovery.ecc {
+            for b in banks.iter_mut().chain(spares.iter_mut()) {
+                b.enable_ecc();
+            }
+        }
         PipelinedSwitch {
             stages,
             banks,
@@ -239,6 +267,19 @@ impl PipelinedSwitch {
             out_next_init: vec![0; cfg.n_out],
             out_verify: vec![OutVerify::default(); cfg.n_out],
             stuck_write: None,
+            spares,
+            recovery_windows: RecoveryWindows::new(),
+            recovery_on: cfg.recovery.enabled(),
+            degraded: false,
+            admission_cap: cfg.slots,
+            pending_failover: None,
+            degrade_len: if cfg.recovery.degrade_window == 0 {
+                // Natural settle time of one failover: the spare copies
+                // one slot per cycle — a full column sweep.
+                cfg.slots as u64
+            } else {
+                cfg.recovery.degrade_window
+            },
             mgr: BufferManager::new(cfg.slots, cfg.n_out),
             arb: Arbiter::new(cfg.arbiter),
             waves: vec![None; stages],
@@ -354,6 +395,131 @@ impl PipelinedSwitch {
         integrity_checksum(self.banks.iter().map(|b| b.peek(addr)))
     }
 
+    /// ECC scrub of a fully written slot, stage by stage, correcting
+    /// single-bit upsets in place before the checksum verdict is taken.
+    /// Rides the sense amplifiers of the scheduled access — no port cost.
+    /// Banks that accumulate corrections past the failover threshold are
+    /// hot-swapped for a spare.
+    fn scrub_slot(&mut self, addr: Addr, c: Cycle) {
+        for k in 0..self.stages {
+            match self.banks[k].scrub(addr) {
+                EccOutcome::Clean => continue,
+                EccOutcome::Corrected { bit } => {
+                    self.counters.ecc_corrected += 1;
+                    if let Some(p) = &self.probe {
+                        p.emit(
+                            c,
+                            ProbeEvent::Recovery {
+                                tag: RecoveryTag::EccCorrected,
+                                index: k,
+                                info: u64::from(bit),
+                            },
+                        );
+                    }
+                    if self.cfg.recovery.failover_threshold > 0
+                        && self.banks[k].ecc_corrections() >= self.cfg.recovery.failover_threshold
+                    {
+                        self.fail_over(k, c);
+                    }
+                }
+                EccOutcome::Uncorrectable => {
+                    self.counters.ecc_uncorrectable += 1;
+                    if let Some(p) = &self.probe {
+                        p.emit(
+                            c,
+                            ProbeEvent::Recovery {
+                                tag: RecoveryTag::EccUncorrectable,
+                                index: k,
+                                info: addr.index() as u64,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Mask out the failing bank at `stage`: promote a spare column in
+    /// its place (contents copied, check codes recomputed) and declare a
+    /// `degrade_len`-cycle settle window during which admission pauses.
+    /// With the reserve exhausted, the switch instead enters *permanent*
+    /// degraded mode: admission capacity is halved, trading throughput
+    /// for continued conservation and per-flow FIFO.
+    fn fail_over(&mut self, stage: usize, c: Cycle) {
+        match self.spares.pop() {
+            Some(mut spare) => {
+                spare.copy_contents_from(&self.banks[stage]);
+                self.banks[stage] = spare;
+                self.counters.bank_failovers += 1;
+                self.recovery_windows.open(c, self.degrade_len);
+                if let Some(p) = &self.probe {
+                    p.emit(
+                        c,
+                        ProbeEvent::Recovery {
+                            tag: RecoveryTag::BankFailover,
+                            index: stage,
+                            info: self.spares.len() as u64,
+                        },
+                    );
+                    p.emit(
+                        c,
+                        ProbeEvent::Recovery {
+                            tag: RecoveryTag::DegradedEnter,
+                            index: stage,
+                            info: self.degrade_len,
+                        },
+                    );
+                }
+            }
+            None => {
+                if !self.degraded {
+                    self.degraded = true;
+                    self.admission_cap = (self.cfg.slots / 2).max(1);
+                    if let Some(p) = &self.probe {
+                        p.emit(
+                            c,
+                            ProbeEvent::Recovery {
+                                tag: RecoveryTag::DegradedEnter,
+                                index: stage,
+                                info: self.admission_cap as u64,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Is the switch in permanent degraded mode (spares exhausted,
+    /// admission capped)?
+    pub fn is_degraded(&self) -> bool {
+        self.degraded
+    }
+
+    /// Spare bank columns still in reserve.
+    pub fn spares_remaining(&self) -> usize {
+        self.spares.len()
+    }
+
+    /// The declared-outage ledger accumulated so far.
+    pub fn recovery_windows(&self) -> &RecoveryWindows {
+        &self.recovery_windows
+    }
+
+    /// Aggregate recovery outcome (corrections, failovers, shed packets,
+    /// windows) for campaign reporting and the conformance oracle.
+    pub fn recovery_report(&self) -> RecoveryReport {
+        RecoveryReport {
+            corrections: self.counters.ecc_corrected,
+            uncorrectable: self.counters.ecc_uncorrectable,
+            failovers: self.counters.bank_failovers,
+            shed: self.counters.recovery_shed,
+            retries: 0,
+            retry_give_ups: 0,
+            windows: self.recovery_windows.clone(),
+        }
+    }
+
     /// True if the switch holds no packets and no waves are in flight
     /// (safe to stop feeding idle cycles).
     pub fn is_quiescent(&self) -> bool {
@@ -416,9 +582,51 @@ impl PipelinedSwitch {
             let v = match bus_value {
                 // Fused: the output register samples the write bus.
                 Some(v) => v,
-                None => bank
-                    .read(w.addr)
-                    .expect("wave stagger guarantees bank availability"),
+                None => {
+                    // ECC at the moment of access: a cut-through read
+                    // reaches banks the initiation-time scrub could not
+                    // (the slot was not fully written yet), so the word
+                    // is repaired right before it is sampled.
+                    if self.cfg.recovery.ecc {
+                        match bank.scrub(w.addr) {
+                            EccOutcome::Clean => {}
+                            EccOutcome::Corrected { bit } => {
+                                self.counters.ecc_corrected += 1;
+                                if let Some(p) = &self.probe {
+                                    p.emit(
+                                        c,
+                                        ProbeEvent::Recovery {
+                                            tag: RecoveryTag::EccCorrected,
+                                            index: k,
+                                            info: u64::from(bit),
+                                        },
+                                    );
+                                }
+                                if self.cfg.recovery.failover_enabled()
+                                    && bank.ecc_corrections()
+                                        >= self.cfg.recovery.failover_threshold
+                                {
+                                    self.pending_failover = Some(k);
+                                }
+                            }
+                            EccOutcome::Uncorrectable => {
+                                self.counters.ecc_uncorrectable += 1;
+                                if let Some(p) = &self.probe {
+                                    p.emit(
+                                        c,
+                                        ProbeEvent::Recovery {
+                                            tag: RecoveryTag::EccUncorrectable,
+                                            index: k,
+                                            info: w.addr.index() as u64,
+                                        },
+                                    );
+                                }
+                            }
+                        }
+                    }
+                    bank.read(w.addr)
+                        .expect("wave stagger guarantees bank availability")
+                }
             };
             debug_assert!(
                 self.outreg_next[k].is_none(),
@@ -613,7 +821,22 @@ impl PipelinedSwitch {
                             }
                             st.expected_id = self.cfg.integrity.payload_check.then_some(id);
                             st.cur_id = id;
-                            match self.mgr.alloc(desc) {
+                            // Degraded-mode admission: inside a failover
+                            // settle window (or permanently, with spares
+                            // exhausted and occupancy at the reduced cap)
+                            // new packets are shed at the door instead of
+                            // risking the settling spare — conservation
+                            // and FIFO hold, throughput drops.
+                            let shed = self.recovery_on
+                                && (self.recovery_windows.active(c)
+                                    || (self.degraded
+                                        && self.mgr.occupancy() >= self.admission_cap));
+                            if shed && !self.recovery_windows.active(c) {
+                                // Permanent-degraded shedding declares
+                                // its own (mergeable) outage span.
+                                self.recovery_windows.open(c, 0);
+                            }
+                            match if shed { None } else { self.mgr.alloc(desc) } {
                                 Some(addr) => {
                                     st.addr = Some(addr);
                                     st.pending.push_back(PendingWrite {
@@ -624,6 +847,9 @@ impl PipelinedSwitch {
                                 }
                                 None => {
                                     self.counters.dropped_buffer_full += 1;
+                                    if shed {
+                                        self.counters.recovery_shed += 1;
+                                    }
                                     if let Some(p) = &self.probe {
                                         p.emit(
                                             c,
@@ -815,12 +1041,19 @@ impl PipelinedSwitch {
         match decision {
             Decision::Read(j) => {
                 let (addr, d, freed) = self.mgr.pop_and_free(j);
+                let fully_written = d.write_start.is_some_and(|ws| c >= ws + s as Cycle);
+                // With ECC armed, correct single-bit upsets in place
+                // *before* the checksum verdict: a corrected slot passes
+                // the scrub and is delivered instead of dropped.
+                if self.cfg.recovery.ecc && fully_written {
+                    self.scrub_slot(addr, c);
+                }
                 // Integrity scrub at read initiation (the ECC check a real
                 // bank performs): only a fully written slot can be
                 // verified — cut-through reads start mid-write and rely on
                 // the egress check instead.
                 let scrub_fail = self.cfg.integrity.checksum
-                    && d.write_start.is_some_and(|ws| c >= ws + s as Cycle)
+                    && fully_written
                     && d.checksum
                         .is_some_and(|sum| self.banks_checksum(addr) != sum);
                 if d.poisoned.is_some() || scrub_fail {
@@ -1040,6 +1273,13 @@ impl PipelinedSwitch {
                     }
                 }
             }
+        }
+
+        // A bank crossed its correction threshold during the stage walk:
+        // hot-swap it now, before the clock edge (the spare copies the
+        // bank's contents, so in-flight slots survive the swap).
+        if let Some(k) = self.pending_failover.take() {
+            self.fail_over(k, c);
         }
 
         // ------------------------------------------------------------------
@@ -1595,6 +1835,119 @@ mod tests {
         }
         assert!(col.take().is_empty(), "scrub dropped the packet");
         assert_eq!(sw.counters().corrupt_drops, 1);
+        assert!(sw.is_quiescent());
+    }
+
+    #[test]
+    fn ecc_corrects_bank_upset_and_delivers_the_packet() {
+        // Same strike as bank_upset_caught_by_scrub…, but with recovery
+        // armed: the single-bit upset is corrected in place and the
+        // packet departs intact instead of being condemned.
+        let mut cfg = SwitchConfig::symmetric(2, 8);
+        cfg.cut_through = false;
+        cfg.fused_cut_through = false;
+        cfg.recovery = crate::recovery::RecoveryConfig::ecc_only();
+        let mut sw = PipelinedSwitch::new(cfg);
+        let s = 4;
+        let p = Packet::synth(7, 0, 1, s, 0);
+        for k in 0..s {
+            sw.tick(&[Some(p.words[k]), None]);
+        }
+        let mut hit = None;
+        for a in 0..8 {
+            if let Some(id) = sw.inject_bank_fault(2, Addr(a), 1) {
+                hit = Some(id);
+            }
+        }
+        assert_eq!(hit, Some(7));
+        let mut col = OutputCollector::new(2, s);
+        for _ in 0..8 * s {
+            let c = sw.now();
+            let out = sw.tick(&[None, None]);
+            col.observe(c, out);
+        }
+        let pkts = col.take();
+        assert_eq!(pkts.len(), 1, "corrected, not dropped");
+        assert!(pkts[0].verify_payload());
+        let ctr = sw.counters();
+        assert_eq!(ctr.ecc_corrected, 1);
+        assert_eq!(ctr.corrupt_drops, 0);
+        assert_eq!(ctr.departed, 1);
+        assert!(sw.is_quiescent());
+    }
+
+    #[test]
+    fn repeated_upsets_trigger_spare_failover_then_degraded_mode() {
+        let mut cfg = SwitchConfig::symmetric(2, 2);
+        cfg.cut_through = false;
+        cfg.fused_cut_through = false;
+        cfg.recovery = crate::recovery::RecoveryConfig::full(1, 2);
+        cfg.recovery.degrade_window = 3;
+        let mut sw = PipelinedSwitch::new(cfg);
+        let s = 4;
+        assert_eq!(sw.spares_remaining(), 1);
+        // Strike stage 2 once per buffered packet; every read scrubs and
+        // corrects, and the second correction crosses the threshold.
+        for round in 0..4u64 {
+            let p = Packet::synth(round, 0, 1, s, 0);
+            for k in 0..s {
+                sw.tick(&[Some(p.words[k]), None]);
+            }
+            for a in 0..2 {
+                sw.inject_bank_fault(2, Addr(a), 1);
+            }
+            for _ in 0..8 * s {
+                sw.tick(&[None, None]);
+            }
+        }
+        let ctr = sw.counters();
+        assert_eq!(ctr.bank_failovers, 1, "spare consumed at the threshold");
+        assert_eq!(sw.spares_remaining(), 0);
+        assert!(
+            sw.is_degraded(),
+            "second threshold crossing with no spare left degrades"
+        );
+        assert!(sw.recovery_windows().count() >= 1);
+        // Every corrected packet still departed; conservation holds.
+        assert_eq!(ctr.in_flight(), 0);
+        assert!(sw.is_quiescent());
+    }
+
+    #[test]
+    fn admission_pauses_inside_a_failover_window() {
+        let mut cfg = SwitchConfig::symmetric(2, 8);
+        cfg.cut_through = false;
+        cfg.fused_cut_through = false;
+        cfg.recovery = crate::recovery::RecoveryConfig::full(1, 1);
+        cfg.recovery.degrade_window = 200;
+        let mut sw = PipelinedSwitch::new(cfg);
+        let s = 4;
+        // Buffer a packet, upset it: its read crosses the threshold
+        // immediately (threshold 1) and opens a 200-cycle window.
+        let p = Packet::synth(1, 0, 1, s, 0);
+        for k in 0..s {
+            sw.tick(&[Some(p.words[k]), None]);
+        }
+        for a in 0..8 {
+            sw.inject_bank_fault(2, Addr(a), 1);
+        }
+        for _ in 0..8 * s {
+            sw.tick(&[None, None]);
+        }
+        assert_eq!(sw.counters().bank_failovers, 1);
+        assert!(sw.recovery_windows().active(sw.now()));
+        // A packet offered during the settle window is shed at the door.
+        let q = Packet::synth(2, 0, 1, s, 0);
+        for k in 0..s {
+            sw.tick(&[Some(q.words[k]), None]);
+        }
+        for _ in 0..8 * s {
+            sw.tick(&[None, None]);
+        }
+        let ctr = sw.counters();
+        assert_eq!(ctr.recovery_shed, 1);
+        assert_eq!(ctr.dropped_buffer_full, 1, "shed counts as buffer-full");
+        assert_eq!(ctr.in_flight(), 0, "conservation through the shed");
         assert!(sw.is_quiescent());
     }
 

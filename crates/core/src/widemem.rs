@@ -28,12 +28,15 @@
 //! `vlsimodel` prices the silicon (§5.2).
 
 use crate::events::SwitchCounters;
+use crate::recovery::{RecoveryConfig, RecoveryReport, RecoveryWindows};
 use crate::rtl::integrity_checksum;
 use membank::wide::WideMemory;
 use simkernel::cell::Packet;
 use simkernel::ids::{Addr, Cycle};
 use std::collections::VecDeque;
-use telemetry::{DropReason, GaugeKind, ProbeEvent, ProbeHandle, SharedRecorder, TelemetryConfig};
+use telemetry::{
+    DropReason, GaugeKind, ProbeEvent, ProbeHandle, RecoveryTag, SharedRecorder, TelemetryConfig,
+};
 
 /// Configuration of the wide-memory switch.
 #[derive(Debug, Clone)]
@@ -46,6 +49,12 @@ pub struct WideSwitchConfig {
     pub double_buffering: bool,
     /// The extra bypass crossbar for cut-through.
     pub cut_through_crossbar: bool,
+    /// Fault-recovery machinery. In the wide organization the "bank" the
+    /// ECC protects is a memory *row* (one packet per row), so failover
+    /// retires rows: a row whose cumulative corrections cross the
+    /// threshold is masked out of the free list and a spare row promoted
+    /// in its place. With the spare pool exhausted, capacity degrades.
+    pub recovery: RecoveryConfig,
 }
 
 impl WideSwitchConfig {
@@ -56,7 +65,14 @@ impl WideSwitchConfig {
             slots,
             double_buffering: true,
             cut_through_crossbar: true,
+            recovery: RecoveryConfig::default(),
         }
+    }
+
+    /// The same configuration with the given recovery policy armed.
+    pub fn with_recovery(mut self, recovery: RecoveryConfig) -> Self {
+        self.recovery = recovery;
+        self
     }
 
     /// Packet size in words (kept equal to the pipelined quantum `2n` so
@@ -128,6 +144,17 @@ pub struct WideMemorySwitchRtl {
     /// occupied when the next packet finished assembling (the failure
     /// mode double buffering exists to prevent).
     pub staging_overruns: u64,
+    /// Spare memory rows held back for hot failover (recovery armed).
+    spare_pool: Vec<Addr>,
+    /// Cumulative ECC corrections charged to each memory row.
+    row_corrections: Vec<u64>,
+    /// Rows currently in circulation (free + occupied); drops below
+    /// `cfg.slots` once retirements outrun the spare pool.
+    capacity: usize,
+    /// Declared recovery windows (failover settle periods) — in-window
+    /// loss is excused by the conformance oracle, and the window lengths
+    /// are the MTTR numerator of the chaos campaign.
+    recovery_windows: RecoveryWindows,
 }
 
 impl WideMemorySwitchRtl {
@@ -135,8 +162,14 @@ impl WideMemorySwitchRtl {
     pub fn new(cfg: WideSwitchConfig) -> Self {
         assert!(cfg.n >= 1 && cfg.slots >= 1);
         let s = cfg.packet_words();
+        let spares = cfg.recovery.spare_banks;
+        let depth = cfg.slots + spares;
+        let mut mem = WideMemory::new(depth, s, 64);
+        if cfg.recovery.ecc {
+            mem.enable_ecc();
+        }
         WideMemorySwitchRtl {
-            mem: WideMemory::new(cfg.slots, s, 64),
+            mem,
             free: (0..cfg.slots).rev().map(Addr).collect(),
             queues: vec![VecDeque::new(); cfg.n],
             assembly: vec![Assembly { words: vec![0; s] }; cfg.n],
@@ -157,6 +190,10 @@ impl WideMemorySwitchRtl {
             last_occ: 0,
             wire_out: vec![None; cfg.n],
             staging_overruns: 0,
+            spare_pool: (cfg.slots..depth).rev().map(Addr).collect(),
+            row_corrections: vec![0; depth],
+            capacity: cfg.slots,
+            recovery_windows: RecoveryWindows::default(),
             cfg,
         }
     }
@@ -202,9 +239,114 @@ impl WideMemorySwitchRtl {
             .any(|q| q.iter().any(|&(a, ..)| a == addr))
     }
 
+    /// ECC-scrub every code word of row `addr`, charging corrections to
+    /// the row. Returns `true` when the row's cumulative corrections
+    /// crossed the failover threshold and it must be retired after the
+    /// pending fetch.
+    fn scrub_row(&mut self, addr: Addr, c: Cycle) -> bool {
+        let (fixed, dead) = self.mem.scrub_packet(addr);
+        if fixed > 0 {
+            self.counters.ecc_corrected += u64::from(fixed);
+            self.row_corrections[addr.index()] += u64::from(fixed);
+            if let Some(p) = &self.probe {
+                p.emit(
+                    c,
+                    ProbeEvent::Recovery {
+                        tag: RecoveryTag::EccCorrected,
+                        index: addr.index(),
+                        info: u64::from(fixed),
+                    },
+                );
+            }
+        }
+        if dead > 0 {
+            self.counters.ecc_uncorrectable += u64::from(dead);
+            if let Some(p) = &self.probe {
+                p.emit(
+                    c,
+                    ProbeEvent::Recovery {
+                        tag: RecoveryTag::EccUncorrectable,
+                        index: addr.index(),
+                        info: u64::from(dead),
+                    },
+                );
+            }
+        }
+        self.cfg.recovery.failover_enabled()
+            && self.row_corrections[addr.index()] >= self.cfg.recovery.failover_threshold
+    }
+
+    /// Mask row `addr` out of circulation and promote a spare in its
+    /// place (hot failover). With the spare pool dry the buffer shrinks —
+    /// degraded mode: same semantics, less capacity.
+    fn retire_row(&mut self, addr: Addr, c: Cycle) {
+        self.counters.bank_failovers += 1;
+        let settle = if self.cfg.recovery.degrade_window > 0 {
+            self.cfg.recovery.degrade_window
+        } else {
+            self.cfg.packet_words() as u64
+        };
+        self.recovery_windows.open(c, settle);
+        if let Some(p) = &self.probe {
+            p.emit(
+                c,
+                ProbeEvent::Recovery {
+                    tag: RecoveryTag::BankFailover,
+                    index: addr.index(),
+                    info: self.spare_pool.len() as u64,
+                },
+            );
+        }
+        match self.spare_pool.pop() {
+            Some(spare) => self.free.push(spare),
+            None => {
+                self.capacity -= 1;
+                if let Some(p) = &self.probe {
+                    p.emit(
+                        c,
+                        ProbeEvent::Recovery {
+                            tag: RecoveryTag::DegradedEnter,
+                            index: addr.index(),
+                            info: self.capacity as u64,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    /// True once retirements have outrun the spare pool and buffer
+    /// capacity dropped below the configured slot count.
+    pub fn is_degraded(&self) -> bool {
+        self.capacity < self.cfg.slots
+    }
+
+    /// Spare rows still available for hot failover.
+    pub fn spares_remaining(&self) -> usize {
+        self.spare_pool.len()
+    }
+
+    /// Declared recovery windows (failover settle spans).
+    pub fn recovery_windows(&self) -> &RecoveryWindows {
+        &self.recovery_windows
+    }
+
+    /// Snapshot of the recovery ledger.
+    pub fn recovery_report(&self) -> RecoveryReport {
+        RecoveryReport {
+            corrections: self.counters.ecc_corrected,
+            uncorrectable: self.counters.ecc_uncorrectable,
+            failovers: self.counters.bank_failovers,
+            shed: self.counters.recovery_shed,
+            retries: 0,
+            retry_give_ups: 0,
+            windows: self.recovery_windows.clone(),
+        }
+    }
+
     /// True when nothing is buffered or in flight.
     pub fn is_quiescent(&self) -> bool {
-        self.free.len() == self.cfg.slots
+        self.free.len() == self.capacity
             && self.staging.iter().all(Option::is_none)
             && self.asm_fill.iter().all(|&k| k == 0)
             && self
@@ -360,8 +502,20 @@ impl WideMemorySwitchRtl {
             }
             if let Some(&(addr, id, birth, sum)) = self.queues[j].front() {
                 self.queues[j].pop_front();
+                // ECC pass over the row before the fetch samples it: a
+                // single-bit upset per code word is corrected in place, so
+                // the checksum scrub below sees clean data.
+                let retire = if self.cfg.recovery.ecc {
+                    self.scrub_row(addr, c)
+                } else {
+                    false
+                };
                 let words = self.mem.read_packet(addr).expect("one op per cycle");
-                self.free.push(addr);
+                if retire {
+                    self.retire_row(addr, c);
+                } else {
+                    self.free.push(addr);
+                }
                 if let Some(p) = &self.probe {
                     p.emit(
                         c,
@@ -824,6 +978,81 @@ mod tests {
         .expect("drain hung");
         assert!(col.take().is_empty(), "corrupted packet must not deliver");
         assert_eq!(sw.counters().corrupt_drops, 1);
+    }
+
+    /// Drive one packet through a store-and-forward switch, upsetting the
+    /// live memory row once it is written; returns delivered packets and
+    /// the drained switch.
+    fn run_one_with_upset(
+        cfg: WideSwitchConfig,
+    ) -> (Vec<crate::rtl::DeliveredPacket>, WideMemorySwitchRtl) {
+        let s = cfg.packet_words();
+        let n = cfg.n;
+        let mut sw = WideMemorySwitchRtl::new(cfg);
+        let p = Packet::synth(5, 0, 1, s, 0);
+        let mut col = OutputCollector::new(n, s);
+        for k in 0..s {
+            let now = sw.now();
+            let out = sw.tick(&[Some(p.words[k]), None]);
+            col.observe(now, out);
+        }
+        let now = sw.now();
+        let out = sw.tick(&[None, None]);
+        col.observe(now, out);
+        let live = (0..sw.capacity)
+            .filter(|&a| sw.inject_memory_fault(Addr(a), 2, 1))
+            .count();
+        assert_eq!(live, 1, "one row holds the packet");
+        simkernel::run_until_quiescent(200, "ecc drain", |_| {
+            if sw.is_quiescent() {
+                return true;
+            }
+            let now = sw.now();
+            let out = sw.tick(&[None, None]);
+            col.observe(now, out);
+            false
+        })
+        .expect("drain hung");
+        (col.take(), sw)
+    }
+
+    #[test]
+    fn ecc_corrects_row_upset_and_delivers() {
+        // Same strike as `memory_upset_caught_by_fetch_scrub`, but with
+        // ECC armed the fetch-time scrub repairs the bit and the packet
+        // delivers intact instead of being condemned.
+        let mut cfg = WideSwitchConfig::fig3(2, 8).with_recovery(RecoveryConfig::ecc_only());
+        cfg.cut_through_crossbar = false;
+        let (pkts, sw) = run_one_with_upset(cfg);
+        assert_eq!(pkts.len(), 1, "corrected packet delivers");
+        assert!(pkts[0].verify_payload());
+        assert_eq!(sw.counters().corrupt_drops, 0);
+        assert_eq!(sw.counters().ecc_corrected, 1);
+        assert_eq!(sw.counters().ecc_uncorrectable, 0);
+        assert!(!sw.is_degraded());
+    }
+
+    #[test]
+    fn repeated_corrections_retire_the_row_spare_first() {
+        // Threshold 1: the first correction retires the struck row. With
+        // one spare the capacity survives; a second strike (on the
+        // promoted spare) exhausts the pool and capacity degrades.
+        let mut cfg = WideSwitchConfig::fig3(2, 8).with_recovery(RecoveryConfig::full(1, 1));
+        cfg.cut_through_crossbar = false;
+        let (pkts, sw) = run_one_with_upset(cfg);
+        assert_eq!(pkts.len(), 1);
+        assert_eq!(sw.counters().bank_failovers, 1);
+        assert_eq!(sw.spares_remaining(), 0, "spare promoted into service");
+        assert!(!sw.is_degraded(), "spare kept capacity whole");
+        assert_eq!(sw.recovery_windows().count(), 1, "one settle window");
+        assert!(sw.is_quiescent(), "retired row leaves the free list whole");
+
+        let mut cfg = WideSwitchConfig::fig3(2, 8).with_recovery(RecoveryConfig::full(0, 1));
+        cfg.cut_through_crossbar = false;
+        let (_, sw) = run_one_with_upset(cfg);
+        assert_eq!(sw.counters().bank_failovers, 1);
+        assert!(sw.is_degraded(), "no spare: capacity shrinks");
+        assert!(sw.is_quiescent());
     }
 
     #[test]

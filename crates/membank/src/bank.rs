@@ -36,6 +36,72 @@ impl fmt::Display for PortViolation {
 
 impl std::error::Error for PortViolation {}
 
+/// Result of an ECC scrub of one stored word (see [`SramBank::scrub`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EccOutcome {
+    /// Stored word matched its check code.
+    Clean,
+    /// A single-bit upset was corrected in place.
+    Corrected {
+        /// Which data bit was flipped back.
+        bit: u32,
+    },
+    /// The word fails its code in a way single-error correction cannot
+    /// repair (an even number of flipped bits, or an impossible syndrome).
+    Uncorrectable,
+}
+
+/// Per-array ECC state: one SEC-DED check code per word plus correction
+/// counters. Allocated only when [`SramBank::enable_ecc`] is called, so a
+/// plain bank pays nothing (the recovery subsystem's zero-cost-when-
+/// disabled doctrine).
+#[derive(Debug, Clone)]
+struct EccState {
+    /// Check code per word: bits 0..=6 the Hamming syndrome, bit 7 the
+    /// overall data parity (the SEC-DED double-error detector).
+    code: Vec<u8>,
+    corrections: u64,
+    uncorrectable: u64,
+}
+
+/// The Hamming syndrome of a data word: XOR of the check columns of its
+/// set bits. Column for data bit `i` is `i + 1` (distinct and non-zero
+/// for all 64 positions, so any single flip yields a unique syndrome).
+pub(crate) fn ecc_syndrome(word: u64) -> u8 {
+    let mut s = 0u8;
+    let mut w = word;
+    while w != 0 {
+        let i = w.trailing_zeros();
+        s ^= (i as u8) + 1;
+        w &= w - 1;
+    }
+    s & 0x7F
+}
+
+/// Full SEC-DED check code: syndrome in the low 7 bits, overall parity in
+/// bit 7.
+pub(crate) fn ecc_code(word: u64) -> u8 {
+    ecc_syndrome(word) | (((word.count_ones() & 1) as u8) << 7)
+}
+
+/// Scrub one `(word, stored_code)` pair outside an [`SramBank`] (the wide
+/// organization keeps packet data in flat rows rather than bank words).
+/// Returns the outcome and the possibly-corrected word.
+pub(crate) fn scrub_word(word: u64, stored: u8) -> (EccOutcome, u64) {
+    let fresh = ecc_code(word);
+    if fresh == stored {
+        return (EccOutcome::Clean, word);
+    }
+    let syndrome = (fresh ^ stored) & 0x7F;
+    let parity_flip = (fresh ^ stored) & 0x80 != 0;
+    if parity_flip && (1..=64).contains(&syndrome) {
+        let bit = u32::from(syndrome) - 1;
+        (EccOutcome::Corrected { bit }, word ^ (1u64 << bit))
+    } else {
+        (EccOutcome::Uncorrectable, word)
+    }
+}
+
 /// One SRAM array of `depth` words of `width_bits` bits each.
 ///
 /// Callers must advance the bank's notion of time with
@@ -51,6 +117,7 @@ pub struct SramBank {
     writes_this_cycle: u32,
     total_reads: u64,
     total_writes: u64,
+    ecc: Option<Box<EccState>>,
 }
 
 impl SramBank {
@@ -70,6 +137,70 @@ impl SramBank {
             writes_this_cycle: 0,
             total_reads: 0,
             total_writes: 0,
+            ecc: None,
+        }
+    }
+
+    /// Attach SEC-DED check codes to every word. The code array rides on
+    /// the array's sense amplifiers: it is read and updated as part of the
+    /// scheduled access, never as a second port operation. Idempotent.
+    pub fn enable_ecc(&mut self) {
+        if self.ecc.is_none() {
+            self.ecc = Some(Box::new(EccState {
+                code: self.data.iter().map(|&w| ecc_code(w)).collect(),
+                corrections: 0,
+                uncorrectable: 0,
+            }));
+        }
+    }
+
+    /// Is the array ECC-protected?
+    pub fn ecc_enabled(&self) -> bool {
+        self.ecc.is_some()
+    }
+
+    /// Single-bit upsets corrected in place so far.
+    pub fn ecc_corrections(&self) -> u64 {
+        self.ecc.as_ref().map_or(0, |e| e.corrections)
+    }
+
+    /// Words found corrupted beyond single-error correction.
+    pub fn ecc_uncorrectable(&self) -> u64 {
+        self.ecc.as_ref().map_or(0, |e| e.uncorrectable)
+    }
+
+    /// Check the word at `addr` against its SEC-DED code, correcting a
+    /// single flipped bit in place. Models the transparent correction
+    /// logic on the array's read path, so it does not consume the port
+    /// budget. No-op ([`EccOutcome::Clean`]) on a bank without ECC.
+    pub fn scrub(&mut self, addr: Addr) -> EccOutcome {
+        let Some(ecc) = &mut self.ecc else {
+            return EccOutcome::Clean;
+        };
+        let word = self.data[addr.index()];
+        let stored = ecc.code[addr.index()];
+        let (outcome, fixed) = scrub_word(word, stored);
+        match outcome {
+            EccOutcome::Clean => {}
+            EccOutcome::Corrected { .. } => {
+                self.data[addr.index()] = fixed;
+                ecc.corrections += 1;
+            }
+            EccOutcome::Uncorrectable => ecc.uncorrectable += 1,
+        }
+        outcome
+    }
+
+    /// Replace this array's contents (and codes) with `other`'s — the
+    /// hot-failover copy that moves a failing bank's rows onto a spare.
+    /// Testbench/maintenance path: bypasses the port discipline; the
+    /// cycle cost of the copy is modeled by the caller's recovery window.
+    pub fn copy_contents_from(&mut self, other: &SramBank) {
+        assert_eq!(self.depth(), other.depth(), "failover needs equal depth");
+        self.data.copy_from_slice(&other.data);
+        if let Some(ecc) = &mut self.ecc {
+            ecc.code.clear();
+            ecc.code.extend(self.data.iter().map(|&w| ecc_code(w)));
         }
     }
 
@@ -171,6 +302,9 @@ impl SramBank {
             .get_mut(addr.index())
             .unwrap_or_else(|| panic!("address {addr} out of range 0..{depth}"));
         *slot = masked;
+        if let Some(ecc) = &mut self.ecc {
+            ecc.code[addr.index()] = ecc_code(masked);
+        }
         self.writes_this_cycle += 1;
         self.total_writes += 1;
         Ok(())
@@ -266,6 +400,68 @@ mod tests {
         b.read(Addr(0)).unwrap();
         b.begin_cycle(5); // idempotent
         assert!(b.read(Addr(0)).is_err());
+    }
+
+    #[test]
+    fn ecc_corrects_any_single_bit_upset() {
+        let mut b = SramBank::new(4, 64, PortKind::SinglePort);
+        b.enable_ecc();
+        b.begin_cycle(0);
+        b.write(Addr(1), 0xDEAD_BEEF_0123_4567).unwrap();
+        for bit in 0..64u32 {
+            b.inject_fault(Addr(1), 1u64 << bit);
+            assert_eq!(b.scrub(Addr(1)), EccOutcome::Corrected { bit });
+            assert_eq!(b.peek(Addr(1)), 0xDEAD_BEEF_0123_4567, "bit {bit}");
+        }
+        assert_eq!(b.ecc_corrections(), 64);
+        assert_eq!(b.ecc_uncorrectable(), 0);
+        assert_eq!(b.scrub(Addr(1)), EccOutcome::Clean);
+    }
+
+    #[test]
+    fn ecc_flags_double_upsets_as_uncorrectable() {
+        let mut b = SramBank::new(4, 64, PortKind::SinglePort);
+        b.enable_ecc();
+        b.begin_cycle(0);
+        b.write(Addr(0), 0x55).unwrap();
+        b.inject_fault(Addr(0), 0b11); // two flipped bits
+        assert_eq!(b.scrub(Addr(0)), EccOutcome::Uncorrectable);
+        assert_eq!(b.ecc_uncorrectable(), 1);
+        assert_eq!(b.ecc_corrections(), 0);
+    }
+
+    #[test]
+    fn ecc_codes_track_writes() {
+        let mut b = SramBank::new(2, 16, PortKind::SinglePort);
+        b.enable_ecc();
+        for c in 0..8u64 {
+            b.begin_cycle(c);
+            b.write(Addr(0), c.wrapping_mul(0x9E37)).unwrap();
+            assert_eq!(b.scrub(Addr(0)), EccOutcome::Clean, "cycle {c}");
+        }
+    }
+
+    #[test]
+    fn scrub_without_ecc_is_a_clean_noop() {
+        let mut b = SramBank::new(2, 16, PortKind::SinglePort);
+        b.begin_cycle(0);
+        b.write(Addr(0), 0xAB).unwrap();
+        b.inject_fault(Addr(0), 1);
+        assert_eq!(b.scrub(Addr(0)), EccOutcome::Clean);
+        assert_eq!(b.peek(Addr(0)), 0xAA, "no silent correction without ECC");
+    }
+
+    #[test]
+    fn failover_copy_carries_contents_and_codes() {
+        let mut failing = SramBank::new(4, 64, PortKind::SinglePort);
+        failing.enable_ecc();
+        failing.begin_cycle(0);
+        failing.write(Addr(2), 0x1234).unwrap();
+        let mut spare = SramBank::new(4, 64, PortKind::SinglePort);
+        spare.enable_ecc();
+        spare.copy_contents_from(&failing);
+        assert_eq!(spare.peek(Addr(2)), 0x1234);
+        assert_eq!(spare.scrub(Addr(2)), EccOutcome::Clean);
     }
 
     #[test]

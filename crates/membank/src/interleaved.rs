@@ -9,7 +9,7 @@
 //! `vlsimodel::compare` reproduces, is the `n×M` router/selector crossbars
 //! and the per-bank address decoders.
 
-use crate::bank::{PortKind, PortViolation, SramBank};
+use crate::bank::{EccOutcome, PortKind, PortViolation, SramBank};
 use simkernel::ids::{Addr, Cycle};
 
 /// Identifies one bank (= one packet slot) of the interleaved buffer.
@@ -23,26 +23,44 @@ pub struct InterleavedMemory {
     occupied: Vec<bool>,
     free: Vec<BankId>,
     packet_words: usize,
+    /// Banks masked out by hot failover: never allocated again.
+    retired: Vec<bool>,
+    /// Spare banks not yet promoted into the allocation pool.
+    spare_pool: Vec<BankId>,
+    failovers: u64,
 }
 
 impl InterleavedMemory {
     /// `m` banks, each sized for exactly one packet of `packet_words`
     /// words of `word_bits` bits.
     pub fn new(m: usize, packet_words: usize, word_bits: u32) -> Self {
+        Self::new_with_spares(m, 0, packet_words, word_bits)
+    }
+
+    /// Like [`InterleavedMemory::new`], plus `spares` extra banks held in
+    /// reserve for hot failover: nominal capacity stays `m`, and a bank
+    /// retired by [`InterleavedMemory::retire`] is replaced from the
+    /// reserve (while one lasts) without losing capacity.
+    pub fn new_with_spares(m: usize, spares: usize, packet_words: usize, word_bits: u32) -> Self {
         assert!(m >= 1 && packet_words >= 1);
+        let total = m + spares;
         InterleavedMemory {
-            banks: (0..m)
+            banks: (0..total)
                 .map(|_| SramBank::new(packet_words, word_bits, PortKind::SinglePort))
                 .collect(),
-            occupied: vec![false; m],
+            occupied: vec![false; total],
             free: (0..m).rev().map(BankId).collect(),
             packet_words,
+            retired: vec![false; total],
+            spare_pool: (m..total).map(BankId).collect(),
+            failovers: 0,
         }
     }
 
-    /// Number of banks (= packet capacity `M`).
+    /// Number of banks in the nominal allocation pool (= packet capacity
+    /// `M`); spares in reserve are not counted until promoted.
     pub fn banks(&self) -> usize {
-        self.banks.len()
+        self.banks.len() - self.spare_pool.len() - self.retired.iter().filter(|&&r| r).count()
     }
 
     /// Words per packet.
@@ -64,11 +82,74 @@ impl InterleavedMemory {
         Some(b)
     }
 
-    /// Release a bank after its packet fully departed.
+    /// Release a bank after its packet fully departed. A bank retired
+    /// while its last packet was in flight leaves the pool here.
     pub fn release(&mut self, b: BankId) {
         assert!(self.occupied[b.0], "releasing a free bank");
         self.occupied[b.0] = false;
-        self.free.push(b);
+        if !self.retired[b.0] {
+            self.free.push(b);
+        }
+    }
+
+    /// Hot failover: mask bank `b` out of the allocation pool and promote
+    /// a spare in its place (while one lasts). An occupied bank drains
+    /// its in-flight packet first and retires on release. Returns the
+    /// promoted spare, or `None` when the reserve is exhausted (capacity
+    /// then degrades by one bank).
+    pub fn retire(&mut self, b: BankId) -> Option<BankId> {
+        if self.retired[b.0] {
+            return None;
+        }
+        self.retired[b.0] = true;
+        self.failovers += 1;
+        self.free.retain(|&f| f != b);
+        let spare = self.spare_pool.pop();
+        if let Some(s) = spare {
+            // The spare inherits ECC protection if the pool runs it.
+            if self.banks[b.0].ecc_enabled() {
+                self.banks[s.0].enable_ecc();
+            }
+            self.free.push(s);
+        }
+        spare
+    }
+
+    /// Banks masked out by failover so far.
+    pub fn failovers(&self) -> u64 {
+        self.failovers
+    }
+
+    /// Spare banks still in reserve.
+    pub fn spares_remaining(&self) -> usize {
+        self.spare_pool.len()
+    }
+
+    /// Attach SEC-DED check codes to every bank (idempotent).
+    pub fn enable_ecc(&mut self) {
+        for b in &mut self.banks {
+            b.enable_ecc();
+        }
+    }
+
+    /// Scrub word `k` of bank `b` against its SEC-DED code, correcting a
+    /// single-bit upset in place (no port-budget cost; see
+    /// [`SramBank::scrub`]).
+    pub fn scrub_word(&mut self, b: BankId, k: usize) -> EccOutcome {
+        assert!(k < self.packet_words);
+        self.banks[b.0].scrub(Addr(k))
+    }
+
+    /// Cumulative single-bit corrections in bank `b`.
+    pub fn bank_corrections(&self, b: BankId) -> u64 {
+        self.banks[b.0].ecc_corrections()
+    }
+
+    /// Cumulative `(corrections, uncorrectable)` over all banks.
+    pub fn ecc_totals(&self) -> (u64, u64) {
+        self.banks.iter().fold((0, 0), |(c, u), b| {
+            (c + b.ecc_corrections(), u + b.ecc_uncorrectable())
+        })
     }
 
     /// Open a new cycle on all banks.
@@ -178,6 +259,43 @@ mod tests {
         assert!(m.allocate().is_none());
         m.release(b);
         assert!(m.allocate().is_some());
+    }
+
+    #[test]
+    fn retire_promotes_a_spare_without_losing_capacity() {
+        let mut m = InterleavedMemory::new_with_spares(2, 1, 4, 16);
+        m.enable_ecc();
+        assert_eq!(m.banks(), 2);
+        let a = m.allocate().unwrap();
+        m.begin_cycle(0);
+        m.write_word(a, 0, 0xF0).unwrap();
+        m.inject_fault(a, 0, 1);
+        assert!(matches!(m.scrub_word(a, 0), EccOutcome::Corrected { .. }));
+        assert_eq!(m.bank_corrections(a), 1);
+        // Retire the flaky bank while its packet is still resident: the
+        // spare joins the pool now, the bank itself drains first.
+        let spare = m.retire(a).expect("one spare in reserve");
+        assert_eq!(m.failovers(), 1);
+        assert_eq!(m.spares_remaining(), 0);
+        assert_eq!(m.banks(), 2, "capacity preserved through failover");
+        m.begin_cycle(1);
+        assert_eq!(m.read_word(a, 0).unwrap(), 0xF0, "in-flight data survives");
+        m.release(a);
+        // Two allocations must still succeed, and neither is the retiree.
+        let b1 = m.allocate().unwrap();
+        let b2 = m.allocate().unwrap();
+        assert!(b1 != a && b2 != a, "retired bank never allocated again");
+        assert!(b1 == spare || b2 == spare, "spare entered the pool");
+        assert!(m.allocate().is_none());
+    }
+
+    #[test]
+    fn retire_without_spares_degrades_capacity() {
+        let mut m = InterleavedMemory::new(2, 4, 16);
+        assert!(m.retire(BankId(0)).is_none());
+        assert_eq!(m.banks(), 1);
+        assert!(m.allocate().is_some());
+        assert!(m.allocate().is_none(), "one bank masked out");
     }
 
     #[test]

@@ -36,7 +36,7 @@ pub mod pipelined;
 pub mod shiftreg;
 pub mod wide;
 
-pub use bank::{PortKind, PortViolation, SramBank};
+pub use bank::{EccOutcome, PortKind, PortViolation, SramBank};
 pub use interleaved::{BankId, InterleavedMemory};
 pub use multiport::MultiPortMemory;
 pub use pipelined::{CompletedRead, InitiateError, PipelinedMemory, WaveOp};

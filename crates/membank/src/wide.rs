@@ -7,8 +7,17 @@
 //! busy at that exact cycle, and a separate cut-through bypass path —
 //! live in `baselines::widemem_switch`; this module is just the memory.
 
-use crate::bank::{PortKind, PortViolation, SramBank};
+use crate::bank::{ecc_code, scrub_word, EccOutcome, PortKind, PortViolation, SramBank};
 use simkernel::ids::{Addr, Cycle};
+
+/// ECC sidecar for the wide organization: one SEC-DED code per link word
+/// of every slot. Allocated only by [`WideMemory::enable_ecc`].
+#[derive(Debug, Clone)]
+struct WideEcc {
+    codes: Vec<Vec<u8>>,
+    corrections: u64,
+    uncorrectable: u64,
+}
 
 /// A wide memory: `depth` slots, each holding one `packet_words`-word
 /// packet, accessed whole-packet-at-a-time, one access per cycle.
@@ -21,6 +30,7 @@ pub struct WideMemory {
     slots: Vec<Vec<u64>>,
     packet_words: usize,
     word_bits: u32,
+    ecc: Option<Box<WideEcc>>,
 }
 
 impl WideMemory {
@@ -33,7 +43,65 @@ impl WideMemory {
             slots: vec![vec![0; packet_words]; depth],
             packet_words,
             word_bits,
+            ecc: None,
         }
+    }
+
+    /// Attach SEC-DED check codes to every link word of every slot.
+    /// Idempotent; a memory without ECC pays nothing on the data path.
+    pub fn enable_ecc(&mut self) {
+        if self.ecc.is_none() {
+            self.ecc = Some(Box::new(WideEcc {
+                codes: self
+                    .slots
+                    .iter()
+                    .map(|row| row.iter().map(|&w| ecc_code(w)).collect())
+                    .collect(),
+                corrections: 0,
+                uncorrectable: 0,
+            }));
+        }
+    }
+
+    /// Is the array ECC-protected?
+    pub fn ecc_enabled(&self) -> bool {
+        self.ecc.is_some()
+    }
+
+    /// Single-bit upsets corrected in place so far.
+    pub fn ecc_corrections(&self) -> u64 {
+        self.ecc.as_ref().map_or(0, |e| e.corrections)
+    }
+
+    /// Words found corrupted beyond single-error correction.
+    pub fn ecc_uncorrectable(&self) -> u64 {
+        self.ecc.as_ref().map_or(0, |e| e.uncorrectable)
+    }
+
+    /// Scrub every link word of slot `addr` against its code, correcting
+    /// single-bit upsets in place. Rides the sense amplifiers of a
+    /// scheduled access, so it does not consume the port budget. Returns
+    /// `(corrected, uncorrectable)` word counts for this slot.
+    pub fn scrub_packet(&mut self, addr: Addr) -> (u32, u32) {
+        let Some(ecc) = &mut self.ecc else {
+            return (0, 0);
+        };
+        let row = &mut self.slots[addr.index()];
+        let codes = &mut ecc.codes[addr.index()];
+        let (mut fixed, mut dead) = (0u32, 0u32);
+        for (w, c) in row.iter_mut().zip(codes.iter()) {
+            match scrub_word(*w, *c) {
+                (EccOutcome::Clean, _) => {}
+                (EccOutcome::Corrected { .. }, repaired) => {
+                    *w = repaired;
+                    fixed += 1;
+                }
+                (EccOutcome::Uncorrectable, _) => dead += 1,
+            }
+        }
+        ecc.corrections += u64::from(fixed);
+        ecc.uncorrectable += u64::from(dead);
+        (fixed, dead)
     }
 
     /// Packet slots.
@@ -73,6 +141,11 @@ impl WideMemory {
         );
         self.gate.write(addr, 0)?; // consume the port budget
         let masked: Vec<u64> = words.iter().map(|&w| self.mask(w)).collect();
+        if let Some(ecc) = &mut self.ecc {
+            let codes = &mut ecc.codes[addr.index()];
+            codes.clear();
+            codes.extend(masked.iter().map(|&w| ecc_code(w)));
+        }
         self.slots[addr.index()] = masked;
         Ok(())
     }
@@ -135,6 +208,23 @@ mod tests {
         m.inject_fault(Addr(3), 1, 0b100);
         m.begin_cycle(1);
         assert_eq!(m.read_packet(Addr(3)).unwrap(), vec![1, 6, 3, 4]);
+    }
+
+    #[test]
+    fn ecc_scrub_repairs_single_bit_slot_upsets() {
+        let mut m = WideMemory::new(8, 4, 16);
+        m.enable_ecc();
+        m.begin_cycle(0);
+        m.write_packet(Addr(5), &[0xA, 0xB, 0xC, 0xD]).unwrap();
+        m.inject_fault(Addr(5), 2, 0b1000);
+        assert_eq!(m.scrub_packet(Addr(5)), (1, 0));
+        m.begin_cycle(1);
+        assert_eq!(m.read_packet(Addr(5)).unwrap(), vec![0xA, 0xB, 0xC, 0xD]);
+        assert_eq!(m.ecc_corrections(), 1);
+        // A double upset in one word is detected, not repaired.
+        m.inject_fault(Addr(5), 0, 0b11);
+        assert_eq!(m.scrub_packet(Addr(5)), (0, 1));
+        assert_eq!(m.ecc_uncorrectable(), 1);
     }
 
     #[test]

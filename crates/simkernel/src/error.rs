@@ -134,6 +134,44 @@ pub fn run_until_quiescent(
     })
 }
 
+/// Drain with watchdog *escalation*: when the budget runs out, give the
+/// caller's `resync` hook a chance to un-wedge the model (drop a stuck
+/// wave, resynchronize credits, force a drain path) before declaring the
+/// hang fatal.
+///
+/// `resync(attempt)` is called with the 0-based escalation attempt and
+/// returns `true` if it took a corrective action worth retrying after;
+/// each `true` buys one more full `limit`-cycle drain, up to `escalations`
+/// attempts. A hang that survives every escalation is a
+/// [`SimError::Watchdog`] and is recorded in the process-wide
+/// [`crate::watchdog`] expiry ledger. Returns
+/// `(total drain cycles, escalations used)` on success.
+pub fn run_until_quiescent_escalating(
+    limit: u64,
+    what: &str,
+    mut step: impl FnMut(u64) -> bool,
+    mut resync: impl FnMut(u32) -> bool,
+    escalations: u32,
+) -> Result<(u64, u32), SimError> {
+    let mut spent = 0u64;
+    for attempt in 0..=escalations {
+        match run_until_quiescent(limit, what, &mut step) {
+            Ok(cycles) => return Ok((spent + cycles, attempt)),
+            Err(_) => {
+                spent += limit;
+                if attempt == escalations || !resync(attempt) {
+                    break;
+                }
+            }
+        }
+    }
+    crate::watchdog::note_expiry();
+    Err(SimError::Watchdog {
+        limit: spent,
+        context: what.to_string(),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -176,6 +214,70 @@ mod tests {
             false
         });
         assert_eq!(seen, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn escalation_resync_rescues_a_wedged_drain() {
+        // Model wedges until the resync hook clears a fault flag. Both
+        // closures touch the flag, hence the `Cell`.
+        let wedged = std::cell::Cell::new(true);
+        let mut remaining = 2u32;
+        let (spent, used) = run_until_quiescent_escalating(
+            5,
+            "rescuable drain",
+            |_| {
+                if wedged.get() {
+                    return false;
+                }
+                if remaining == 0 {
+                    return true;
+                }
+                remaining -= 1;
+                false
+            },
+            |attempt| {
+                assert_eq!(attempt, 0);
+                wedged.set(false);
+                true
+            },
+            2,
+        )
+        .unwrap();
+        assert_eq!(used, 1, "one escalation consumed");
+        assert_eq!(spent, 5 + 2, "first budget burned, then a real drain");
+    }
+
+    #[test]
+    fn escalation_exhaustion_is_a_watchdog_with_total_budget() {
+        let base = crate::watchdog::expiries();
+        let err =
+            run_until_quiescent_escalating(4, "hopeless", |_| false, |_| true, 2).unwrap_err();
+        match err {
+            SimError::Watchdog { limit, context } => {
+                assert_eq!(limit, 12, "three full budgets spent");
+                assert_eq!(context, "hopeless");
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+        assert_eq!(crate::watchdog::expiries_since(base), 1);
+    }
+
+    #[test]
+    fn resync_declining_ends_escalation_early() {
+        let mut calls = 0u32;
+        let err = run_until_quiescent_escalating(
+            3,
+            "unrescuable",
+            |_| false,
+            |_| {
+                calls += 1;
+                false
+            },
+            5,
+        )
+        .unwrap_err();
+        assert_eq!(calls, 1, "resync consulted once, declined");
+        assert!(matches!(err, SimError::Watchdog { limit: 3, .. }));
     }
 
     #[test]

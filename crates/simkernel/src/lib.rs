@@ -44,10 +44,11 @@ pub mod reg;
 pub mod rng;
 pub mod sim;
 pub mod trace;
+pub mod watchdog;
 pub mod wave;
 
 pub use cell::{Cell, CellId, Packet, PacketId};
-pub use error::{run_until_quiescent, SimError};
+pub use error::{run_until_quiescent, run_until_quiescent_escalating, SimError};
 pub use horizon::{advance_to, advance_to_batched, BatchTick, Horizon};
 pub use ids::{Addr, Cycle, PortId, StageId};
 pub use reg::Reg;

@@ -101,6 +101,51 @@ impl fmt::Display for FaultTag {
     }
 }
 
+/// What step of the detect→correct→degrade recovery ladder fired
+/// (see DESIGN.md §11).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryTag {
+    /// ECC corrected a single-bit upset in place (index = stage/bank,
+    /// info = slot address).
+    EccCorrected,
+    /// ECC saw a multi-bit pattern it could not repair (index =
+    /// stage/bank, info = slot address); detection falls back to the
+    /// checksum scrub's detect-and-drop.
+    EccUncorrectable,
+    /// A repeatedly-failing bank was masked out and a spare promoted
+    /// (index = stage/bank, info = corrections that tripped failover).
+    BankFailover,
+    /// A link-level retransmission was issued after a NAK (index =
+    /// input, info = sequence number).
+    LinkRetry,
+    /// The receiver rejected a packet and requested replay (index =
+    /// input, info = sequence number).
+    LinkNak,
+    /// Degraded mode entered: admission throttled while recovery runs
+    /// (index = stage/bank that triggered it, info = window length).
+    DegradedEnter,
+    /// Degraded mode left; full arbitration capacity restored.
+    DegradedExit,
+    /// Watchdog escalation ran a drain-and-resync attempt instead of
+    /// declaring the run hung (index = 0, info = recovered credits).
+    WatchdogResync,
+}
+
+impl fmt::Display for RecoveryTag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            RecoveryTag::EccCorrected => "ecc-corrected",
+            RecoveryTag::EccUncorrectable => "ecc-uncorrectable",
+            RecoveryTag::BankFailover => "bank-failover",
+            RecoveryTag::LinkRetry => "link-retry",
+            RecoveryTag::LinkNak => "link-nak",
+            RecoveryTag::DegradedEnter => "degraded-enter",
+            RecoveryTag::DegradedExit => "degraded-exit",
+            RecoveryTag::WatchdogResync => "watchdog-resync",
+        })
+    }
+}
+
 /// What a [`ProbeEvent::Gauge`] sample measures.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum GaugeKind {
@@ -260,6 +305,15 @@ pub enum ProbeEvent {
         /// The sampled value.
         value: u64,
     },
+    /// A step of the detect→correct→degrade recovery ladder fired.
+    Recovery {
+        /// Which step.
+        tag: RecoveryTag,
+        /// Stage/bank or input link the step concerns (see each tag).
+        index: usize,
+        /// Tag-specific detail (slot address, sequence number, …).
+        info: u64,
+    },
     /// A packet was delivered end-to-end across a multi-hop chain
     /// (netsim-level view).
     ChainDelivered {
@@ -362,6 +416,9 @@ impl fmt::Display for ProbeEvent {
                 index,
                 value,
             } => write!(f, "gauge {gauge}[{index}] = {value}"),
+            ProbeEvent::Recovery { tag, index, info } => {
+                write!(f, "recovery {tag}[{index}] info={info}")
+            }
             ProbeEvent::ChainDelivered { egress, id, vc } => {
                 write!(f, "chain-delivered egress{egress} id={id:#x} vc{vc}")
             }

@@ -33,7 +33,7 @@ pub mod metrics;
 pub mod probe;
 pub mod vcd;
 
-pub use event::{ArbOutcome, DropReason, FaultTag, GaugeKind, ProbeEvent, WaveDir};
+pub use event::{ArbOutcome, DropReason, FaultTag, GaugeKind, ProbeEvent, RecoveryTag, WaveDir};
 pub use probe::{
     fanout, Fanout, NullSink, Probe, ProbeHandle, Recorder, Shared, SharedRecorder, TelemetryConfig,
 };

@@ -80,7 +80,24 @@ fn signal_table(topo: &Topo) -> Vec<Signal> {
     push("staggered_start".into(), 1, true);
     push("drop".into(), 1, true);
     push("fault".into(), 1, true);
+    push("recovery".into(), 4, true);
     sigs
+}
+
+/// Code for the `recovery` signal: 0 = idle, else the ladder step that
+/// fired this cycle (matches [`RecoveryTag`]'s declaration order + 1).
+fn recovery_code(tag: &crate::event::RecoveryTag) -> u64 {
+    use crate::event::RecoveryTag as T;
+    match tag {
+        T::EccCorrected => 1,
+        T::EccUncorrectable => 2,
+        T::BankFailover => 3,
+        T::LinkRetry => 4,
+        T::LinkNak => 5,
+        T::DegradedEnter => 6,
+        T::DegradedExit => 7,
+        T::WatchdogResync => 8,
+    }
 }
 
 /// Indices into the signal table, mirroring [`signal_table`]'s layout.
@@ -96,6 +113,7 @@ struct Layout {
     staggered: usize,
     drop: usize,
     fault: usize,
+    recovery: usize,
 }
 
 impl Layout {
@@ -118,6 +136,7 @@ impl Layout {
             staggered: arb_grant + 3,
             drop: arb_grant + 4,
             fault: arb_grant + 5,
+            recovery: arb_grant + 6,
         }
     }
 }
@@ -170,6 +189,11 @@ fn apply(event: &ProbeEvent, topo: &Topo, lay: &Layout, vals: &mut [u64]) {
         ProbeEvent::StaggeredStart { .. } => vals[lay.staggered] = 1,
         ProbeEvent::Drop { .. } => vals[lay.drop] = 1,
         ProbeEvent::Fault { .. } => vals[lay.fault] = 1,
+        ProbeEvent::Recovery { tag, .. } => {
+            // Later ladder steps shadow earlier ones within a cycle (a
+            // failover implies corrections led up to it).
+            vals[lay.recovery] = vals[lay.recovery].max(recovery_code(tag));
+        }
         _ => {}
     }
 }
@@ -459,7 +483,7 @@ mod tests {
         };
         let doc = export(tiny_stream().iter(), &topo);
         let (signals, changes) = validate(&doc).expect("well-formed VCD");
-        assert_eq!(signals, 1 + 2 + 4 + 2 + 2 + 6);
+        assert_eq!(signals, 1 + 2 + 4 + 2 + 2 + 7);
         assert!(changes > 0, "stream must produce value changes");
         assert!(doc.contains("$var wire 2"), "stage controls are 2-bit");
         // Pulses clear: the header strobe fires at #0 and clears at #1.

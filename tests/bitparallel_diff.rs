@@ -23,12 +23,13 @@
 //! the per-cycle one, probe streams included.
 
 use telegraphos::simkernel::cell::Packet;
-use telegraphos::simkernel::ids::Cycle;
+use telegraphos::simkernel::ids::{Addr, Cycle};
 use telegraphos::simkernel::{advance_to, advance_to_batched, BatchTick, Horizon, SplitMix64};
 use telegraphos::switch_core::behavioral::{BehavioralDeparture, BehavioralSwitch};
 use telegraphos::switch_core::config::SwitchConfig;
 use telegraphos::switch_core::events::SwitchCounters;
 use telegraphos::switch_core::ibank::{InterleavedSwitch, InterleavedSwitchConfig};
+use telegraphos::switch_core::recovery::RecoveryConfig;
 use telegraphos::switch_core::reference::{BehavioralSwitchRef, PipelinedSwitchRef};
 use telegraphos::switch_core::rtl::{OutputCollector, PipelinedSwitch};
 use telegraphos::switch_core::widemem::{WideMemorySwitchRtl, WideSwitchConfig};
@@ -444,4 +445,160 @@ fn batched_fast_forward_driver_equals_per_cycle_driver() {
             "load {load}: batched driver diverged from per-cycle driver"
         );
     }
+}
+
+// ---------------------------------------------------------------------------
+// 5. Fault injection under the fast-forward drivers
+// ---------------------------------------------------------------------------
+
+/// One memory strike: at cycle `at`, xor `mask` into the slot's word in
+/// bank-stage `stage`. A ~30% minority of masks carry two bits (beyond
+/// SEC-DED correction), so the detect-drop path is exercised alongside
+/// correct-in-place.
+#[derive(Debug, Clone, Copy)]
+struct Strike {
+    at: Cycle,
+    stage: usize,
+    slot: usize,
+    mask: u64,
+}
+
+/// Strikes aimed at the busy spans of `offers`: each lands within `2s`
+/// cycles of some launch, when the struck slot plausibly holds live
+/// words.
+fn strike_schedule(
+    offers: &[Offer],
+    s: usize,
+    slots: usize,
+    count: usize,
+    seed: u64,
+) -> Vec<Strike> {
+    let mut rng = SplitMix64::new(seed);
+    let mut strikes: Vec<Strike> = (0..count)
+        .map(|_| {
+            let o = offers[rng.below_usize(offers.len())];
+            let bit = rng.below_usize(64);
+            let mut mask = 1u64 << bit;
+            if rng.chance(0.3) {
+                mask |= 1u64 << ((bit + 1 + rng.below_usize(63)) % 64);
+            }
+            Strike {
+                at: o.at + rng.below(2 * s as u64),
+                stage: rng.below_usize(s),
+                slot: rng.below_usize(slots),
+                mask,
+            }
+        })
+        .collect();
+    strikes.sort_by_key(|st| st.at);
+    strikes
+}
+
+/// Dense stepping vs `advance_to` vs `advance_to_batched` on the
+/// ECC-armed pipelined RTL under a strike schedule: every driver injects
+/// the same strikes at the same absolute cycles (fast-forward targets
+/// are bounded by the next strike), so the clock, the full counter set —
+/// ECC corrections, uncorrectable words, integrity drops — and the probe
+/// streams must come out byte-identical.
+#[test]
+fn fault_injected_fast_forward_drivers_agree_on_detection_counters() {
+    let mut cfg = SwitchConfig::symmetric(4, 16);
+    cfg.cut_through = false;
+    cfg.fused_cut_through = false;
+    cfg.integrity.checksum = true;
+    cfg.integrity.payload_check = true;
+    cfg.integrity.harden = true;
+    let cfg = cfg.with_recovery(RecoveryConfig::ecc_only());
+    let s = cfg.stages();
+    let (mut corrected, mut detected) = (0u64, 0u64);
+    for load in [0.10, 0.95] {
+        let offers = load_schedule(4, s, load, 1_500, 0xECC + (load * 100.0) as u64);
+        let strikes = strike_schedule(&offers, s, 16, 32, 0x5712 + (load * 100.0) as u64);
+        // mode 0: dense per-cycle; 1: advance_to; 2: advance_to_batched.
+        let run = |mode: u8| {
+            let mut sw = PipelinedSwitch::new(cfg.clone());
+            let rec = Shared::new(Recorder::unbounded());
+            sw.attach_probe(rec.handle());
+            let mut current: Vec<Option<(Vec<u64>, usize)>> = vec![None; 4];
+            let mut wire: Vec<Option<u64>> = vec![None; 4];
+            let idle: Vec<Option<u64>> = vec![None; 4];
+            let mut k = 0usize;
+            let mut f = 0usize;
+            let mut grace = 0u64;
+            loop {
+                let now = sw.now();
+                while f < strikes.len() && strikes[f].at == now {
+                    let st = strikes[f];
+                    f += 1;
+                    let _ = sw.inject_bank_fault(st.stage, Addr(st.slot), st.mask);
+                }
+                let exhausted = k == offers.len() && f == strikes.len();
+                let is_idle =
+                    exhausted && current.iter().all(Option::is_none) && sw.next_event().is_none();
+                if is_idle {
+                    grace += 1;
+                    if grace > s as u64 + 4 {
+                        break;
+                    }
+                } else {
+                    grace = 0;
+                }
+                assert!(now < 1_000_000, "mode {mode} failed to drain under faults");
+                if mode != 0 && !is_idle && current.iter().all(Option::is_none) {
+                    let mut target = u64::MAX;
+                    if let Some(o) = offers.get(k) {
+                        target = target.min(o.at);
+                    }
+                    if let Some(st) = strikes.get(f) {
+                        target = target.min(st.at);
+                    }
+                    if target != u64::MAX && target > now {
+                        if mode == 1 {
+                            advance_to(&mut sw, target, |m| {
+                                m.tick(&idle);
+                            });
+                        } else {
+                            advance_to_batched(&mut sw, target);
+                        }
+                        continue;
+                    }
+                }
+                while k < offers.len() && offers[k].at == now {
+                    let o = offers[k];
+                    k += 1;
+                    current[o.input] = Some((Packet::synth(o.id, o.input, o.dst, s, now).words, 0));
+                }
+                for (w, slot) in wire.iter_mut().zip(current.iter_mut()) {
+                    *w = None;
+                    if let Some((words, i)) = slot {
+                        *w = Some(words[*i]);
+                        *i += 1;
+                        if *i == words.len() {
+                            *slot = None;
+                        }
+                    }
+                }
+                sw.tick(&wire);
+            }
+            let events: ProbeLog = rec.with(|r| r.iter().cloned().collect());
+            (sw.now(), sw.counters(), events)
+        };
+        let dense = run(0);
+        let advanced = run(1);
+        let batched = run(2);
+        assert_eq!(
+            dense, advanced,
+            "load {load}: advance_to driver diverged from dense under faults"
+        );
+        assert_eq!(
+            dense, batched,
+            "load {load}: advance_to_batched driver diverged from dense under faults"
+        );
+        corrected += dense.1.ecc_corrected;
+        detected += dense.1.ecc_uncorrectable + dense.1.corrupt_drops;
+    }
+    // Non-vacuity: the three-way agreement proves nothing if no strike
+    // was ever corrected or detect-dropped.
+    assert!(corrected > 0, "no strike was ever ECC-corrected");
+    assert!(detected > 0, "no double-bit strike was ever detected");
 }

@@ -66,6 +66,7 @@ fn wide_memory_write_starvation_reproducer_stays_fixed() {
         n: 2,
         slots: 8,
         credited: true,
+        recovery: false,
         load: 1.0,
         offers: vec![
             mk(0, 0, 0, 11),

@@ -9,14 +9,22 @@
 //! exists for), once densely and once through the kernel, and asserts
 //! the departure streams and event counters are byte-identical. The
 //! fast path may change wall time only, never a departure cycle.
+//!
+//! The fault-injected variant re-runs the same property with the ECC
+//! recovery overlay armed and a strike schedule riding along: upsets
+//! land at identical absolute cycles on both paths (fast-forward jumps
+//! are bounded by the next strike), so the detection/correction
+//! counters must also come out byte-identical.
 
+use telegraphos::membank::interleaved::BankId;
 use telegraphos::simkernel::cell::Packet;
-use telegraphos::simkernel::ids::Cycle;
+use telegraphos::simkernel::ids::{Addr, Cycle};
 use telegraphos::simkernel::{Horizon, SplitMix64};
 use telegraphos::switch_core::behavioral::{BehavioralDeparture, BehavioralSwitch};
 use telegraphos::switch_core::config::SwitchConfig;
 use telegraphos::switch_core::events::SwitchCounters;
 use telegraphos::switch_core::ibank::{InterleavedSwitch, InterleavedSwitchConfig};
+use telegraphos::switch_core::recovery::RecoveryConfig;
 use telegraphos::switch_core::rtl::{OutputCollector, PipelinedSwitch};
 use telegraphos::switch_core::widemem::{WideMemorySwitchRtl, WideSwitchConfig};
 
@@ -131,6 +139,93 @@ impl Word {
             Word::Interleaved(sw) => sw.counters(),
         }
     }
+
+    /// Like [`Word::build`], but ECC-armed: recovery overlay on,
+    /// store-and-forward with the full integrity machinery (mirroring
+    /// the chaos harness), so injected upsets are scrubbed on read
+    /// instead of silently corrupting deliveries.
+    fn build_armed(org: &str, n: usize, slots: usize) -> (Self, usize) {
+        let rec = RecoveryConfig::ecc_only();
+        match org {
+            "pipelined" => {
+                let mut cfg = SwitchConfig::symmetric(n, slots);
+                cfg.cut_through = false;
+                cfg.fused_cut_through = false;
+                cfg.integrity.checksum = true;
+                cfg.integrity.payload_check = true;
+                cfg.integrity.harden = true;
+                let cfg = cfg.with_recovery(rec);
+                let s = cfg.stages();
+                (Word::Pipelined(Box::new(PipelinedSwitch::new(cfg))), s)
+            }
+            "wide" => {
+                let cfg = WideSwitchConfig::fig3(n, slots).with_recovery(rec);
+                let s = cfg.packet_words();
+                (Word::Wide(Box::new(WideMemorySwitchRtl::new(cfg))), s)
+            }
+            "interleaved" => {
+                let cfg = InterleavedSwitchConfig::symmetric(n, slots).with_recovery(rec);
+                let s = cfg.packet_words();
+                (Word::Interleaved(Box::new(InterleavedSwitch::new(cfg))), s)
+            }
+            other => panic!("unknown org {other}"),
+        }
+    }
+
+    /// Apply one strike, mapping its raw coordinates into this
+    /// organization's address space (`ecc_only` arms no spares, so the
+    /// primary range is the whole address space).
+    fn inject(&mut self, st: &Strike, s: usize, slots: usize) {
+        match self {
+            Word::Pipelined(sw) => {
+                let _ = sw.inject_bank_fault(st.a % s, Addr(st.b % slots), st.mask);
+            }
+            Word::Wide(sw) => {
+                let _ = sw.inject_memory_fault(Addr(st.b % slots), st.a % s, st.mask);
+            }
+            Word::Interleaved(sw) => {
+                let _ = sw.inject_bank_fault(BankId(st.b % slots), st.a % s, st.mask);
+            }
+        }
+    }
+}
+
+/// One memory strike: at cycle `at`, xor `mask` into the word addressed
+/// by the organization-agnostic coordinates `(a, b)`. A ~30% minority of
+/// masks carry two bits — beyond SEC-DED correction, so the detect-drop
+/// path gets exercised alongside the correct-in-place path.
+#[derive(Debug, Clone, Copy)]
+struct Strike {
+    at: Cycle,
+    a: usize,
+    b: usize,
+    mask: u64,
+}
+
+/// Strikes aimed at the busy spans of `offers`: each lands within `2s`
+/// cycles of some launch, when the struck slot plausibly holds live
+/// words (a strike into dead memory corrupts nothing anyone reads).
+fn strike_schedule(offers: &[Offer], s: usize, count: usize, seed: u64) -> Vec<Strike> {
+    let mut rng = SplitMix64::new(seed);
+    let mut strikes: Vec<Strike> = (0..count)
+        .map(|_| {
+            let o = offers[rng.below_usize(offers.len())];
+            let at = o.at + rng.below(2 * s as u64);
+            let bit = rng.below_usize(64);
+            let mut mask = 1u64 << bit;
+            if rng.chance(0.3) {
+                mask |= 1u64 << ((bit + 1 + rng.below_usize(63)) % 64);
+            }
+            Strike {
+                at,
+                a: rng.below_usize(1 << 16),
+                b: rng.below_usize(1 << 16),
+                mask,
+            }
+        })
+        .collect();
+    strikes.sort_by_key(|st| st.at);
+    strikes
 }
 
 /// Replay `offers` on a word-level organization; `fast` routes the
@@ -201,6 +296,102 @@ fn run_word(
         for d in col.take() {
             assert!(d.verify_payload(), "{org}: corrupted payload");
             deliveries.push((d.id, d.output.index(), d.first_cycle, d.last_cycle));
+        }
+    }
+    (deliveries, sw.counters())
+}
+
+/// One delivery under fault injection: `(id, output, first, last,
+/// payload-intact)`.
+type FaultedDelivery = (u64, usize, Cycle, Cycle, bool);
+
+/// [`run_word`] with a strike schedule riding along on an ECC-armed
+/// switch: strikes are injected at identical absolute cycles in the
+/// dense and fast runs (the fast path bounds each jump by the next
+/// strike), so detection/correction counters must come out
+/// byte-identical. Deliveries carry their payload verdict instead of
+/// asserting it — a double-bit strike may legitimately kill a packet,
+/// as long as it kills it identically on both paths.
+fn run_word_faulted(
+    org: &str,
+    n: usize,
+    offers: &[Offer],
+    strikes: &[Strike],
+    fast: bool,
+) -> (Vec<FaultedDelivery>, SwitchCounters) {
+    let slots = 4 * n;
+    let (mut sw, s) = Word::build_armed(org, n, slots);
+    let mut col = OutputCollector::new(n, s);
+    let mut current: Vec<Option<(Vec<u64>, usize)>> = vec![None; n];
+    let mut wire = vec![None; n];
+    let mut deliveries = Vec::new();
+    let mut k = 0;
+    let mut f = 0;
+    let mut grace = 0u64;
+    loop {
+        let now = sw.now();
+        while f < strikes.len() && strikes[f].at == now {
+            sw.inject(&strikes[f], s, slots);
+            f += 1;
+        }
+        let exhausted = k == offers.len() && f == strikes.len();
+        let idle = exhausted && current.iter().all(Option::is_none) && sw.next_event().is_none();
+        if idle {
+            grace += 1;
+            if grace > s as u64 + 4 {
+                break;
+            }
+        } else {
+            grace = 0;
+        }
+        assert!(now < 1_000_000, "{org} failed to drain under faults");
+        if fast && !idle && current.iter().all(Option::is_none) {
+            let horizon = match sw.next_event() {
+                None => Some(u64::MAX),
+                Some(e) if e > now => Some(e),
+                Some(_) => None,
+            };
+            if let Some(h) = horizon {
+                let mut target = h;
+                if let Some(o) = offers.get(k) {
+                    target = target.min(o.at);
+                }
+                if let Some(st) = strikes.get(f) {
+                    target = target.min(st.at);
+                }
+                if target > now && target != u64::MAX {
+                    sw.jump_to(target);
+                    continue;
+                }
+            }
+        }
+        while k < offers.len() && offers[k].at == now {
+            let o = offers[k];
+            k += 1;
+            assert!(current[o.input].is_none(), "schedule violates framing");
+            let p = Packet::synth(o.id, o.input, o.dst, s, now);
+            current[o.input] = Some((p.words, 0));
+        }
+        for (w, slot) in wire.iter_mut().zip(current.iter_mut()) {
+            *w = None;
+            if let Some((words, i)) = slot {
+                *w = Some(words[*i]);
+                *i += 1;
+                if *i == words.len() {
+                    *slot = None;
+                }
+            }
+        }
+        let out = sw.tick(&wire);
+        col.observe(now, out);
+        for d in col.take() {
+            deliveries.push((
+                d.id,
+                d.output.index(),
+                d.first_cycle,
+                d.last_cycle,
+                d.verify_payload(),
+            ));
         }
     }
     (deliveries, sw.counters())
@@ -280,6 +471,35 @@ fn word_orgs_fast_forward_is_bit_exact() {
             assert_eq!(dense_c, fast_c, "{org} seed {seed}: counters diverged");
         }
     }
+}
+
+#[test]
+fn word_orgs_fast_forward_is_bit_exact_under_fault_injection() {
+    let n = 4;
+    let (mut corrected, mut detected) = (0u64, 0u64);
+    for org in ["pipelined", "wide", "interleaved"] {
+        for seed in 0..4u64 {
+            let s = Word::build(org, n, 4 * n).1;
+            let offers = bursty_schedule(n, s, 8, 0xFA17 + seed);
+            let strikes = strike_schedule(&offers, s, 24, 0xECC0 + seed);
+            let (dense_d, dense_c) = run_word_faulted(org, n, &offers, &strikes, false);
+            let (fast_d, fast_c) = run_word_faulted(org, n, &offers, &strikes, true);
+            assert_eq!(
+                dense_d, fast_d,
+                "{org} seed {seed}: faulted departure streams diverged"
+            );
+            assert_eq!(
+                dense_c, fast_c,
+                "{org} seed {seed}: detection/correction counters diverged"
+            );
+            corrected += dense_c.ecc_corrected;
+            detected += dense_c.ecc_uncorrectable + dense_c.corrupt_drops;
+        }
+    }
+    // Non-vacuity: the equivalence proves nothing if the campaign never
+    // actually corrected or detect-dropped anything.
+    assert!(corrected > 0, "no strike was ever ECC-corrected");
+    assert!(detected > 0, "no double-bit strike was ever detected");
 }
 
 #[test]
