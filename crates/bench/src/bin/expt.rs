@@ -1,8 +1,10 @@
 //! `expt` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! expt <id>...      run specific experiments (e1..e17, x1..x5)
+//! expt <id>...      run specific experiments (e1..e18, x1..x5)
 //! expt all          run everything
+//!   --policy P      restrict e18 to one buffer-sharing policy
+//!                   (static | dt | pushout | occamy | bshare)
 //! expt fuzz         differential conformance fuzz campaign
 //!   --seeds N       campaign width (default 256)
 //!   --base 0xHEX    base seed (default: the canonical campaign seed)
@@ -46,6 +48,7 @@ fn main() -> ExitCode {
     let mut metrics_path: Option<String> = None;
     let mut last: Option<usize> = None;
     let mut watchdog: Option<u64> = None;
+    let mut policy: Option<conformance::PolicyKind> = None;
     let mut ids: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -105,6 +108,15 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             }
+        } else if a == "--policy" {
+            let v = it.next().map(|s| s.as_str()).unwrap_or("");
+            match conformance::PolicyKind::parse(v) {
+                Some(p) => policy = Some(p),
+                None => {
+                    eprintln!("--policy needs one of static|dt|pushout|occamy|bshare, got '{v}'");
+                    return ExitCode::from(2);
+                }
+            }
         } else if a == "--watchdog" {
             let v = it.next().map(|s| s.as_str()).unwrap_or("");
             match v.parse::<u64>() {
@@ -132,6 +144,11 @@ fn main() -> ExitCode {
     }
     bench_harness::sweep::set_jobs(if seq { 1 } else { jobs.unwrap_or(0) });
     bench_harness::sweep::set_smoke(smoke);
+    if policy.is_some() && !ids.iter().any(|i| i == "e18" || i == "all") {
+        eprintln!("--policy only applies to 'expt e18'");
+        return ExitCode::from(2);
+    }
+    bench_harness::e18::set_policy_filter(policy);
     if let Some(n) = watchdog {
         simkernel::watchdog::set_limit(n);
     }
@@ -268,7 +285,8 @@ fn main() -> ExitCode {
 
     if list || ids.is_empty() {
         eprintln!(
-            "usage: expt [--quick] [--smoke] [--jobs N | --seq] [--watchdog N] <e1..e17 | x1..x5 | all>...\n       \
+            "usage: expt [--quick] [--smoke] [--jobs N | --seq] [--watchdog N] <e1..e18 | x1..x5 | all>...\n       \
+             expt e18 [--policy static|dt|pushout|occamy|bshare]\n       \
              expt fuzz [--seeds N] [--base 0xHEX] [--jobs N | --seq]\n       \
              expt bench [--quick] [--gate]\n       \
              expt trace <e5|e6> [--vcd PATH] [--metrics PATH] [--last N] [--smoke]\n\nexperiments:"

@@ -32,6 +32,7 @@
 //! | [`e15`] | §2 figs 1–2 | architecture throughput/latency sweep |
 //! | [`e16`] | extension | fault-injection campaign: detection coverage |
 //! | [`e17`] | extension | chaos campaign: recovery ladder, MTTR, degraded throughput |
+//! | [`e18`] | extension | buffer-sharing policy lab: admission policies under incast/hotspot/on-off |
 
 #![forbid(unsafe_code)]
 
@@ -52,6 +53,7 @@ pub mod e14;
 pub mod e15;
 pub mod e16;
 pub mod e17;
+pub mod e18;
 pub mod fuzz;
 pub mod perf;
 pub mod sweep;
@@ -66,7 +68,7 @@ pub mod x05;
 /// All paper experiment ids, in order.
 pub const ALL: &[&str] = &[
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "e16", "e17", "x1", "x2", "x3", "x4", "x5",
+    "e16", "e17", "e18", "x1", "x2", "x3", "x4", "x5",
 ];
 
 /// Run one experiment by id ("e1".."e15"); `quick` shrinks run lengths.
@@ -89,6 +91,7 @@ pub fn run_experiment(id: &str, quick: bool) -> Option<String> {
         "e15" => e15::run(quick),
         "e16" => e16::run(quick),
         "e17" => e17::run(quick),
+        "e18" => e18::run(quick),
         "x1" => x01::run(quick),
         "x2" => x02::run(quick),
         "x3" => x03::run(quick),

@@ -345,14 +345,20 @@ fn run_word(sc: &Scenario, org: Org, probe: Option<ProbeHandle>) -> RunOutcome {
     } else {
         RecoveryConfig::default()
     };
-    let cfg = SwitchConfig::symmetric(n, sc.slots).with_recovery(rec);
+    let cfg = SwitchConfig::symmetric(n, sc.slots)
+        .with_recovery(rec)
+        .with_policy(sc.policy);
     let mut sw = match org {
         Org::Pipelined => WordSwitch::Pipelined(Box::new(PipelinedSwitch::new(cfg.clone()))),
         Org::Wide => WordSwitch::Wide(Box::new(WideMemorySwitchRtl::new(
-            WideSwitchConfig::fig3(n, sc.slots).with_recovery(rec),
+            WideSwitchConfig::fig3(n, sc.slots)
+                .with_recovery(rec)
+                .with_policy(sc.policy),
         ))),
         Org::Interleaved => WordSwitch::Interleaved(Box::new(InterleavedSwitch::new(
-            InterleavedSwitchConfig::symmetric(n, sc.slots).with_recovery(rec),
+            InterleavedSwitchConfig::symmetric(n, sc.slots)
+                .with_recovery(rec)
+                .with_policy(sc.policy),
         ))),
         Org::Behavioral => unreachable!("behavioral runs via run_behavioral"),
     };
@@ -518,7 +524,7 @@ fn run_word(sc: &Scenario, org: Org, probe: Option<ProbeHandle>) -> RunOutcome {
 
 fn run_behavioral(sc: &Scenario, probe: Option<ProbeHandle>) -> RunOutcome {
     let n = sc.n;
-    let cfg = SwitchConfig::symmetric(n, sc.slots);
+    let cfg = SwitchConfig::symmetric(n, sc.slots).with_policy(sc.policy);
     let mut sw = BehavioralSwitch::new(cfg);
     let mut launcher = Launcher::new(sc, probe.as_ref());
     if let Some(p) = probe {
@@ -623,12 +629,15 @@ fn run_behavioral(sc: &Scenario, probe: Option<ProbeHandle>) -> RunOutcome {
     }
     let counters = SwitchCounters {
         // The behavioral model counts only *accepted* packets in
-        // `arrived`; the RTL counts every header. Normalize to the RTL
-        // convention so one conservation law covers both.
-        arrived: sw.arrived + sw.dropped,
+        // `arrived`; the RTL counts every header (including policy-
+        // refused ones). Normalize to the RTL convention so one
+        // conservation law covers both.
+        arrived: sw.arrived + sw.dropped + sw.policy_drops,
         departed: deliveries.len() as u64,
         dropped_buffer_full: sw.dropped,
         latch_overruns: sw.overruns,
+        policy_drops: sw.policy_drops,
+        policy_preempts: sw.policy_preempts,
         ..SwitchCounters::default()
     };
     RunOutcome {
@@ -674,6 +683,7 @@ mod tests {
             horizon: 64,
             fault: None,
             recovery: false,
+            policy: switch_core::PolicyKind::Static,
         }
     }
 
@@ -738,6 +748,7 @@ mod tests {
             horizon: 64,
             fault: None,
             recovery: false,
+            policy: switch_core::PolicyKind::Static,
         };
         let r = run(&sc, Org::Interleaved);
         assert!(r.error.is_none(), "{:?}", r.error);

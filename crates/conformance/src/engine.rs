@@ -110,6 +110,10 @@ pub fn run_seed(base: u64, index: u64) -> SeedReport {
             .with_fault(0.02, scenario_seed ^ 0x0ECC)
             .with_recovery();
         scenario.credited = false;
+        // Fault overlays never combine with non-static sharing policies:
+        // recovery shedding takes priority over policy admission, so a
+        // policy draw on these seeds would test neither subsystem cleanly.
+        scenario.policy = switch_core::PolicyKind::Static;
     }
     let outcome = match check_scenario(&scenario) {
         Ok(stats) => SeedOutcome::Pass(stats),

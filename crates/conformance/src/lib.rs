@@ -43,3 +43,4 @@ pub use engine::{run_seed, Coverage, Failure, SeedOutcome, SeedReport};
 pub use oracle::{check_scenario, ScenarioStats};
 pub use scenario::{Offer, Scenario, SeededFault};
 pub use shrink::shrink;
+pub use switch_core::PolicyKind;

@@ -129,13 +129,40 @@ fn check_one(sc: &Scenario, r: &RunOutcome) -> Result<(), SimError> {
             ),
         ));
     }
-    let accounted = c.departed + c.dropped_buffer_full + c.latch_overruns + c.corrupt_drops;
+    // Conservation is never excused: every arrival is delivered or shows
+    // up in exactly one loss counter. Policy drops and preemptions are
+    // *credited* loss — the policy declared them — but they still have
+    // to balance the ledger.
+    let accounted = c.departed
+        + c.dropped_buffer_full
+        + c.latch_overruns
+        + c.corrupt_drops
+        + c.policy_drops
+        + c.policy_preempts;
     if c.arrived != accounted {
         return Err(div(
             &format!("{org}-conservation"),
             format!(
-                "{} arrived != {} departed + {} dropped + {} overrun + {} scrubbed",
-                c.arrived, c.departed, c.dropped_buffer_full, c.latch_overruns, c.corrupt_drops
+                "{} arrived != {} departed + {} dropped + {} overrun + {} scrubbed \
+                 + {} policy-dropped + {} preempted",
+                c.arrived,
+                c.departed,
+                c.dropped_buffer_full,
+                c.latch_overruns,
+                c.corrupt_drops,
+                c.policy_drops,
+                c.policy_preempts
+            ),
+        ));
+    }
+    // A static pool never invokes the policy counters; any count under
+    // the static policy is a model bug, not credited loss.
+    if sc.policy.is_static() && (c.policy_drops > 0 || c.policy_preempts > 0) {
+        return Err(div(
+            &format!("{org}-policy-loss"),
+            format!(
+                "static policy yet {} policy drops, {} preemptions",
+                c.policy_drops, c.policy_preempts
             ),
         ));
     }
@@ -289,6 +316,20 @@ fn check_rtl_behavioral_exact(rtl: &RunOutcome, bhv: &RunOutcome) -> Result<(), 
             ),
         ));
     }
+    if rtl.counters.policy_drops != bhv.counters.policy_drops
+        || rtl.counters.policy_preempts != bhv.counters.policy_preempts
+    {
+        return Err(div(
+            "rtl-vs-behavioral",
+            format!(
+                "policy counters diverged: rtl {}+{} vs behavioral {}+{} (drops+preempts)",
+                rtl.counters.policy_drops,
+                rtl.counters.policy_preempts,
+                bhv.counters.policy_drops,
+                bhv.counters.policy_preempts
+            ),
+        ));
+    }
     Ok(())
 }
 
@@ -389,7 +430,10 @@ mod tests {
         // upset rate, the oracle must still notice on most scenarios.
         let mut caught = 0;
         for seed in 0..12u64 {
-            let sc = Scenario::generate(seed).with_fault(0.3, seed ^ 0xFA17);
+            // Base corpus: fault-detection statistics are pinned to the
+            // pre-policy schedule distribution (and fault overlays never
+            // combine with non-static policies anyway).
+            let sc = Scenario::generate_base(seed).with_fault(0.3, seed ^ 0xFA17);
             if check_scenario(&sc).is_err() {
                 caught += 1;
             }
@@ -407,7 +451,7 @@ mod tests {
         let mut corrected = 0u64;
         let mut fully_exact = 0u64;
         for seed in 0..12u64 {
-            let mut sc = Scenario::generate(seed)
+            let mut sc = Scenario::generate_base(seed)
                 .with_fault(0.3, seed ^ 0xFA17)
                 .with_recovery();
             // Open-loop offers: a packet condemned as uncorrectable never

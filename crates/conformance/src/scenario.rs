@@ -14,11 +14,36 @@
 use simkernel::ids::Cycle;
 use simkernel::SplitMix64;
 use std::fmt;
+use switch_core::PolicyKind;
 
 /// RNG stream index for scenario generation. Distinct from
 /// `faultsim::TRAFFIC_STREAM` (0) and `faultsim::FAULT_STREAM` (1) so a
 /// scenario and its optional fault plan never share a stream.
 pub const SCENARIO_STREAM: u64 = 2;
+
+/// RNG stream index for the buffer-sharing-policy dimension (and its
+/// optional incast/hotspot-burst shape override). A separate stream,
+/// drawn *after* base generation, so every seed's base geometry and
+/// schedule stay bit-identical to what they were before the policy
+/// dimension existed.
+pub const POLICY_STREAM: u64 = 3;
+
+/// Policy mix the fuzzer draws from: static-weighted (half the seeds keep
+/// the pre-policy admission path hot) with every non-static policy
+/// represented.
+const POLICY_MIX: [PolicyKind; 8] = [
+    PolicyKind::Static,
+    PolicyKind::Static,
+    PolicyKind::Static,
+    PolicyKind::Static,
+    PolicyKind::DynamicThresholds {
+        alpha_num: 1,
+        alpha_den: 1,
+    },
+    PolicyKind::PushOut,
+    PolicyKind::Occamy,
+    PolicyKind::BShare,
+];
 
 /// One packet offered to the switch: at cycle `at` (or as soon after as
 /// credits allow), input `input` wants to send packet `id` to `dst`.
@@ -73,6 +98,11 @@ pub struct Scenario {
     /// conformance with the clean behavioral reference even under a
     /// fault overlay — upsets are repaired instead of detect-dropped.
     pub recovery: bool,
+    /// Buffer-sharing policy every organization runs under. Non-static
+    /// policies drop at admission even below capacity, so a non-static
+    /// scenario is always open-loop (`credited = false`): a policy drop
+    /// would otherwise leak a credit and wedge the drain.
+    pub policy: PolicyKind,
 }
 
 impl Scenario {
@@ -88,10 +118,36 @@ impl Scenario {
         ((self.slots / self.n).max(1)) as u32
     }
 
-    /// Generate the scenario for `seed`. Geometry, mode, traffic pattern
-    /// and load are all drawn from the seed; the schedule respects the
-    /// wire constraint (one header per input per `S` cycles).
+    /// Generate the scenario for `seed`: the frozen base corpus of
+    /// [`Scenario::generate_base`] plus the buffer-sharing policy dimension — a
+    /// policy drawn from its own stream, and on a quarter of the seeds
+    /// an incast / hotspot-burst traffic override.
     pub fn generate(seed: u64) -> Scenario {
+        let mut sc = Self::generate_base(seed);
+        // Policy dimension, drawn from its own stream *after* the base
+        // so every pre-policy seed keeps its geometry and schedule bit
+        // for bit. A quarter of the seeds also override the traffic
+        // shape with incast / hotspot-burst — the patterns that actually
+        // separate buffer-sharing policies.
+        let mut pg = SplitMix64::stream(seed, POLICY_STREAM);
+        sc.policy = *pg.choose(&POLICY_MIX);
+        sc.credited = sc.credited && sc.policy.is_static();
+        if pg.chance(0.25) {
+            let shape = *pg.choose(&[4u8, 5]);
+            let s = sc.stages();
+            let q = sc.header_chance();
+            sc.offers = Self::shaped_offers(&mut pg, sc.n, s, q, sc.horizon, shape);
+        }
+        sc
+    }
+
+    /// Generate the pre-policy scenario for `seed`. Geometry, mode,
+    /// traffic pattern and load are all drawn from the seed; the
+    /// schedule respects the wire constraint (one header per input per
+    /// `S` cycles). This corpus is frozen — distribution-pinned tests
+    /// (fault detection rates, ECC exactness counts) anchor to it so
+    /// the policy dimension cannot shift their statistics.
+    pub fn generate_base(seed: u64) -> Scenario {
         let mut g = SplitMix64::stream(seed, SCENARIO_STREAM);
         let n = *g.choose(&[2usize, 3, 4, 8]);
         let s = 2 * n;
@@ -163,7 +219,82 @@ impl Scenario {
             horizon,
             fault: None,
             recovery: false,
+            policy: PolicyKind::Static,
         }
+    }
+
+    /// Per-cycle header probability that yields busy-fraction `load`
+    /// when each start occupies the wire for `S` cycles.
+    fn header_chance(&self) -> f64 {
+        if self.load >= 1.0 {
+            1.0
+        } else {
+            let s = self.stages() as f64;
+            self.load / (self.load + s * (1.0 - self.load))
+        }
+    }
+
+    /// Incast (pattern 4) and hotspot-burst (pattern 5) schedules for the
+    /// policy dimension; the base patterns 0–3 live in [`generate`].
+    ///
+    /// [`generate`]: Scenario::generate
+    fn shaped_offers(
+        g: &mut SplitMix64,
+        n: usize,
+        s: usize,
+        q: f64,
+        horizon: Cycle,
+        shape: u8,
+    ) -> Vec<Offer> {
+        let mut offers = Vec::new();
+        let mut next_free = vec![0 as Cycle; n];
+        let burst = 4 * s as Cycle;
+        for t in 0..horizon {
+            for (i, nf) in next_free.iter_mut().enumerate() {
+                if *nf > t {
+                    continue;
+                }
+                let start = match shape {
+                    // Incast: every input offers at the drawn load.
+                    4 => g.chance(q),
+                    // Hotspot burst: on/off windows of 4S cycles; the
+                    // on-window runs at double intensity.
+                    _ => (t / burst).is_multiple_of(2) && g.chance((2.0 * q).min(1.0)),
+                };
+                if !start {
+                    continue;
+                }
+                let dst = match shape {
+                    // N-to-1: 80 % of the traffic converges on output 0.
+                    4 => {
+                        if g.chance(0.8) {
+                            0
+                        } else {
+                            g.below_usize(n)
+                        }
+                    }
+                    // Burst traffic favors output 0 half the time.
+                    _ => {
+                        if g.chance(0.5) {
+                            0
+                        } else {
+                            g.below_usize(n)
+                        }
+                    }
+                };
+                offers.push(Offer {
+                    at: t,
+                    input: i,
+                    dst,
+                    id: 0,
+                });
+                *nf = t + s as Cycle;
+            }
+        }
+        for (k, o) in offers.iter_mut().enumerate() {
+            o.id = k as u64 + 1;
+        }
+        offers
     }
 
     /// The same scenario with a seeded bank-upset overlay.
@@ -176,6 +307,17 @@ impl Scenario {
     /// organizations.
     pub fn with_recovery(mut self) -> Scenario {
         self.recovery = true;
+        self
+    }
+
+    /// The same scenario under the given buffer-sharing policy. Forces
+    /// open-loop offers for non-static policies (policy drops would leak
+    /// credits).
+    pub fn with_policy(mut self, policy: PolicyKind) -> Scenario {
+        self.policy = policy;
+        if !policy.is_static() {
+            self.credited = false;
+        }
         self
     }
 
@@ -203,8 +345,14 @@ impl fmt::Display for Scenario {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "scenario seed={:#018x} n={} slots={} credited={} load={:.2} horizon={}",
-            self.seed, self.n, self.slots, self.credited, self.load, self.horizon
+            "scenario seed={:#018x} n={} slots={} credited={} load={:.2} horizon={} policy={}",
+            self.seed,
+            self.n,
+            self.slots,
+            self.credited,
+            self.load,
+            self.horizon,
+            self.policy.token()
         )?;
         if let Some(sf) = &self.fault {
             write!(
@@ -297,5 +445,91 @@ mod tests {
         assert!(text.contains("seed=0x000000000000002a"));
         assert!(text.contains("fault=bank-upset"));
         assert!(text.lines().count() == sc.offers.len() + 1);
+    }
+
+    #[test]
+    fn policy_dimension_covers_every_kind() {
+        use std::collections::HashSet;
+        let mut tokens = HashSet::new();
+        for seed in 0..256u64 {
+            let sc = Scenario::generate(seed);
+            tokens.insert(sc.policy.token());
+            if !sc.policy.is_static() {
+                assert!(
+                    !sc.credited,
+                    "seed {seed}: non-static policy must force open-loop offers"
+                );
+            }
+        }
+        for kind in PolicyKind::all_default() {
+            assert!(
+                tokens.contains(kind.token()),
+                "256 seeds never drew policy {}",
+                kind.token()
+            );
+        }
+    }
+
+    #[test]
+    fn policy_draw_keeps_base_geometry_bit_identical() {
+        // The policy/shape draw comes from its own SplitMix64 stream, so
+        // seeds that draw the static policy with no shape override must
+        // produce exactly the pre-policy schedule (same offers, framing,
+        // slot count) — that is what pins old regression seeds in place.
+        for seed in 0..64u64 {
+            let sc = Scenario::generate(seed);
+            let again = Scenario::generate(seed);
+            assert_eq!(sc.offers, again.offers, "seed {seed}");
+            assert_eq!(sc.policy.token(), again.policy.token(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn display_names_the_policy_for_the_shrinker() {
+        for kind in PolicyKind::all_default() {
+            let sc = Scenario::generate(11).with_policy(kind);
+            let header = format!("{sc}");
+            let header = header.lines().next().unwrap().to_string();
+            assert!(
+                header.ends_with(&format!("policy={}", kind.token())),
+                "header {header:?} does not name policy {}",
+                kind.token()
+            );
+        }
+    }
+
+    #[test]
+    fn with_policy_forces_open_loop_for_non_static() {
+        let base = Scenario::generate(3);
+        let dt = base.clone().with_policy(PolicyKind::dynamic_thresholds());
+        assert!(!dt.credited);
+        let st = base.clone().with_policy(PolicyKind::Static);
+        assert_eq!(st.credited, base.credited);
+    }
+
+    #[test]
+    fn shaped_offers_respect_wire_framing() {
+        // Incast / hotspot overrides must still emit legal back-to-back
+        // schedules: one header per S cycles per input, ids unique.
+        let mut shaped = 0usize;
+        for seed in 0..256u64 {
+            let sc = Scenario::generate(seed);
+            let s = sc.stages() as Cycle;
+            let mut last: Vec<Option<Cycle>> = vec![None; sc.n];
+            for o in &sc.offers {
+                if let Some(prev) = last[o.input] {
+                    assert!(o.at >= prev + s, "seed {seed}: framing violation");
+                }
+                last[o.input] = Some(o.at);
+            }
+            let to_zero = sc.offers.iter().filter(|o| o.dst == 0).count();
+            if sc.offers.len() >= 8 && to_zero * 2 > sc.offers.len() {
+                shaped += 1;
+            }
+        }
+        assert!(
+            shaped >= 8,
+            "expected a visible incast/hotspot share of seeds, saw {shaped}"
+        );
     }
 }

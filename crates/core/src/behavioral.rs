@@ -34,6 +34,7 @@
 
 use crate::arbiter::{Arbiter, Decision, ReadReq, WriteReq};
 use crate::config::SwitchConfig;
+use crate::policy::{AdmitDecision, PolicyEngine, PolicyView, SharingPolicy};
 use simkernel::ids::Cycle;
 use std::collections::VecDeque;
 use telemetry::{
@@ -194,6 +195,17 @@ pub struct BehavioralSwitch {
     pub overruns: u64,
     /// Packets accepted.
     pub arrived: u64,
+    /// Packets rejected by a non-static sharing policy (DESIGN.md §12).
+    pub policy_drops: u64,
+    /// Buffered packets evicted by the sharing policy for an arrival.
+    pub policy_preempts: u64,
+    /// The buffer-sharing policy (admission/preemption decisions).
+    policy: PolicyEngine,
+    /// Cached `policy.is_static()` — the dense path branches on this
+    /// once per arrival to keep the static pool at its pre-policy cost.
+    policy_static: bool,
+    /// Scratch for the policy's live queue-length view (cold path).
+    scratch_qlens: Vec<usize>,
     /// Every departure, written once at read initiation. One initiation
     /// per cycle and `done = rs + S` make done cycles strictly increasing
     /// in push order, so `departures[..committed]` is exactly the
@@ -249,6 +261,11 @@ impl BehavioralSwitch {
             scratch_masks: Vec::with_capacity(cfg.n_in),
             scratch_reads: Vec::with_capacity(cfg.n_out),
             scratch_writes: Vec::with_capacity(cfg.n_in),
+            policy_drops: 0,
+            policy_preempts: 0,
+            policy: cfg.policy.engine(cfg.n_out, stages),
+            policy_static: cfg.policy.is_static(),
+            scratch_qlens: Vec::with_capacity(cfg.n_out),
             cfg,
         }
     }
@@ -349,21 +366,25 @@ impl BehavioralSwitch {
                 let excess = mask.checked_shr(self.cfg.n_out as u32).unwrap_or(0);
                 assert!(*mask != 0 && excess == 0, "bad destination mask {mask:#x}");
                 self.arriving[i] = self.stages - 1;
-                if self.buf_used == self.cfg.slots {
-                    self.dropped += 1;
-                    if PROBED {
-                        if let Some(p) = &self.probe {
-                            // Dropped before an id was assigned (ids number
-                            // accepted packets); 0 marks "no id".
-                            p.emit(
-                                c,
-                                ProbeEvent::Drop {
-                                    id: 0,
-                                    reason: DropReason::BufferFull,
-                                },
-                            );
+                if self.policy_static {
+                    if self.buf_used == self.cfg.slots {
+                        self.dropped += 1;
+                        if PROBED {
+                            if let Some(p) = &self.probe {
+                                // Dropped before an id was assigned (ids number
+                                // accepted packets); 0 marks "no id".
+                                p.emit(
+                                    c,
+                                    ProbeEvent::Drop {
+                                        id: 0,
+                                        reason: DropReason::BufferFull,
+                                    },
+                                );
+                            }
                         }
+                        continue;
                     }
+                } else if !self.policy_admit::<PROBED>(*mask, c) {
                     continue;
                 }
                 self.arrived += 1;
@@ -676,6 +697,97 @@ impl BehavioralSwitch {
         }
     }
 
+    /// Cold path: one non-static admission decision. Returns true when
+    /// the arrival may take a slot (a preemption has already freed one
+    /// if the policy demanded it); on false the packet was refused and
+    /// counted as a declared policy drop.
+    fn policy_admit<const PROBED: bool>(&mut self, mask: u32, c: Cycle) -> bool {
+        let dst = mask.trailing_zeros() as usize;
+        let mut qlens = std::mem::take(&mut self.scratch_qlens);
+        qlens.clear();
+        qlens.extend(self.queues.iter().map(|q| q.len()));
+        let decision = self.policy.admit(&PolicyView {
+            occupancy: self.buf_used,
+            capacity: self.cfg.slots,
+            n_out: self.cfg.n_out,
+            dst,
+            qlens: &qlens,
+        });
+        self.scratch_qlens = qlens;
+        let admitted = match decision {
+            AdmitDecision::Accept => true,
+            AdmitDecision::Reject => false,
+            AdmitDecision::Preempt { victim } => self.evict_rearmost::<PROBED>(victim, c),
+        };
+        if !admitted {
+            self.policy_drops += 1;
+            if PROBED {
+                if let Some(p) = &self.probe {
+                    p.emit(
+                        c,
+                        ProbeEvent::Drop {
+                            id: 0,
+                            reason: DropReason::AdmissionPolicy,
+                        },
+                    );
+                }
+            }
+        }
+        admitted
+    }
+
+    /// Evict the rearmost *evictable* packet of output queue `victim`:
+    /// its write wave must have fully retired (`c ≥ ws + S` — freeing a
+    /// slot mid-write would let the reallocated address collide with the
+    /// in-flight wave on the RTL model) and no copy may be in
+    /// transmission (`refs` still equals the fanout; reads pop their
+    /// queue entry at initiation, so queued entries can only lose refs
+    /// through other queues of a multicast). The victim leaves *all* its
+    /// queues and frees its slot. False when nothing qualifies.
+    fn evict_rearmost<const PROBED: bool>(&mut self, victim: usize, c: Cycle) -> bool {
+        let s = self.stages as Cycle;
+        let q = &self.queues[victim];
+        let mut found = None;
+        for idx in (0..q.len()).rev() {
+            let slot = q[idx];
+            let ws = self.wstart[slot];
+            if ws == Cycle::MAX || c < ws + s {
+                continue;
+            }
+            let p = self.packets[slot].as_ref().expect("queued slot is live");
+            if p.refs != p.dsts.count_ones() {
+                continue;
+            }
+            found = Some(slot);
+            break;
+        }
+        let Some(slot) = found else {
+            return false;
+        };
+        let p = self.packets[slot].take().expect("live packet");
+        for j in 0..self.cfg.n_out {
+            if p.dsts & (1 << j) != 0 {
+                self.queues[j].retain(|&sl| sl != slot);
+                self.refresh_ready(j);
+            }
+        }
+        self.free_slab.push(slot);
+        self.buf_used -= 1;
+        self.policy_preempts += 1;
+        if PROBED {
+            if let Some(pr) = &self.probe {
+                pr.emit(
+                    c,
+                    ProbeEvent::Drop {
+                        id: p.id,
+                        reason: DropReason::Preempted,
+                    },
+                );
+            }
+        }
+        true
+    }
+
     /// Tail step: occupancy gauge, emitted only on change.
     #[inline]
     fn emit_occupancy<const PROBED: bool>(&mut self, c: Cycle) {
@@ -719,6 +831,10 @@ impl BehavioralSwitch {
         };
         if PROBED {
             self.probe_read(j, c, fused, slot, &dep);
+        }
+        if !self.policy_static {
+            // BShare queueing-delay signal: birth-to-read latency.
+            self.policy.on_read(j, c - dep.birth);
         }
         if free {
             self.packets[slot] = None;

@@ -138,6 +138,58 @@ impl BufferManager {
         self.queues[out.index()].len()
     }
 
+    /// Live queued packets for one output — stale generation-tagged
+    /// entries excluded. This is the count a sharing policy's view uses
+    /// (and what the behavioral model's eagerly-maintained queues hold).
+    pub fn queue_len_live(&self, out: PortId) -> usize {
+        self.queues[out.index()]
+            .iter()
+            .filter(|&&(addr, gen)| {
+                let s = &self.slots[addr.index()];
+                s.gen == gen && s.desc.is_some()
+            })
+            .count()
+    }
+
+    /// The rearmost live entry of `out`'s queue whose descriptor (and
+    /// remaining reference count) satisfies `pred` — the sharing
+    /// policies' eviction scan.
+    pub fn rearmost_matching(
+        &self,
+        out: PortId,
+        mut pred: impl FnMut(&Descriptor, u32) -> bool,
+    ) -> Option<Addr> {
+        self.queues[out.index()]
+            .iter()
+            .rev()
+            .find_map(|&(addr, gen)| {
+                let s = &self.slots[addr.index()];
+                match &s.desc {
+                    Some(d) if s.gen == gen && pred(d, s.refs) => Some(addr),
+                    _ => None,
+                }
+            })
+    }
+
+    /// Evict a buffered packet (sharing-policy push-out / preemptive
+    /// drop): every queued reference is removed — all copies of a
+    /// multicast leave together — and the slot is freed with a
+    /// generation bump. Returns the descriptor. Panics if the slot is
+    /// not allocated; callers select victims via
+    /// [`BufferManager::rearmost_matching`].
+    pub fn evict(&mut self, addr: Addr) -> Descriptor {
+        let slot = &mut self.slots[addr.index()];
+        let d = slot.desc.take().expect("evicting unallocated slot");
+        let gen = slot.gen;
+        slot.gen += 1;
+        slot.refs = 0;
+        self.free.push(addr);
+        for j in d.destinations() {
+            self.queues[j.index()].retain(|&(a, g)| !(a == addr && g == gen));
+        }
+        d
+    }
+
     /// Allocate a slot for an arriving packet and enqueue its descriptor
     /// on every destination queue. `None` when the buffer is full.
     pub fn alloc(&mut self, desc: Descriptor) -> Option<Addr> {

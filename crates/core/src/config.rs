@@ -1,6 +1,7 @@
 //! Switch configuration and validation.
 
 use crate::arbiter::ArbiterPolicy;
+use crate::policy::PolicyKind;
 use crate::recovery::RecoveryConfig;
 
 /// Datapath-integrity machinery of the switch (the detect-and-survive
@@ -74,6 +75,10 @@ pub struct SwitchConfig {
     /// degraded-mode admission). Disabled by default — and zero-cost on
     /// the datapath when disabled, which the perf gate enforces.
     pub recovery: RecoveryConfig,
+    /// Buffer-sharing policy governing slot admission/preemption
+    /// (DESIGN.md §12). The static pool is the default and is held
+    /// bit-exact with (and as fast as) the pre-policy admission code.
+    pub policy: PolicyKind,
 }
 
 impl SwitchConfig {
@@ -90,12 +95,19 @@ impl SwitchConfig {
             arbiter: ArbiterPolicy::ReadPriority,
             integrity: IntegrityConfig::default(),
             recovery: RecoveryConfig::default(),
+            policy: PolicyKind::Static,
         }
     }
 
     /// The same configuration with the given recovery policy armed.
     pub fn with_recovery(mut self, recovery: RecoveryConfig) -> Self {
         self.recovery = recovery;
+        self
+    }
+
+    /// The same configuration with the given buffer-sharing policy.
+    pub fn with_policy(mut self, policy: PolicyKind) -> Self {
+        self.policy = policy;
         self
     }
 

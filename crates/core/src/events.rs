@@ -74,6 +74,14 @@ pub struct SwitchCounters {
     /// in `dropped_buffer_full`, so conservation is unchanged; this
     /// sub-count is what the oracle excuses as declared in-window loss).
     pub recovery_shed: u64,
+    /// Packets rejected at admission by a non-static buffer-sharing
+    /// policy (Dynamic Thresholds threshold, Occamy fair-share denial,
+    /// BShare delay bound, push-out with no evictable victim). Disjoint
+    /// from `dropped_buffer_full`, which stays a static-pool-only count.
+    pub policy_drops: u64,
+    /// Already-buffered packets evicted by a buffer-sharing policy to
+    /// admit a new arrival (push-out, Occamy preemptive drop).
+    pub policy_preempts: u64,
 }
 
 impl SwitchCounters {
@@ -84,6 +92,8 @@ impl SwitchCounters {
             - self.dropped_buffer_full
             - self.latch_overruns
             - self.corrupt_drops
+            - self.policy_drops
+            - self.policy_preempts
     }
 
     /// Packets condemned by the integrity machinery (dropped or flagged

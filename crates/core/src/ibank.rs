@@ -29,6 +29,7 @@
 //! accounting; this model pins the behavior.
 
 use crate::events::SwitchCounters;
+use crate::policy::{AdmitDecision, PolicyEngine, PolicyKind, PolicyView, SharingPolicy};
 use crate::recovery::{RecoveryConfig, RecoveryReport, RecoveryWindows};
 use crate::rtl::integrity_checksum;
 use membank::interleaved::{BankId, InterleavedMemory};
@@ -56,6 +57,10 @@ pub struct InterleavedSwitchConfig {
     /// promoted in its place; with the reserve dry, capacity degrades by
     /// one bank per retirement.
     pub recovery: RecoveryConfig,
+    /// Buffer-sharing policy governing bank admission/preemption
+    /// (DESIGN.md §12). Decided at header time; queue lengths see only
+    /// fully stored packets (descriptors are queued at tail time).
+    pub policy: PolicyKind,
 }
 
 impl InterleavedSwitchConfig {
@@ -67,12 +72,19 @@ impl InterleavedSwitchConfig {
             banks,
             scrub: true,
             recovery: RecoveryConfig::default(),
+            policy: PolicyKind::Static,
         }
     }
 
     /// The same configuration with the given recovery policy armed.
     pub fn with_recovery(mut self, recovery: RecoveryConfig) -> Self {
         self.recovery = recovery;
+        self
+    }
+
+    /// The same configuration with the given buffer-sharing policy.
+    pub fn with_policy(mut self, policy: PolicyKind) -> Self {
+        self.policy = policy;
         self
     }
 
@@ -132,6 +144,11 @@ pub struct InterleavedSwitch {
     scratch_freed: Vec<BankId>,
     /// Declared recovery windows (failover settle periods).
     recovery_windows: RecoveryWindows,
+    /// The buffer-sharing policy (bank admission / preemption).
+    policy: PolicyEngine,
+    /// Cached `policy.is_static()` — the header path branches on this
+    /// once per arrival to keep the static pool at its pre-policy cost.
+    policy_static: bool,
 }
 
 impl InterleavedSwitch {
@@ -157,7 +174,54 @@ impl InterleavedSwitch {
             wire_out: vec![None; cfg.n],
             scratch_freed: Vec::with_capacity(cfg.n),
             recovery_windows: RecoveryWindows::default(),
+            policy: cfg.policy.engine(cfg.n, cfg.packet_words()),
+            policy_static: cfg.policy.is_static(),
             cfg,
+        }
+    }
+
+    /// One non-static bank-admission decision. Queued packets are fully
+    /// stored and not in transmission (transmission pops the queue), so
+    /// any queue entry is evictable; push-out takes the rearmost entry
+    /// of the victim queue and releases its bank.
+    fn policy_admit(&mut self, dst: usize, c: Cycle) -> bool {
+        let qlens: Vec<usize> = self.queues.iter().map(VecDeque::len).collect();
+        let decision = self.policy.admit(&PolicyView {
+            occupancy: self.mem.occupied_count(),
+            capacity: self.mem.banks(),
+            n_out: self.cfg.n,
+            dst,
+            qlens: &qlens,
+        });
+        match decision {
+            AdmitDecision::Accept => true,
+            AdmitDecision::Reject => false,
+            AdmitDecision::Preempt { victim } => {
+                // Rearmost *evictable* entry: a packet stored this very
+                // cycle used its bank's write port this cycle, so the
+                // single-ported bank cannot take the preemptor's header
+                // word too. `ready <= c` means the last write retired in
+                // a previous cycle and the port is idle.
+                let slot = self.queues[victim].iter().rposition(|st| st.ready <= c);
+                match slot {
+                    Some(ix) => {
+                        let st = self.queues[victim].remove(ix).expect("index in range");
+                        self.mem.release(st.bank);
+                        self.counters.policy_preempts += 1;
+                        if let Some(p) = &self.probe {
+                            p.emit(
+                                c,
+                                ProbeEvent::Drop {
+                                    id: st.id,
+                                    reason: DropReason::Preempted,
+                                },
+                            );
+                        }
+                        true
+                    }
+                    None => false,
+                }
+            }
         }
     }
 
@@ -368,6 +432,11 @@ impl InterleavedSwitch {
                             }
                         } else {
                             self.tx[j] = Some((head.bank, 0, head.id, head.birth));
+                            if !self.policy_static {
+                                // BShare queueing-delay signal:
+                                // birth-to-transmission-start.
+                                self.policy.on_read(j, c - head.birth);
+                            }
                             if let Some(p) = &self.probe {
                                 p.emit(
                                     c,
@@ -429,29 +498,43 @@ impl InterleavedSwitch {
                 if let Some(p) = &self.probe {
                     p.emit(c, ProbeEvent::HeaderArrived { input: i, id, dst });
                 }
-                let bank = self.mem.allocate();
-                match bank {
-                    Some(b) => {
-                        if let Some(p) = &self.probe {
-                            p.emit(
-                                c,
-                                ProbeEvent::WriteWave {
-                                    input: i,
-                                    addr: b.0,
-                                },
-                            );
-                        }
+                let refused = !self.policy_static && !self.policy_admit(dst, c);
+                let bank = if refused { None } else { self.mem.allocate() };
+                if refused {
+                    self.counters.policy_drops += 1;
+                    if let Some(p) = &self.probe {
+                        p.emit(
+                            c,
+                            ProbeEvent::Drop {
+                                id,
+                                reason: DropReason::AdmissionPolicy,
+                            },
+                        );
                     }
-                    None => {
-                        self.counters.dropped_buffer_full += 1;
-                        if let Some(p) = &self.probe {
-                            p.emit(
-                                c,
-                                ProbeEvent::Drop {
-                                    id,
-                                    reason: DropReason::BufferFull,
-                                },
-                            );
+                } else {
+                    match bank {
+                        Some(b) => {
+                            if let Some(p) = &self.probe {
+                                p.emit(
+                                    c,
+                                    ProbeEvent::WriteWave {
+                                        input: i,
+                                        addr: b.0,
+                                    },
+                                );
+                            }
+                        }
+                        None => {
+                            self.counters.dropped_buffer_full += 1;
+                            if let Some(p) = &self.probe {
+                                p.emit(
+                                    c,
+                                    ProbeEvent::Drop {
+                                        id,
+                                        reason: DropReason::BufferFull,
+                                    },
+                                );
+                            }
                         }
                     }
                 }

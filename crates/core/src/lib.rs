@@ -60,6 +60,7 @@ pub mod events;
 pub mod faultsim;
 pub mod halfq;
 pub mod ibank;
+pub mod policy;
 pub mod recovery;
 pub mod reference;
 pub mod rtl;
@@ -77,6 +78,7 @@ pub use events::IntegrityReason;
 pub use faultsim::{Fault, FaultAction, FaultKind, FaultPlan, WireFaults};
 pub use halfq::HalfQuantumBuffer;
 pub use ibank::{InterleavedSwitch, InterleavedSwitchConfig};
+pub use policy::{AdmitDecision, PolicyEngine, PolicyKind, PolicyView, SharingPolicy};
 pub use recovery::{
     RecoveryConfig, RecoveryReport, RecoveryWindows, RetryConfig, RetryReceiver, RetrySender,
     RxVerdict,

@@ -23,6 +23,7 @@ use crate::behavioral::BehavioralDeparture;
 use crate::bufmgr::{BufferManager, Descriptor};
 use crate::config::SwitchConfig;
 use crate::events::{IntegrityReason, SwitchCounters};
+use crate::policy::{AdmitDecision, PolicyEngine, PolicyView, SharingPolicy};
 use crate::rtl::{drop_reason, integrity_checksum, StageCtrl};
 use membank::bank::{PortKind, SramBank};
 use simkernel::cell::Packet;
@@ -74,6 +75,12 @@ pub struct BehavioralSwitchRef {
     pub overruns: u64,
     /// Packets accepted.
     pub arrived: u64,
+    /// Packets rejected by a non-static sharing policy.
+    pub policy_drops: u64,
+    /// Buffered packets evicted by the sharing policy for an arrival.
+    pub policy_preempts: u64,
+    policy: PolicyEngine,
+    policy_static: bool,
     departures: Vec<BehavioralDeparture>,
     in_tx: Vec<BehavioralDeparture>,
     probe: Option<ProbeHandle>,
@@ -103,6 +110,10 @@ impl BehavioralSwitchRef {
             dropped: 0,
             overruns: 0,
             arrived: 0,
+            policy_drops: 0,
+            policy_preempts: 0,
+            policy: cfg.policy.engine(cfg.n_out, stages),
+            policy_static: cfg.policy.is_static(),
             departures: Vec::new(),
             in_tx: Vec::new(),
             probe: None,
@@ -188,17 +199,21 @@ impl BehavioralSwitchRef {
                 let excess = mask.checked_shr(self.cfg.n_out as u32).unwrap_or(0);
                 assert!(*mask != 0 && excess == 0, "bad destination mask {mask:#x}");
                 self.arriving[i] = self.stages - 1;
-                if self.buf_used == self.cfg.slots {
-                    self.dropped += 1;
-                    if let Some(p) = &self.probe {
-                        p.emit(
-                            c,
-                            ProbeEvent::Drop {
-                                id: 0,
-                                reason: DropReason::BufferFull,
-                            },
-                        );
+                if self.policy_static {
+                    if self.buf_used == self.cfg.slots {
+                        self.dropped += 1;
+                        if let Some(p) = &self.probe {
+                            p.emit(
+                                c,
+                                ProbeEvent::Drop {
+                                    id: 0,
+                                    reason: DropReason::BufferFull,
+                                },
+                            );
+                        }
+                        continue;
                     }
+                } else if !self.policy_admit(*mask, c) {
                     continue;
                 }
                 self.arrived += 1;
@@ -389,6 +404,79 @@ impl BehavioralSwitchRef {
         self.cycle = c + 1;
     }
 
+    /// One non-static admission decision (scalar twin of the live
+    /// model's `policy_admit`; same view, same evictability rule).
+    fn policy_admit(&mut self, mask: u32, c: Cycle) -> bool {
+        let dst = mask.trailing_zeros() as usize;
+        let qlens: Vec<usize> = self.queues.iter().map(|q| q.len()).collect();
+        let decision = self.policy.admit(&PolicyView {
+            occupancy: self.buf_used,
+            capacity: self.cfg.slots,
+            n_out: self.cfg.n_out,
+            dst,
+            qlens: &qlens,
+        });
+        let admitted = match decision {
+            AdmitDecision::Accept => true,
+            AdmitDecision::Reject => false,
+            AdmitDecision::Preempt { victim } => self.evict_rearmost(victim, c),
+        };
+        if !admitted {
+            self.policy_drops += 1;
+            if let Some(p) = &self.probe {
+                p.emit(
+                    c,
+                    ProbeEvent::Drop {
+                        id: 0,
+                        reason: DropReason::AdmissionPolicy,
+                    },
+                );
+            }
+        }
+        admitted
+    }
+
+    /// Evict the rearmost evictable packet of queue `victim` (write wave
+    /// fully retired, no copy in transmission); see the live model.
+    fn evict_rearmost(&mut self, victim: usize, c: Cycle) -> bool {
+        let s = self.stages as Cycle;
+        let mut found = None;
+        for idx in (0..self.queues[victim].len()).rev() {
+            let slot = self.queues[victim][idx];
+            let p = self.packets[slot].as_ref().expect("queued slot is live");
+            if p.write_start.is_none_or(|ws| c < ws + s) {
+                continue;
+            }
+            if p.refs != p.dsts.count_ones() {
+                continue;
+            }
+            found = Some(slot);
+            break;
+        }
+        let Some(slot) = found else {
+            return false;
+        };
+        let p = self.packets[slot].take().expect("live packet");
+        for j in 0..self.cfg.n_out {
+            if p.dsts & (1 << j) != 0 {
+                self.queues[j].retain(|&sl| sl != slot);
+            }
+        }
+        self.free_slab.push(slot);
+        self.buf_used -= 1;
+        self.policy_preempts += 1;
+        if let Some(pr) = &self.probe {
+            pr.emit(
+                c,
+                ProbeEvent::Drop {
+                    id: p.id,
+                    reason: DropReason::Preempted,
+                },
+            );
+        }
+        true
+    }
+
     fn start_read(&mut self, j: usize, c: Cycle, fused: bool) {
         let slot = self.queues[j].pop_front().expect("read from empty queue");
         let dep = {
@@ -444,6 +532,10 @@ impl BehavioralSwitchRef {
                     );
                 }
             }
+        }
+        if !self.policy_static {
+            // BShare queueing-delay signal: birth-to-read latency.
+            self.policy.on_read(j, c - dep.birth);
         }
         if self.packets[slot].as_ref().expect("live").refs == 0 {
             self.packets[slot] = None;
@@ -604,6 +696,8 @@ pub struct PipelinedSwitchRef {
     out_verify: Vec<OutVerify>,
     stuck_write: Option<(usize, Cycle)>,
     mgr: BufferManager,
+    policy: PolicyEngine,
+    policy_static: bool,
     arb: Arbiter,
     waves: Vec<ActiveWave>,
     cycle: Cycle,
@@ -638,6 +732,8 @@ impl PipelinedSwitchRef {
             out_verify: vec![OutVerify::default(); cfg.n_out],
             stuck_write: None,
             mgr: BufferManager::new(cfg.slots, cfg.n_out),
+            policy: cfg.policy.engine(cfg.n_out, stages),
+            policy_static: cfg.policy.is_static(),
             arb: Arbiter::new(cfg.arbiter),
             waves: Vec::new(),
             cycle: 0,
@@ -651,6 +747,59 @@ impl PipelinedSwitchRef {
             scratch_writes: Vec::with_capacity(cfg.n_in),
             scratch_dsts: Vec::with_capacity(cfg.n_out),
             cfg,
+        }
+    }
+
+    /// One non-static admission decision, scalar form (fresh queue-length
+    /// `Vec` each call — the reference is deliberately not maintained for
+    /// speed). Mirrors `PipelinedSwitch::policy_admit` decision for
+    /// decision, including the evictability rule.
+    #[allow(clippy::too_many_arguments)] // associated fn over disjoint field borrows
+    fn policy_admit(
+        policy: &mut PolicyEngine,
+        mgr: &mut BufferManager,
+        counters: &mut SwitchCounters,
+        probe: &Option<ProbeHandle>,
+        n_out: usize,
+        slots: usize,
+        stages: usize,
+        dst: usize,
+        c: Cycle,
+    ) -> bool {
+        let s = stages as Cycle;
+        let qlens: Vec<usize> = (0..n_out).map(|j| mgr.queue_len_live(PortId(j))).collect();
+        let decision = policy.admit(&PolicyView {
+            occupancy: mgr.occupancy(),
+            capacity: slots,
+            n_out,
+            dst,
+            qlens: &qlens,
+        });
+        match decision {
+            AdmitDecision::Accept => true,
+            AdmitDecision::Reject => false,
+            AdmitDecision::Preempt { victim } => {
+                let addr = mgr.rearmost_matching(PortId(victim), |d, refs| {
+                    d.write_start.is_some_and(|ws| c >= ws + s) && refs == d.fanout()
+                });
+                match addr {
+                    Some(a) => {
+                        let d = mgr.evict(a);
+                        counters.policy_preempts += 1;
+                        if let Some(p) = probe {
+                            p.emit(
+                                c,
+                                ProbeEvent::Drop {
+                                    id: d.id,
+                                    reason: DropReason::Preempted,
+                                },
+                            );
+                        }
+                        true
+                    }
+                    None => false,
+                }
+            }
         }
     }
 
@@ -795,25 +944,50 @@ impl PipelinedSwitchRef {
                             }
                             st.expected_id = self.cfg.integrity.payload_check.then_some(id);
                             st.cur_id = id;
-                            match self.mgr.alloc(desc) {
-                                Some(addr) => {
-                                    st.addr = Some(addr);
-                                    st.pending.push_back(PendingWrite {
-                                        addr,
-                                        eligible: c + 1,
-                                        deadline: c + s as Cycle,
-                                    });
+                            let refused = !self.policy_static
+                                && !Self::policy_admit(
+                                    &mut self.policy,
+                                    &mut self.mgr,
+                                    &mut self.counters,
+                                    &self.probe,
+                                    self.cfg.n_out,
+                                    self.cfg.slots,
+                                    self.stages,
+                                    desc.dst.index(),
+                                    c,
+                                );
+                            if refused {
+                                self.counters.policy_drops += 1;
+                                if let Some(p) = &self.probe {
+                                    p.emit(
+                                        c,
+                                        ProbeEvent::Drop {
+                                            id,
+                                            reason: DropReason::AdmissionPolicy,
+                                        },
+                                    );
                                 }
-                                None => {
-                                    self.counters.dropped_buffer_full += 1;
-                                    if let Some(p) = &self.probe {
-                                        p.emit(
-                                            c,
-                                            ProbeEvent::Drop {
-                                                id,
-                                                reason: DropReason::BufferFull,
-                                            },
-                                        );
+                            } else {
+                                match self.mgr.alloc(desc) {
+                                    Some(addr) => {
+                                        st.addr = Some(addr);
+                                        st.pending.push_back(PendingWrite {
+                                            addr,
+                                            eligible: c + 1,
+                                            deadline: c + s as Cycle,
+                                        });
+                                    }
+                                    None => {
+                                        self.counters.dropped_buffer_full += 1;
+                                        if let Some(p) = &self.probe {
+                                            p.emit(
+                                                c,
+                                                ProbeEvent::Drop {
+                                                    id,
+                                                    reason: DropReason::BufferFull,
+                                                },
+                                            );
+                                        }
                                     }
                                 }
                             }
@@ -989,6 +1163,9 @@ impl PipelinedSwitchRef {
                     }
                 } else {
                     self.out_next_init[j.index()] = c + s as Cycle;
+                    if !self.policy_static {
+                        self.policy.on_read(j.index(), c - d.birth);
+                    }
                     if let Some(p) = &self.probe {
                         p.emit(
                             c,
@@ -1079,6 +1256,9 @@ impl PipelinedSwitchRef {
                         debug_assert_eq!(addr2, pw.addr);
                         debug_assert_eq!(d2.id, id);
                         self.out_next_init[dst.index()] = c + s as Cycle;
+                        if !self.policy_static {
+                            self.policy.on_read(dst.index(), c - d2.birth);
+                        }
                         self.counters.fused_reads += 1;
                         if let Some(p) = &self.probe {
                             p.emit(

@@ -39,6 +39,7 @@ use crate::arbiter::{Arbiter, Decision, ReadReq, WriteReq};
 use crate::bufmgr::{BufferManager, Descriptor};
 use crate::config::SwitchConfig;
 use crate::events::{IntegrityReason, SwitchCounters};
+use crate::policy::{AdmitDecision, PolicyEngine, PolicyView, SharingPolicy};
 use crate::recovery::{RecoveryReport, RecoveryWindows};
 use membank::bank::{EccOutcome, PortKind, SramBank};
 use simkernel::cell::Packet;
@@ -199,6 +200,13 @@ pub struct PipelinedSwitch {
     /// inline).
     pending_failover: Option<usize>,
     mgr: BufferManager,
+    /// The buffer-sharing policy (admission/preemption decisions).
+    policy: PolicyEngine,
+    /// Cached `policy.is_static()` — the header path branches on this
+    /// once per arrival to keep the static pool at its pre-policy cost.
+    policy_static: bool,
+    /// Scratch for the policy's live queue-length view (cold path).
+    scratch_qlens: Vec<usize>,
     arb: Arbiter,
     /// Active waves as a ring indexed by `start % stages`. A wave lives
     /// exactly `stages` cycles and at most one initiates per cycle, so
@@ -281,6 +289,9 @@ impl PipelinedSwitch {
                 cfg.recovery.degrade_window
             },
             mgr: BufferManager::new(cfg.slots, cfg.n_out),
+            policy: cfg.policy.engine(cfg.n_out, stages),
+            policy_static: cfg.policy.is_static(),
+            scratch_qlens: Vec::with_capacity(cfg.n_out),
             arb: Arbiter::new(cfg.arbiter),
             waves: vec![None; stages],
             waves_live: 0,
@@ -340,6 +351,70 @@ impl PipelinedSwitch {
     /// Buffer occupancy in packets.
     pub fn occupancy(&self) -> usize {
         self.mgr.occupancy()
+    }
+
+    /// Cold path: one non-static admission decision. Returns true when
+    /// the arrival may take a slot (a preemption has already freed one
+    /// if the policy demanded it). An associated function over disjoint
+    /// field borrows, because the header loop holds the input state.
+    /// Mirrors the behavioral model's `policy_admit`: the view
+    /// (occupancy, live queue lengths) and the evictability rule (write
+    /// wave fully retired, no copy in transmission) are computed
+    /// identically, so the two models stay cycle-exact under every
+    /// policy.
+    #[allow(clippy::too_many_arguments)]
+    fn policy_admit(
+        policy: &mut PolicyEngine,
+        mgr: &mut BufferManager,
+        counters: &mut SwitchCounters,
+        probe: &Option<ProbeHandle>,
+        qlens: &mut Vec<usize>,
+        n_out: usize,
+        slots: usize,
+        stages: usize,
+        dst: usize,
+        c: Cycle,
+    ) -> bool {
+        let s = stages as Cycle;
+        qlens.clear();
+        qlens.extend((0..n_out).map(|j| mgr.queue_len_live(PortId(j))));
+        let decision = policy.admit(&PolicyView {
+            occupancy: mgr.occupancy(),
+            capacity: slots,
+            n_out,
+            dst,
+            qlens,
+        });
+        match decision {
+            AdmitDecision::Accept => true,
+            AdmitDecision::Reject => false,
+            AdmitDecision::Preempt { victim } => {
+                // Evictable: the write wave has fully retired (freeing a
+                // slot mid-write would let the reallocated address
+                // collide with the in-flight wave) and no copy's read
+                // has initiated (refs still equals the fanout).
+                let addr = mgr.rearmost_matching(PortId(victim), |d, refs| {
+                    d.write_start.is_some_and(|ws| c >= ws + s) && refs == d.fanout()
+                });
+                match addr {
+                    Some(a) => {
+                        let d = mgr.evict(a);
+                        counters.policy_preempts += 1;
+                        if let Some(p) = probe {
+                            p.emit(
+                                c,
+                                ProbeEvent::Drop {
+                                    id: d.id,
+                                    reason: DropReason::Preempted,
+                                },
+                            );
+                        }
+                        true
+                    }
+                    None => false,
+                }
+            }
+        }
     }
 
     /// The per-stage control signals of the most recently executed cycle
@@ -836,28 +911,58 @@ impl PipelinedSwitch {
                                 // its own (mergeable) outage span.
                                 self.recovery_windows.open(c, 0);
                             }
-                            match if shed { None } else { self.mgr.alloc(desc) } {
-                                Some(addr) => {
-                                    st.addr = Some(addr);
-                                    st.pending.push_back(PendingWrite {
-                                        addr,
-                                        eligible: c + 1,
-                                        deadline: c + s as Cycle,
-                                    });
+                            // Non-static sharing policy: decide (and
+                            // preempt) before touching the free list;
+                            // recovery shedding keeps priority over it.
+                            let refused = !shed
+                                && !self.policy_static
+                                && !Self::policy_admit(
+                                    &mut self.policy,
+                                    &mut self.mgr,
+                                    &mut self.counters,
+                                    &self.probe,
+                                    &mut self.scratch_qlens,
+                                    self.cfg.n_out,
+                                    self.cfg.slots,
+                                    self.stages,
+                                    desc.dst.index(),
+                                    c,
+                                );
+                            if refused {
+                                self.counters.policy_drops += 1;
+                                if let Some(p) = &self.probe {
+                                    p.emit(
+                                        c,
+                                        ProbeEvent::Drop {
+                                            id,
+                                            reason: DropReason::AdmissionPolicy,
+                                        },
+                                    );
                                 }
-                                None => {
-                                    self.counters.dropped_buffer_full += 1;
-                                    if shed {
-                                        self.counters.recovery_shed += 1;
+                            } else {
+                                match if shed { None } else { self.mgr.alloc(desc) } {
+                                    Some(addr) => {
+                                        st.addr = Some(addr);
+                                        st.pending.push_back(PendingWrite {
+                                            addr,
+                                            eligible: c + 1,
+                                            deadline: c + s as Cycle,
+                                        });
                                     }
-                                    if let Some(p) = &self.probe {
-                                        p.emit(
-                                            c,
-                                            ProbeEvent::Drop {
-                                                id,
-                                                reason: DropReason::BufferFull,
-                                            },
-                                        );
+                                    None => {
+                                        self.counters.dropped_buffer_full += 1;
+                                        if shed {
+                                            self.counters.recovery_shed += 1;
+                                        }
+                                        if let Some(p) = &self.probe {
+                                            p.emit(
+                                                c,
+                                                ProbeEvent::Drop {
+                                                    id,
+                                                    reason: DropReason::BufferFull,
+                                                },
+                                            );
+                                        }
                                     }
                                 }
                             }
@@ -1077,6 +1182,10 @@ impl PipelinedSwitch {
                     }
                 } else {
                     self.out_next_init[j.index()] = c + s as Cycle;
+                    if !self.policy_static {
+                        // BShare queueing-delay signal: birth-to-read.
+                        self.policy.on_read(j.index(), c - d.birth);
+                    }
                     if let Some(p) = &self.probe {
                         p.emit(
                             c,
@@ -1178,6 +1287,10 @@ impl PipelinedSwitch {
                         debug_assert_eq!(addr2, pw.addr);
                         debug_assert_eq!(d2.id, id);
                         self.out_next_init[dst.index()] = c + s as Cycle;
+                        if !self.policy_static {
+                            // BShare queueing-delay signal (fused read).
+                            self.policy.on_read(dst.index(), c - d2.birth);
+                        }
                         self.counters.fused_reads += 1;
                         if let Some(p) = &self.probe {
                             p.emit(

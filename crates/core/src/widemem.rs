@@ -28,6 +28,7 @@
 //! `vlsimodel` prices the silicon (§5.2).
 
 use crate::events::SwitchCounters;
+use crate::policy::{AdmitDecision, PolicyEngine, PolicyKind, PolicyView, SharingPolicy};
 use crate::recovery::{RecoveryConfig, RecoveryReport, RecoveryWindows};
 use crate::rtl::integrity_checksum;
 use membank::wide::WideMemory;
@@ -55,6 +56,11 @@ pub struct WideSwitchConfig {
     /// threshold is masked out of the free list and a spare row promoted
     /// in its place. With the spare pool exhausted, capacity degrades.
     pub recovery: RecoveryConfig,
+    /// Buffer-sharing policy governing memory-store admission and
+    /// preemption (DESIGN.md §12). The wide organization decides at
+    /// store time — bypassed (cut-through) packets never touch the
+    /// memory and are never policed.
+    pub policy: PolicyKind,
 }
 
 impl WideSwitchConfig {
@@ -66,12 +72,19 @@ impl WideSwitchConfig {
             double_buffering: true,
             cut_through_crossbar: true,
             recovery: RecoveryConfig::default(),
+            policy: PolicyKind::Static,
         }
     }
 
     /// The same configuration with the given recovery policy armed.
     pub fn with_recovery(mut self, recovery: RecoveryConfig) -> Self {
         self.recovery = recovery;
+        self
+    }
+
+    /// The same configuration with the given buffer-sharing policy.
+    pub fn with_policy(mut self, policy: PolicyKind) -> Self {
+        self.policy = policy;
         self
     }
 
@@ -155,6 +168,11 @@ pub struct WideMemorySwitchRtl {
     /// loss is excused by the conformance oracle, and the window lengths
     /// are the MTTR numerator of the chaos campaign.
     recovery_windows: RecoveryWindows,
+    /// The buffer-sharing policy (store admission / preemption).
+    policy: PolicyEngine,
+    /// Cached `policy.is_static()` — the store path branches on this
+    /// once per packet to keep the static pool at its pre-policy cost.
+    policy_static: bool,
 }
 
 impl WideMemorySwitchRtl {
@@ -194,6 +212,8 @@ impl WideMemorySwitchRtl {
             row_corrections: vec![0; depth],
             capacity: cfg.slots,
             recovery_windows: RecoveryWindows::default(),
+            policy: cfg.policy.engine(cfg.n, cfg.packet_words()),
+            policy_static: cfg.policy.is_static(),
             cfg,
         }
     }
@@ -355,11 +375,60 @@ impl WideMemorySwitchRtl {
                 .all(|o| o.tx.is_none() && o.next.is_none() && o.bypass.is_none())
     }
 
+    /// One non-static store-admission decision. Every queued packet is
+    /// fully written and not yet in transmission (the fetch frees its row
+    /// immediately), so any queue entry is evictable; push-out takes the
+    /// rearmost entry of the victim queue.
+    fn policy_admit(&mut self, dst: usize) -> bool {
+        let qlens: Vec<usize> = self.queues.iter().map(VecDeque::len).collect();
+        let decision = self.policy.admit(&PolicyView {
+            occupancy: self.capacity - self.free.len(),
+            capacity: self.capacity,
+            n_out: self.cfg.n,
+            dst,
+            qlens: &qlens,
+        });
+        match decision {
+            AdmitDecision::Accept => true,
+            AdmitDecision::Reject => false,
+            AdmitDecision::Preempt { victim } => match self.queues[victim].pop_back() {
+                Some((addr, vid, _, _)) => {
+                    self.free.push(addr);
+                    self.counters.policy_preempts += 1;
+                    if let Some(p) = &self.probe {
+                        p.emit(
+                            self.cycle,
+                            ProbeEvent::Drop {
+                                id: vid,
+                                reason: DropReason::Preempted,
+                            },
+                        );
+                    }
+                    true
+                }
+                None => false,
+            },
+        }
+    }
+
     /// Store staged packet `i` into the wide memory (one whole-packet
     /// write, this cycle's single memory operation), or count the drop
     /// if no slot is free.
     fn write_staged(&mut self, i: usize) {
         let st = self.staging[i].take().expect("write_staged on empty row");
+        if !self.policy_static && !self.policy_admit(st.dst) {
+            self.counters.policy_drops += 1;
+            if let Some(p) = &self.probe {
+                p.emit(
+                    self.cycle,
+                    ProbeEvent::Drop {
+                        id: st.id,
+                        reason: DropReason::AdmissionPolicy,
+                    },
+                );
+            }
+            return;
+        }
         match self.free.pop() {
             Some(addr) => {
                 self.mem
@@ -502,6 +571,10 @@ impl WideMemorySwitchRtl {
             }
             if let Some(&(addr, id, birth, sum)) = self.queues[j].front() {
                 self.queues[j].pop_front();
+                if !self.policy_static {
+                    // BShare queueing-delay signal: birth-to-fetch.
+                    self.policy.on_read(j, c - birth);
+                }
                 // ECC pass over the row before the fetch samples it: a
                 // single-bit upset per code word is corrected in place, so
                 // the checksum scrub below sees clean data.

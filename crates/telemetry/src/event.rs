@@ -68,6 +68,13 @@ pub enum DropReason {
     Checksum,
     /// Ingress payload verification condemned the packet.
     Payload,
+    /// A buffer-sharing admission policy rejected the arriving packet
+    /// even though (or because) slots remained; counted separately from
+    /// `BufferFull` so each policy's declared loss is auditable.
+    AdmissionPolicy,
+    /// A buffer-sharing policy evicted this already-buffered packet to
+    /// admit a new arrival (push-out / Occamy preemptive drop).
+    Preempted,
 }
 
 impl fmt::Display for DropReason {
@@ -79,6 +86,8 @@ impl fmt::Display for DropReason {
             DropReason::Truncated => "truncated",
             DropReason::Checksum => "checksum-mismatch",
             DropReason::Payload => "payload-mismatch",
+            DropReason::AdmissionPolicy => "policy",
+            DropReason::Preempted => "preempt",
         })
     }
 }

@@ -67,6 +67,7 @@ fn wide_memory_write_starvation_reproducer_stays_fixed() {
         slots: 8,
         credited: true,
         recovery: false,
+        policy: switch_core::PolicyKind::Static,
         load: 1.0,
         offers: vec![
             mk(0, 0, 0, 11),
