@@ -1,7 +1,7 @@
 //! `expt` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! expt <id>...      run specific experiments (e1..e18, x1..x5)
+//! expt <id>...      run specific experiments (e1..e19, x1..x5)
 //! expt all          run everything
 //!   --policy P      restrict e18 to one buffer-sharing policy
 //!                   (static | dt | pushout | occamy | bshare)
@@ -285,7 +285,7 @@ fn main() -> ExitCode {
 
     if list || ids.is_empty() {
         eprintln!(
-            "usage: expt [--quick] [--smoke] [--jobs N | --seq] [--watchdog N] <e1..e18 | x1..x5 | all>...\n       \
+            "usage: expt [--quick] [--smoke] [--jobs N | --seq] [--watchdog N] <e1..e19 | x1..x5 | all>...\n       \
              expt e18 [--policy static|dt|pushout|occamy|bshare]\n       \
              expt fuzz [--seeds N] [--base 0xHEX] [--jobs N | --seq]\n       \
              expt bench [--quick] [--gate]\n       \

@@ -33,6 +33,7 @@
 //! | [`e16`] | extension | fault-injection campaign: detection coverage |
 //! | [`e17`] | extension | chaos campaign: recovery ladder, MTTR, degraded throughput |
 //! | [`e18`] | extension | buffer-sharing policy lab: admission policies under incast/hotspot/on-off |
+//! | [`e19`] | extension | fabric scaling: component-graph networks of real elements, 64–1024 endpoints |
 
 #![forbid(unsafe_code)]
 
@@ -54,6 +55,7 @@ pub mod e15;
 pub mod e16;
 pub mod e17;
 pub mod e18;
+pub mod e19;
 pub mod fuzz;
 pub mod perf;
 pub mod sweep;
@@ -68,7 +70,7 @@ pub mod x05;
 /// All paper experiment ids, in order.
 pub const ALL: &[&str] = &[
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "e16", "e17", "e18", "x1", "x2", "x3", "x4", "x5",
+    "e16", "e17", "e18", "e19", "x1", "x2", "x3", "x4", "x5",
 ];
 
 /// Run one experiment by id ("e1".."e15"); `quick` shrinks run lengths.
@@ -92,6 +94,7 @@ pub fn run_experiment(id: &str, quick: bool) -> Option<String> {
         "e16" => e16::run(quick),
         "e17" => e17::run(quick),
         "e18" => e18::run(quick),
+        "e19" => e19::run(quick),
         "x1" => x01::run(quick),
         "x2" => x02::run(quick),
         "x3" => x03::run(quick),

@@ -18,6 +18,7 @@
 //! strictly additive, so the minimum estimates true cost.
 
 use crate::e06;
+use fabric::{topo, ElementKind, Fabric, Pattern, Workload};
 use simkernel::SplitMix64;
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -114,6 +115,26 @@ pub struct RtlCompare {
     pub speedup: f64,
 }
 
+/// Fabric-runtime scaling check: the 1024-endpoint omega of behavioral
+/// pipelined-memory elements run sequentially and with four worker
+/// shards, same workload. Both legs run in this process, so the speedup
+/// ratio is machine-portable; absolute cell rates are recorded for the
+/// EXPERIMENTS.md scaling table but not gated.
+#[derive(Debug, Clone, Copy)]
+pub struct FabricPerf {
+    /// `available_parallelism()` on the measuring machine — the gate
+    /// only demands real speedup where real cores exist.
+    pub cores: usize,
+    /// Million cells (offered + delivered) per wall second, `jobs = 1`.
+    pub seq_mcells: f64,
+    /// Million cells per wall second, `jobs = 4`.
+    pub par_mcells: f64,
+    /// seq wall / par wall.
+    pub speedup: f64,
+    /// The sharded run's content digest matched the sequential run's.
+    pub bit_exact: bool,
+}
+
 /// The full measurement set behind `BENCH_core.json`.
 #[derive(Debug, Clone)]
 pub struct PerfReport {
@@ -133,6 +154,8 @@ pub struct PerfReport {
     pub e6: Vec<E6Wall>,
     /// Telemetry-off vs NullSink overhead on the behavioral hot path.
     pub telemetry: TelemetryCheck,
+    /// Fabric-runtime sequential vs sharded scaling check.
+    pub fabric: FabricPerf,
 }
 
 /// Simulated cycles per measurement (quick mode shrinks for CI smoke).
@@ -491,6 +514,34 @@ pub fn measure(quick: bool) -> PerfReport {
         departures_match: plain_deps == null_deps,
     };
 
+    // Fabric scaling: the 1024-endpoint omega of behavioral elements,
+    // sequential vs four conservative-window worker shards, identical
+    // workload. The digest comparison makes every gated run also a
+    // bit-exactness check of the sharded executor.
+    let cores = std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(1);
+    let fab_slots: u64 = if quick { 96 } else { 384 };
+    let fab_wl = Workload {
+        pattern: Pattern::Uniform,
+        load: 0.6,
+        seed: 0xFAB,
+    };
+    let fab_leg = |jobs: usize| {
+        let mut fab = Fabric::new(topo::omega(4, 5), ElementKind::Behavioral { slots: 16 });
+        let run = fab.run(fab_slots, 64, &fab_wl, jobs);
+        (run.offered + run.delivered_total(), run.digest())
+    };
+    let (seq_secs, (seq_cells, seq_digest)) = min_of(reps, || time(|| fab_leg(1)));
+    let (par_secs, (_, par_digest)) = min_of(reps, || time(|| fab_leg(4)));
+    let fabric = FabricPerf {
+        cores,
+        seq_mcells: seq_cells as f64 / seq_secs.max(1e-12) / 1e6,
+        par_mcells: seq_cells as f64 / par_secs.max(1e-12) / 1e6,
+        speedup: seq_secs / par_secs.max(1e-12),
+        bit_exact: seq_digest == par_digest,
+    };
+
     PerfReport {
         behavioral_cycle_ns: behavioral_secs * 1e9 / total as f64,
         rtl_cycle_ns: rtl_secs * 1e9 / rtl_total as f64,
@@ -499,6 +550,7 @@ pub fn measure(quick: bool) -> PerfReport {
         ff,
         e6,
         telemetry,
+        fabric,
     }
 }
 
@@ -557,11 +609,21 @@ pub fn to_json(r: &PerfReport) -> String {
     let _ = writeln!(
         s,
         "  \"telemetry\": {{\"plain_ns\": {:.1}, \"null_sink_ns\": {:.1}, \
-         \"overhead_ratio\": {:.3}, \"departures_match\": {}}}",
+         \"overhead_ratio\": {:.3}, \"departures_match\": {}}},",
         r.telemetry.plain_ns,
         r.telemetry.null_sink_ns,
         r.telemetry.ratio,
         r.telemetry.departures_match
+    );
+    let _ = writeln!(
+        s,
+        "  \"fabric\": {{\"cores\": {}, \"fabric_seq_mcells\": {:.2}, \
+         \"fabric_par_mcells\": {:.2}, \"fabric_speedup\": {:.2}, \"fabric_bit_exact\": {}}}",
+        r.fabric.cores,
+        r.fabric.seq_mcells,
+        r.fabric.par_mcells,
+        r.fabric.speedup,
+        r.fabric.bit_exact
     );
     s.push_str("}\n");
     s
@@ -627,6 +689,20 @@ pub fn render(r: &PerfReport) -> String {
         r.telemetry.ratio,
         if r.telemetry.departures_match {
             "identical"
+        } else {
+            "DIVERGED"
+        }
+    );
+    let _ = writeln!(
+        s,
+        "  fabric omega-1024 behavioral: seq {:.2} Mcells/s, 4-shard {:.2} Mcells/s — \
+         {:.2}x on {} core(s), sharded run {}",
+        r.fabric.seq_mcells,
+        r.fabric.par_mcells,
+        r.fabric.speedup,
+        r.fabric.cores,
+        if r.fabric.bit_exact {
+            "bit-exact"
         } else {
             "DIVERGED"
         }
@@ -708,6 +784,31 @@ pub fn gate(fresh: &PerfReport, baseline: &Baseline) -> Vec<String> {
             ));
         }
     }
+    // Fabric floors are baseline-free as well: both legs ran in this
+    // process. Bit-exactness is absolute; the speedup floor scales with
+    // the cores actually present — a four-shard run on a one-core box
+    // only has to avoid catastrophic overhead, on four real cores it
+    // must deliver genuine parallel speedup.
+    if !fresh.fabric.bit_exact {
+        violations.push(
+            "sharded fabric run diverged from the sequential reference — \
+             the conservative-window executor is not bit-exact"
+                .to_string(),
+        );
+    }
+    let fab_floor = if fresh.fabric.cores >= 4 {
+        1.05
+    } else if fresh.fabric.cores >= 2 {
+        0.5
+    } else {
+        0.2
+    };
+    if fresh.fabric.speedup < fab_floor {
+        violations.push(format!(
+            "fabric 4-shard speedup {:.2}x on {} core(s), below the {:.2}x floor",
+            fresh.fabric.speedup, fresh.fabric.cores, fab_floor
+        ));
+    }
     for p in &fresh.rtl {
         if p.speedup < 0.85 {
             violations.push(format!(
@@ -756,6 +857,18 @@ pub fn gate(fresh: &PerfReport, baseline: &Baseline) -> Vec<String> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// A fabric section that passes every gate floor (one core, so only
+    /// the catastrophic floor applies).
+    fn ok_fabric() -> FabricPerf {
+        FabricPerf {
+            cores: 1,
+            seq_mcells: 1.0,
+            par_mcells: 0.5,
+            speedup: 0.5,
+            bit_exact: true,
+        }
+    }
 
     #[test]
     fn dense_and_ff_replay_agree() {
@@ -821,6 +934,7 @@ mod tests {
                 ratio: 1.1,
                 departures_match: true,
             },
+            fabric: ok_fabric(),
         };
         let b = parse_baseline(&to_json(&r)).expect("parses");
         assert_eq!(b.ff.len(), 2);
@@ -858,6 +972,7 @@ mod tests {
                 ratio: 1.0,
                 departures_match: true,
             },
+            fabric: ok_fabric(),
         };
         let v = gate(&bad, &base);
         assert_eq!(v.len(), 3, "floor + band + skip drift: {v:?}");
@@ -886,6 +1001,7 @@ mod tests {
                 ratio: 2.0,
                 departures_match: false,
             },
+            fabric: ok_fabric(),
         };
         let v = gate(&bad, &base);
         assert_eq!(v.len(), 2, "overhead bound + behavior drift: {v:?}");
@@ -927,11 +1043,46 @@ mod tests {
                 ratio: 1.0,
                 departures_match: true,
             },
+            fabric: ok_fabric(),
         };
         let v = gate(&bad, &base);
         assert_eq!(v.len(), 3, "two dense floors + rtl floor: {v:?}");
         assert!(v.iter().any(|m| m.contains("95%")));
         assert!(v.iter().any(|m| m.contains("50%")));
         assert!(v.iter().any(|m| m.contains("RTL")));
+    }
+
+    #[test]
+    fn gate_holds_the_fabric_floors() {
+        let base = Baseline { ff: vec![] };
+        let mut r = PerfReport {
+            behavioral_cycle_ns: 0.0,
+            rtl_cycle_ns: 0.0,
+            dense: vec![],
+            rtl: vec![],
+            ff: vec![],
+            e6: vec![],
+            telemetry: TelemetryCheck {
+                plain_ns: 100.0,
+                null_sink_ns: 100.0,
+                ratio: 1.0,
+                departures_match: true,
+            },
+            fabric: FabricPerf {
+                cores: 4,
+                seq_mcells: 1.0,
+                par_mcells: 0.9,
+                speedup: 0.9, // four real cores must beat 1.05x
+                bit_exact: false,
+            },
+        };
+        let v = gate(&r, &base);
+        assert_eq!(v.len(), 2, "divergence + speedup floor: {v:?}");
+        assert!(v.iter().any(|m| m.contains("bit-exact")));
+        assert!(v.iter().any(|m| m.contains("1.05x floor")));
+        // The same numbers on one core only trip the catastrophic floor.
+        r.fabric.cores = 1;
+        r.fabric.bit_exact = true;
+        assert!(gate(&r, &base).is_empty(), "one-core box: 0.9x passes");
     }
 }

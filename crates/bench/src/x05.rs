@@ -7,14 +7,22 @@
 //! stages of 4×4) and measures delivered throughput and latency vs
 //! offered load — including the effect of element buffer depth, the
 //! fabric-level echo of the paper's buffer-sizing argument.
+//!
+//! The measurement runs on the `fabric` component-graph runtime (scalar
+//! elements, link latency 1); the original scalar `OmegaNetwork` model
+//! survives as its differential oracle — [`measure_legacy`] drives the
+//! identical offered schedule through it, and a test pins every grid
+//! row byte-identical between the two before the registry trusts the
+//! fabric path.
 
 use crate::{sweep, table};
+use fabric::{topo, ElementKind, Fabric};
 use netsim::multistage::OmegaNetwork;
 use simkernel::cell::Cell;
 use simkernel::SplitMix64;
 
 /// One operating point.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct X5Row {
     /// Element radix k (fabric is k^stages terminals).
     pub k: usize,
@@ -30,8 +38,60 @@ pub struct X5Row {
     pub loss: f64,
 }
 
-/// Run one fabric at one load.
+/// Post-injection drain ticks (kept from the original model so the
+/// fabric path reproduces its rows bit for bit: the legacy driver's last
+/// tick is `slots + 199`, so cells leaving the final stage later than
+/// `slots + 198` were never counted — the fabric run stops at the same
+/// horizon).
+const DRAIN: u64 = 200;
+
+/// Drive one fabric at one load on the component-graph runtime.
 pub fn measure(
+    k: usize,
+    stages: usize,
+    element_pool: Option<usize>,
+    load: f64,
+    slots: u64,
+    seed: u64,
+) -> X5Row {
+    let mut fab = Fabric::new(
+        topo::omega(k, stages),
+        ElementKind::Scalar {
+            capacity: element_pool,
+        },
+    );
+    let n = fab.topology().endpoints;
+    // One generator shared across terminals, exactly the legacy driver's
+    // draw order: per slot, terminal-ascending (injection gate, then
+    // destination).
+    let mut rng = SplitMix64::new(seed);
+    let mut offered = 0u64;
+    let mut id = 0u64;
+    let run = fab.run_with(slots + DRAIN - 1, |from, _to, inj| {
+        if from < slots {
+            for t in 0..n {
+                if rng.chance(load) {
+                    offered += 1;
+                    id += 1;
+                    inj.push((t, from, Cell::new(id, t, rng.below_usize(n), from)));
+                }
+            }
+        }
+    });
+    debug_assert_eq!(run.offered, offered);
+    X5Row {
+        k,
+        element_pool,
+        offered: offered as f64 / (slots * n as u64) as f64,
+        carried: run.delivered_total() as f64 / (slots * n as u64) as f64,
+        latency: run.mean_latency(),
+        loss: run.dropped as f64 / offered.max(1) as f64,
+    }
+}
+
+/// The original scalar-`OmegaNetwork` measurement — the differential
+/// oracle [`measure`] is pinned against.
+pub fn measure_legacy(
     k: usize,
     stages: usize,
     element_pool: Option<usize>,
@@ -56,7 +116,7 @@ pub fn measure(
         net.tick(now, &arr);
     }
     let idle = vec![None; n];
-    for now in slots..slots + 200 {
+    for now in slots..slots + DRAIN {
         net.tick(now, &idle);
     }
     let delivered = net.delivered().len() as u64;
@@ -70,10 +130,8 @@ pub fn measure(
     }
 }
 
-/// Sweep loads for 64-terminal fabrics of 2×2 and 4×4 elements: the
-/// (element, pool, load) grid runs through the parallel engine.
-pub fn rows(quick: bool) -> Vec<X5Row> {
-    let slots = if quick { 10_000 } else { 60_000 };
+/// The (element, pool, load) grid behind the report table.
+fn grid() -> Vec<(usize, usize, Option<usize>, f64)> {
     let mut points = Vec::new();
     for &(k, stages) in &[(2usize, 6usize), (4, 3)] {
         for &pool in &[Some(4usize), None] {
@@ -82,7 +140,14 @@ pub fn rows(quick: bool) -> Vec<X5Row> {
             }
         }
     }
-    sweep::map(&points, |&(k, stages, pool, load)| {
+    points
+}
+
+/// Sweep loads for 64-terminal fabrics of 2×2 and 4×4 elements: the
+/// (element, pool, load) grid runs through the parallel engine.
+pub fn rows(quick: bool) -> Vec<X5Row> {
+    let slots = if quick { 10_000 } else { 60_000 };
+    sweep::map(&grid(), |&(k, stages, pool, load)| {
         measure(k, stages, pool, load, slots, 0x55)
     })
 }
@@ -157,5 +222,25 @@ mod tests {
             tight.loss,
             roomy.loss
         );
+    }
+
+    /// The registry-switch gate: every grid row from the fabric runtime
+    /// must be byte-identical (every f64 bit) to the legacy scalar
+    /// `OmegaNetwork` path under the identical offered schedule.
+    #[test]
+    fn fabric_rows_byte_identical_to_legacy() {
+        for &(k, stages, pool, load) in &grid() {
+            let f = measure(k, stages, pool, load, 4_000, 0x55);
+            let l = measure_legacy(k, stages, pool, load, 4_000, 0x55);
+            assert!(
+                f == l
+                    && f.offered.to_bits() == l.offered.to_bits()
+                    && f.carried.to_bits() == l.carried.to_bits()
+                    && f.latency.to_bits() == l.latency.to_bits()
+                    && f.loss.to_bits() == l.loss.to_bits(),
+                "fabric diverged from the scalar oracle at \
+                 k={k} stages={stages} pool={pool:?} load={load}:\n  fabric {f:?}\n  legacy {l:?}"
+            );
+        }
     }
 }

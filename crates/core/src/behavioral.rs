@@ -306,6 +306,11 @@ impl BehavioralSwitch {
         self.arriving[i] == 0
     }
 
+    /// Packets queued for output `j` (including one mid-transmission).
+    pub fn queue_len(&self, j: usize) -> usize {
+        self.queues[j].len()
+    }
+
     /// Advance one cycle. `arrivals[i] = Some(dst)` offers a new packet
     /// header on input `i` (only when [`BehavioralSwitch::input_free`];
     /// offering mid-packet panics — the caller owns link pacing, exactly
@@ -937,6 +942,24 @@ impl BehavioralSwitch {
         &self.departures[..self.committed]
     }
 
+    /// Discard every *completed* departure record, keeping only the
+    /// scheduled-but-unfinished tail. The departure log otherwise grows
+    /// for the lifetime of the switch — fine for a single-switch
+    /// experiment, unbounded for a long-lived fabric element that
+    /// forwards millions of cells. Callers must have consumed
+    /// [`BehavioralSwitch::departures`] first; afterwards the log (and
+    /// the slice a subsequent `tick` returns) restarts from empty.
+    pub fn forget_departures(&mut self) {
+        if self.committed == 0 {
+            return;
+        }
+        self.departures.drain(..self.committed);
+        // `tx_next_done` caches a cycle, not an index, and the next
+        // pending entry (if any) now sits at index 0 == `committed`.
+        self.committed = 0;
+        self.dep_mark = 0;
+    }
+
     /// True when the switch holds nothing.
     pub fn is_quiescent(&self) -> bool {
         self.buf_used == 0
@@ -1058,6 +1081,29 @@ mod tests {
         assert_eq!(d[0].read_start, 1);
         assert_eq!(d[0].head_latency(), 2);
         assert_eq!(d[0].done, 5);
+    }
+
+    #[test]
+    fn forget_departures_preserves_future_completions() {
+        // Two packets to the same output: forget after the first tail
+        // completes, and the second must still complete on schedule with
+        // identical timing to an un-forgotten run.
+        let run = |forget: bool| {
+            let mut sw = BehavioralSwitch::new(cfg2());
+            sw.tick(&[Some(1), None]);
+            sw.tick(&[None, Some(1)]);
+            let mut done = Vec::new();
+            for _ in 0..40 {
+                done.extend(sw.tick(&[None, None]).iter().map(|d| (d.id, d.done)));
+                if forget && done.len() == 1 {
+                    sw.forget_departures();
+                    assert!(sw.departures().is_empty());
+                }
+            }
+            done
+        };
+        assert_eq!(run(false), run(true));
+        assert_eq!(run(false).len(), 2);
     }
 
     #[test]

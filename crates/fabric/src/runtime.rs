@@ -1,0 +1,746 @@
+//! The fabric runtime: a component graph of switch elements advanced in
+//! conservative sync windows, sequentially or sharded across threads.
+//!
+//! ## Time, links, and the window rule
+//!
+//! Every link (element-to-element and element-to-terminal) has the same
+//! fixed latency `L >= 1`: a cell emitted from an output port at cycle
+//! `c` lands on the attached input port (or terminal) at `c + L`.
+//! Terminals inject with zero latency — an injection at cycle `c` *is*
+//! the arrival at the ingress element at `c` — so an uncontended cell's
+//! terminal-to-terminal latency is exactly `hops × L`.
+//!
+//! Execution advances in windows of width `W = L` (the classic
+//! conservative lookahead): an emission inside window `w` (cycle in
+//! `[wL, wL+L)`) arrives at cycle `>= wL + L`, i.e. in window `w+1` or
+//! later. Therefore once every element has finished window `w`, *all*
+//! arrivals for window `w+1` exist — each element can run its next
+//! window against a provably complete inbox, with no rollback and no
+//! global event queue.
+//!
+//! ## Determinism at any `--jobs N`
+//!
+//! The element→shard partition is fixed (`shard(e) = e mod jobs`), but
+//! more importantly no result depends on it:
+//!
+//! - each input port has exactly one driver (topology invariant), so an
+//!   element's inbox keys `(cycle, port)` are unique and sorting by them
+//!   yields one canonical order no matter which thread produced which
+//!   arrival, or how late a mailbox was drained;
+//! - each terminal's delivered log is written only by the shard owning
+//!   its egress element, in that element's window order — cycle-ordered
+//!   because a single output port serializes its emissions;
+//! - each terminal's injection stream is an independent
+//!   `SplitMix64::stream(seed, t)`, a pure function of `(seed, t)`.
+//!
+//! The sequential path ([`Fabric::run_with`], also `jobs = 1`) is an
+//! independent implementation of the same window rule with no threads,
+//! no mailboxes and no atomics; `tests/fabric_determinism.rs` pins the
+//! sharded executor byte-identical to it.
+
+use crate::element::{Arrival, ElementKind, Emission, FabricElement};
+use crate::topo::{Target, Topology};
+use crate::traffic::{TerminalSource, Workload};
+use simkernel::cell::Cell;
+use simkernel::ids::Cycle;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use telemetry::metrics::Metrics;
+use telemetry::probe::Probe;
+use telemetry::{GaugeKind, ProbeEvent};
+
+/// How often (in windows) per-element occupancy is sampled.
+const DEFAULT_SAMPLE_EVERY: u64 = 64;
+
+/// A multistage network instantiated with real elements.
+pub struct Fabric {
+    topo: Topology,
+    kind: ElementKind,
+    latency: u64,
+    cell_time: u64,
+    sample_every: u64,
+    elements: Vec<Box<dyn FabricElement>>,
+}
+
+/// Everything one run produced, identical for every `jobs` value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FabricRun {
+    /// Cells injected at terminals.
+    pub offered: u64,
+    /// Per-terminal delivered log, cycle-ordered: `(delivery cycle, cell)`.
+    pub delivered: Vec<Vec<(Cycle, Cell)>>,
+    /// Cells dropped inside elements (buffer full), summed.
+    pub dropped: u64,
+    /// Cells still inside the fabric (element buffers + in-flight links)
+    /// when the run ended.
+    pub residual: u64,
+    /// Per-element accepted-cell counters.
+    pub elem_accepted: Vec<u64>,
+    /// Per-element dropped-cell counters.
+    pub elem_dropped: Vec<u64>,
+    /// Per-element occupancy probe series: `(sample cycle, cells held)`.
+    pub occ_series: Vec<Vec<(Cycle, u64)>>,
+    /// Windows executed.
+    pub windows: u64,
+    /// Link latency the run used.
+    pub latency: u64,
+}
+
+impl FabricRun {
+    /// Total cells delivered.
+    pub fn delivered_total(&self) -> u64 {
+        self.delivered.iter().map(|d| d.len() as u64).sum()
+    }
+
+    /// All terminal-to-terminal latencies (delivery cycle − birth).
+    pub fn latencies(&self) -> Vec<u64> {
+        let mut v: Vec<u64> = self
+            .delivered
+            .iter()
+            .flatten()
+            .map(|(c, cell)| c - cell.birth)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Mean delivered latency in cycles.
+    pub fn mean_latency(&self) -> f64 {
+        let l = self.latencies();
+        if l.is_empty() {
+            return 0.0;
+        }
+        l.iter().sum::<u64>() as f64 / l.len() as f64
+    }
+
+    /// 99th-percentile delivered latency in cycles.
+    pub fn p99_latency(&self) -> u64 {
+        let l = self.latencies();
+        if l.is_empty() {
+            return 0;
+        }
+        l[(l.len() - 1) * 99 / 100]
+    }
+
+    /// Order-insensitive-free content digest (FNV-1a over every field in
+    /// canonical order) — one number that two runs share iff they are
+    /// byte-identical in delivered cells, counters and probe series.
+    pub fn digest(&self) -> u64 {
+        let mut h = 0xcbf29ce484222325u64;
+        let mut mix = |x: u64| {
+            h ^= x;
+            h = h.wrapping_mul(0x100000001b3);
+        };
+        mix(self.offered);
+        mix(self.dropped);
+        mix(self.residual);
+        mix(self.windows);
+        for log in &self.delivered {
+            mix(log.len() as u64);
+            for (c, cell) in log {
+                mix(*c);
+                mix(cell.id.0);
+                mix(cell.src.index() as u64);
+                mix(cell.dst.index() as u64);
+                mix(cell.birth);
+            }
+        }
+        for &a in &self.elem_accepted {
+            mix(a);
+        }
+        for &d in &self.elem_dropped {
+            mix(d);
+        }
+        for s in &self.occ_series {
+            mix(s.len() as u64);
+            for &(c, v) in s {
+                mix(c);
+                mix(v);
+            }
+        }
+        h
+    }
+
+    /// Replay the run's probe data through the metrics pipeline and
+    /// render its JSON: fabric-wide occupancy (summed across elements)
+    /// as the occupancy gauge, per-element occupancy as queue-depth
+    /// gauges, and per-terminal deliveries as departure events.
+    pub fn metrics_json(&self) -> String {
+        let n = self.elem_accepted.len().max(self.delivered.len());
+        let window = self.occ_series.iter().map(|s| s.len()).max().unwrap_or(1);
+        let mut m = Metrics::new(n, window.max(1), 4096);
+        // Summed occupancy per sample cycle (all elements share sample
+        // cycles; elements missing a sample contribute zero).
+        let mut totals: std::collections::BTreeMap<Cycle, u64> = std::collections::BTreeMap::new();
+        for s in &self.occ_series {
+            for &(c, v) in s {
+                *totals.entry(c).or_insert(0) += v;
+            }
+        }
+        for (&c, &v) in &totals {
+            m.record(
+                c,
+                ProbeEvent::Gauge {
+                    gauge: GaugeKind::Occupancy,
+                    index: 0,
+                    value: v,
+                },
+            );
+        }
+        for (e, s) in self.occ_series.iter().enumerate() {
+            for &(c, v) in s {
+                m.record(
+                    c,
+                    ProbeEvent::Gauge {
+                        gauge: GaugeKind::QueueDepth,
+                        index: e,
+                        value: v,
+                    },
+                );
+            }
+        }
+        for (t, log) in self.delivered.iter().enumerate() {
+            for (c, cell) in log {
+                m.record(
+                    *c,
+                    ProbeEvent::Departed {
+                        output: t,
+                        id: cell.id.0,
+                        birth: cell.birth,
+                        latency: c - cell.birth,
+                    },
+                );
+            }
+        }
+        m.to_json()
+    }
+}
+
+/// Mutable per-element state of an execution: future arrivals not yet
+/// consumed (cells in flight on links).
+type Pending = Vec<Vec<Arrival>>;
+
+/// Pull the arrivals due before `to` out of `pending`, sorted by the
+/// canonical `(cycle, port)` key, into `due`.
+fn extract_due(pending: &mut Vec<Arrival>, to: Cycle, due: &mut Vec<Arrival>) {
+    due.clear();
+    if pending.is_empty() {
+        return;
+    }
+    let mut kept = 0usize;
+    for i in 0..pending.len() {
+        let a = pending[i];
+        if a.cycle < to {
+            due.push(a);
+        } else {
+            pending[kept] = a;
+            kept += 1;
+        }
+    }
+    pending.truncate(kept);
+    due.sort_unstable_by_key(|a| (a.cycle, a.port));
+}
+
+impl Fabric {
+    /// Instantiate `topo` with `kind` elements. Packet-paced kinds
+    /// (behavioral, word-level) require a uniform radix — the link
+    /// quantum `S = 2k` must match across every hop.
+    pub fn new(topo: Topology, kind: ElementKind) -> Self {
+        if !matches!(kind, ElementKind::Scalar { .. }) {
+            assert!(
+                topo.radix.windows(2).all(|w| w[0] == w[1]),
+                "{}: packet-paced elements need a uniform radix",
+                topo.name
+            );
+        }
+        let cell_time = kind.cell_time(topo.radix.first().copied().unwrap_or(2) as usize);
+        let elements = (0..topo.elements())
+            .map(|e| kind.build(topo.radix[e] as usize, topo.route[e].clone()))
+            .collect();
+        Fabric {
+            latency: cell_time,
+            cell_time,
+            sample_every: DEFAULT_SAMPLE_EVERY,
+            topo,
+            kind,
+            elements,
+        }
+    }
+
+    /// Override the link latency (default: one cell time). The sync
+    /// window width always equals the link latency.
+    pub fn with_link_latency(mut self, latency: u64) -> Self {
+        assert!(latency >= 1, "links take at least one cycle");
+        self.latency = latency;
+        self
+    }
+
+    /// Override the occupancy sampling period (in windows).
+    pub fn with_sample_every(mut self, windows: u64) -> Self {
+        assert!(windows >= 1);
+        self.sample_every = windows;
+        self
+    }
+
+    /// The topology this fabric instantiates.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// The element organization.
+    pub fn kind(&self) -> ElementKind {
+        self.kind
+    }
+
+    /// Cycles per injection slot (the link occupancy of one cell).
+    pub fn cell_time(&self) -> u64 {
+        self.cell_time
+    }
+
+    /// Link latency in cycles (= sync window width).
+    pub fn link_latency(&self) -> u64 {
+        self.latency
+    }
+
+    /// Windows needed to cover `slots` injection slots plus `drain`
+    /// drain slots.
+    pub fn windows_for(&self, slots: u64, drain: u64) -> u64 {
+        ((slots + drain) * self.cell_time).div_ceil(self.latency)
+    }
+
+    /// Sequential reference execution: run exactly `windows` windows,
+    /// asking `inject` for each window's injections. The closure pushes
+    /// `(terminal, cycle, cell)` with `from <= cycle < to`; cells appear
+    /// at the terminal's ingress port at `cycle` (zero injection
+    /// latency). This is the executor the sharded path is verified
+    /// against — plain loops, no threads, no mailboxes.
+    pub fn run_with(
+        &mut self,
+        windows: u64,
+        mut inject: impl FnMut(Cycle, Cycle, &mut Vec<(usize, Cycle, Cell)>),
+    ) -> FabricRun {
+        let nelem = self.topo.elements();
+        let l = self.latency;
+        let mut pending: Pending = vec![Vec::new(); nelem];
+        let mut delivered: Vec<Vec<(Cycle, Cell)>> = vec![Vec::new(); self.topo.endpoints];
+        let mut occ_series: Vec<Vec<(Cycle, u64)>> = vec![Vec::new(); nelem];
+        let mut offered = 0u64;
+        let mut inj: Vec<(usize, Cycle, Cell)> = Vec::new();
+        let mut due: Vec<Arrival> = Vec::new();
+        let mut outbox: Vec<Emission> = Vec::new();
+        for w in 0..windows {
+            let (from, to) = (w * l, (w + 1) * l);
+            inj.clear();
+            inject(from, to, &mut inj);
+            for &(t, cycle, cell) in &inj {
+                debug_assert!(from <= cycle && cycle < to, "injection outside its window");
+                let (e, port) = self.topo.ingress[t];
+                pending[e as usize].push(Arrival { cycle, port, cell });
+                offered += 1;
+            }
+            for e in 0..nelem {
+                extract_due(&mut pending[e], to, &mut due);
+                outbox.clear();
+                self.elements[e].run_window(from, to, &due, &mut outbox);
+                for em in &outbox {
+                    debug_assert!(from <= em.cycle && em.cycle < to, "emission outside window");
+                    match self.topo.wiring[e][em.port as usize] {
+                        Target::Elem { elem, port } => pending[elem as usize].push(Arrival {
+                            cycle: em.cycle + l,
+                            port,
+                            cell: em.cell,
+                        }),
+                        Target::Terminal(t) => delivered[t as usize].push((em.cycle + l, em.cell)),
+                    }
+                }
+            }
+            if (w + 1) % self.sample_every == 0 {
+                for (e, s) in occ_series.iter_mut().enumerate() {
+                    s.push((to, self.elements[e].occupancy()));
+                }
+            }
+        }
+        let in_links: u64 = pending.iter().map(|p| p.len() as u64).sum();
+        self.collect(offered, delivered, occ_series, in_links, windows)
+    }
+
+    /// Run `slots` injection slots of `workload` plus `drain` empty
+    /// slots, on `jobs` worker threads (1 = the sequential reference).
+    /// The result is byte-identical for every `jobs` value.
+    pub fn run(&mut self, slots: u64, drain: u64, workload: &Workload, jobs: usize) -> FabricRun {
+        let windows = self.windows_for(slots, drain);
+        let jobs = jobs.max(1).min(self.topo.elements());
+        if jobs == 1 {
+            let n = self.topo.endpoints;
+            let ct = self.cell_time;
+            let mut sources: Vec<TerminalSource> =
+                (0..n).map(|t| TerminalSource::new(workload, t)).collect();
+            return self.run_with(windows, |from, to, inj| {
+                let mut slot = from.div_ceil(ct);
+                while slot * ct < to && slot < slots {
+                    let cycle = slot * ct;
+                    for (t, src) in sources.iter_mut().enumerate() {
+                        if let Some(cell) = src.draw(workload, n, cycle) {
+                            inj.push((t, cycle, cell));
+                        }
+                    }
+                    slot += 1;
+                }
+            });
+        }
+        self.run_sharded(windows, slots, workload, jobs)
+    }
+
+    /// The sharded executor: `shard(e) = e mod jobs`, per-shard window
+    /// counters instead of a barrier, per-shard-pair mailboxes for
+    /// cross-shard link traffic.
+    fn run_sharded(
+        &mut self,
+        windows: u64,
+        slots: u64,
+        workload: &Workload,
+        jobs: usize,
+    ) -> FabricRun {
+        let nelem = self.topo.elements();
+        let n = self.topo.endpoints;
+        let l = self.latency;
+        let ct = self.cell_time;
+        let sample_every = self.sample_every;
+        let topo = &self.topo;
+
+        // Partition elements (restored after the scope), terminal
+        // sources (by ingress-element shard), and nothing else: wiring
+        // and routes are shared read-only.
+        let mut shard_elems: Vec<Vec<(usize, Box<dyn FabricElement>)>> =
+            (0..jobs).map(|_| Vec::new()).collect();
+        for (e, elem) in self.elements.drain(..).enumerate() {
+            shard_elems[e % jobs].push((e, elem));
+        }
+        let mut shard_sources: Vec<Vec<(usize, TerminalSource)>> =
+            (0..jobs).map(|_| Vec::new()).collect();
+        for t in 0..n {
+            let owner = topo.ingress[t].0 as usize % jobs;
+            shard_sources[owner].push((t, TerminalSource::new(workload, t)));
+        }
+
+        // done[s] = windows shard s has fully published.
+        let done: Vec<AtomicU64> = (0..jobs).map(|_| AtomicU64::new(0)).collect();
+        // mailboxes[producer][consumer]: (global element, arrival).
+        type Mailbox = Mutex<Vec<(u32, Arrival)>>;
+        let mailboxes: Vec<Vec<Mailbox>> = (0..jobs)
+            .map(|_| (0..jobs).map(|_| Mutex::new(Vec::new())).collect())
+            .collect();
+
+        struct ShardOut {
+            elems: Vec<(usize, Box<dyn FabricElement>)>,
+            delivered: Vec<Vec<(Cycle, Cell)>>,
+            occ_series: Vec<(usize, Vec<(Cycle, u64)>)>,
+            offered: u64,
+            pending_left: u64,
+        }
+
+        let outs: Vec<ShardOut> = std::thread::scope(|scope| {
+            let handles: Vec<_> = shard_elems
+                .into_iter()
+                .zip(shard_sources)
+                .enumerate()
+                .map(|(s, (mut elems, mut sources))| {
+                    let done = &done;
+                    let mailboxes = &mailboxes;
+                    scope.spawn(move || {
+                        let nlocal = elems.len();
+                        let mut pending: Vec<Vec<Arrival>> = vec![Vec::new(); nlocal];
+                        let mut delivered: Vec<Vec<(Cycle, Cell)>> = vec![Vec::new(); n];
+                        let mut occ_series: Vec<(usize, Vec<(Cycle, u64)>)> =
+                            elems.iter().map(|(e, _)| (*e, Vec::new())).collect();
+                        let mut batches: Vec<Vec<(u32, Arrival)>> =
+                            (0..jobs).map(|_| Vec::new()).collect();
+                        let mut due: Vec<Arrival> = Vec::new();
+                        let mut outbox: Vec<Emission> = Vec::new();
+                        let mut offered = 0u64;
+                        for w in 0..windows {
+                            // Conservative wait: peers must have
+                            // published window w-1's emissions.
+                            for (p, d) in done.iter().enumerate() {
+                                if p == s {
+                                    continue;
+                                }
+                                let mut spins = 0u32;
+                                while d.load(Ordering::Acquire) < w {
+                                    spins = spins.wrapping_add(1);
+                                    if spins < 128 {
+                                        std::hint::spin_loop();
+                                    } else {
+                                        std::thread::yield_now();
+                                    }
+                                }
+                            }
+                            // Drain inbound mailboxes. A producer already
+                            // inside window w may have appended arrivals
+                            // for window w+1 — harmless: extraction below
+                            // is cycle-gated and the sort key is unique.
+                            for (p, row) in mailboxes.iter().enumerate() {
+                                if p == s {
+                                    continue;
+                                }
+                                let mut mb = row[s].lock().expect("mailbox poisoned");
+                                for (e, a) in mb.drain(..) {
+                                    pending[e as usize / jobs].push(a);
+                                }
+                            }
+                            let (from, to) = (w * l, (w + 1) * l);
+                            // Inject this window's slots for owned
+                            // terminals (ascending t; streams are
+                            // per-terminal, so partitioning is invisible).
+                            let mut slot = from.div_ceil(ct);
+                            while slot * ct < to && slot < slots {
+                                let cycle = slot * ct;
+                                for (t, src) in sources.iter_mut() {
+                                    if let Some(cell) = src.draw(workload, n, cycle) {
+                                        let (e, port) = topo.ingress[*t];
+                                        offered += 1;
+                                        pending[e as usize / jobs].push(Arrival {
+                                            cycle,
+                                            port,
+                                            cell,
+                                        });
+                                    }
+                                }
+                                slot += 1;
+                            }
+                            // Run owned elements in ascending global
+                            // index; route emissions.
+                            for li in 0..nlocal {
+                                let ge = elems[li].0;
+                                extract_due(&mut pending[li], to, &mut due);
+                                outbox.clear();
+                                elems[li].1.run_window(from, to, &due, &mut outbox);
+                                for em in &outbox {
+                                    match topo.wiring[ge][em.port as usize] {
+                                        Target::Elem { elem, port } => {
+                                            let a = Arrival {
+                                                cycle: em.cycle + l,
+                                                port,
+                                                cell: em.cell,
+                                            };
+                                            let ds = elem as usize % jobs;
+                                            if ds == s {
+                                                pending[elem as usize / jobs].push(a);
+                                            } else {
+                                                batches[ds].push((elem, a));
+                                            }
+                                        }
+                                        Target::Terminal(t) => {
+                                            delivered[t as usize].push((em.cycle + l, em.cell))
+                                        }
+                                    }
+                                }
+                            }
+                            // Publish cross-shard traffic, then the
+                            // window itself.
+                            for (p, b) in batches.iter_mut().enumerate() {
+                                if p != s && !b.is_empty() {
+                                    mailboxes[s][p].lock().expect("mailbox poisoned").append(b);
+                                }
+                            }
+                            if (w + 1) % sample_every == 0 {
+                                for (li, (_, series)) in occ_series.iter_mut().enumerate() {
+                                    series.push((to, elems[li].1.occupancy()));
+                                }
+                            }
+                            done[s].store(w + 1, Ordering::Release);
+                        }
+                        let pending_left: u64 = pending.iter().map(|p| p.len() as u64).sum();
+                        ShardOut {
+                            elems,
+                            delivered,
+                            occ_series,
+                            offered,
+                            pending_left,
+                        }
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("fabric worker panicked"))
+                .collect()
+        });
+
+        // Reassemble elements in global order and merge shard results.
+        let mut slots_back: Vec<Option<Box<dyn FabricElement>>> =
+            (0..nelem).map(|_| None).collect();
+        let mut delivered: Vec<Vec<(Cycle, Cell)>> = vec![Vec::new(); n];
+        let mut occ_series: Vec<Vec<(Cycle, u64)>> = vec![Vec::new(); nelem];
+        let mut offered = 0u64;
+        let mut in_links = 0u64;
+        for out in outs {
+            for (e, elem) in out.elems {
+                slots_back[e] = Some(elem);
+            }
+            for (t, log) in out.delivered.into_iter().enumerate() {
+                if !log.is_empty() {
+                    debug_assert!(delivered[t].is_empty(), "terminal delivered on two shards");
+                    delivered[t] = log;
+                }
+            }
+            for (e, series) in out.occ_series {
+                occ_series[e] = series;
+            }
+            offered += out.offered;
+            in_links += out.pending_left;
+        }
+        self.elements = slots_back
+            .into_iter()
+            .map(|e| e.expect("element lost in resharding"))
+            .collect();
+        // Arrivals published in the final window are never consumed;
+        // they are still "on the link".
+        for row in &mailboxes {
+            for mb in row {
+                in_links += mb.lock().expect("mailbox poisoned").len() as u64;
+            }
+        }
+        self.collect(offered, delivered, occ_series, in_links, windows)
+    }
+
+    /// Assemble a [`FabricRun`] from an execution's raw outputs plus the
+    /// elements' own counters.
+    fn collect(
+        &self,
+        offered: u64,
+        delivered: Vec<Vec<(Cycle, Cell)>>,
+        occ_series: Vec<Vec<(Cycle, u64)>>,
+        in_links: u64,
+        windows: u64,
+    ) -> FabricRun {
+        let elem_accepted: Vec<u64> = self.elements.iter().map(|e| e.accepted()).collect();
+        let elem_dropped: Vec<u64> = self.elements.iter().map(|e| e.dropped()).collect();
+        let dropped = elem_dropped.iter().sum();
+        let buffered: u64 = self.elements.iter().map(|e| e.occupancy()).sum();
+        let run = FabricRun {
+            offered,
+            delivered,
+            dropped,
+            residual: buffered + in_links,
+            elem_accepted,
+            elem_dropped,
+            occ_series,
+            windows,
+            latency: self.latency,
+        };
+        debug_assert_eq!(
+            run.offered,
+            run.delivered_total() + run.dropped + run.residual,
+            "cell conservation violated"
+        );
+        run
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topo;
+    use crate::traffic::Pattern;
+
+    fn uniform(seed: u64) -> Workload {
+        Workload {
+            pattern: Pattern::Uniform,
+            load: 0.5,
+            seed,
+        }
+    }
+
+    #[test]
+    fn scalar_omega_conserves_and_delivers() {
+        let mut f = Fabric::new(topo::omega(2, 4), ElementKind::Scalar { capacity: None });
+        let run = f.run(500, 100, &uniform(3), 1);
+        assert!(run.offered > 0);
+        assert_eq!(run.dropped, 0, "unbounded pools never drop");
+        assert_eq!(run.residual, 0, "the drain emptied the fabric");
+        assert_eq!(run.offered, run.delivered_total());
+        assert_eq!(
+            run.offered,
+            run.delivered_total() + run.dropped + run.residual
+        );
+    }
+
+    #[test]
+    fn uncontended_latency_is_hops_times_link_latency() {
+        for lat in [1, 3] {
+            let mut f = Fabric::new(topo::omega(2, 3), ElementKind::Scalar { capacity: None })
+                .with_link_latency(lat);
+            let windows = f.windows_for(1, 20);
+            let run = f.run_with(windows, |from, _to, inj| {
+                if from == 0 {
+                    inj.push((0, 0, Cell::new(1, 0, 7, 0)));
+                }
+            });
+            assert_eq!(run.delivered_total(), 1);
+            let (cycle, cell) = run.delivered[7][0];
+            assert_eq!(cycle - cell.birth, 3 * lat, "3 hops at latency {lat}");
+        }
+    }
+
+    #[test]
+    fn sharded_matches_sequential_on_every_topology() {
+        for t in [
+            topo::omega(2, 4),
+            topo::banyan(2, 4),
+            topo::clos2(4, 4),
+            topo::fat_tree(4),
+        ] {
+            let name = t.name;
+            let mut a = Fabric::new(t.clone(), ElementKind::Scalar { capacity: Some(8) });
+            let mut b = Fabric::new(t, ElementKind::Scalar { capacity: Some(8) });
+            let ra = a.run(300, 100, &uniform(11), 1);
+            let rb = b.run(300, 100, &uniform(11), 3);
+            assert_eq!(ra, rb, "{name}: jobs=3 diverged from sequential");
+            assert_eq!(ra.digest(), rb.digest());
+        }
+    }
+
+    #[test]
+    fn behavioral_fabric_runs_and_conserves() {
+        let mut f = Fabric::new(topo::omega(4, 2), ElementKind::Behavioral { slots: 16 });
+        let run = f.run(200, 64, &uniform(5), 1);
+        assert!(run.offered > 0);
+        assert_eq!(run.residual, 0);
+        assert_eq!(run.offered, run.delivered_total() + run.dropped);
+        // S = 8 per hop, 2 hops, plus the cut-through pipeline: nothing
+        // can beat hops × S cycles end to end.
+        assert!(run.latencies().first().copied().unwrap_or(0) >= 16);
+    }
+
+    #[test]
+    fn behavioral_sharded_matches_sequential() {
+        let mut a = Fabric::new(topo::omega(4, 2), ElementKind::Behavioral { slots: 8 });
+        let mut b = Fabric::new(topo::omega(4, 2), ElementKind::Behavioral { slots: 8 });
+        let ra = a.run(150, 64, &uniform(9), 1);
+        let rb = b.run(150, 64, &uniform(9), 4);
+        assert_eq!(ra, rb);
+    }
+
+    #[test]
+    fn word_fabric_delivers_identical_cells() {
+        let mut f = Fabric::new(topo::omega(2, 2), ElementKind::WordRtl { slots: 8 });
+        let run = f.run(60, 64, &uniform(2), 1);
+        assert!(run.offered > 0);
+        assert_eq!(run.residual, 0);
+        assert_eq!(run.offered, run.delivered_total() + run.dropped);
+        for (t, log) in run.delivered.iter().enumerate() {
+            for (_, cell) in log {
+                assert_eq!(cell.dst.index(), t, "cell delivered to the wrong terminal");
+            }
+        }
+    }
+
+    #[test]
+    fn metrics_json_validates() {
+        let mut f = Fabric::new(topo::omega(2, 3), ElementKind::Scalar { capacity: Some(8) })
+            .with_sample_every(8);
+        let run = f.run(400, 100, &uniform(1), 1);
+        telemetry::metrics::validate_json(&run.metrics_json()).expect("fabric metrics JSON");
+    }
+}

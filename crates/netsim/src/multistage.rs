@@ -69,6 +69,13 @@ pub struct OmegaNetwork {
     latencies: Vec<u64>,
     /// Per-stage pipeline registers.
     pipe: Vec<Vec<Option<Cell>>>,
+    /// Reusable per-slot scratch (shuffle, route, stage-output, element
+    /// output): allocated once so `tick` is allocation-free per slot.
+    scratch_shuffled: Vec<Option<Cell>>,
+    scratch_routed: Vec<Option<(Cell, usize)>>,
+    scratch_stage_out: Vec<Option<Cell>>,
+    scratch_elem_out: Vec<Option<Cell>>,
+    scratch_stage_in: Vec<Option<Cell>>,
 }
 
 impl OmegaNetwork {
@@ -91,6 +98,11 @@ impl OmegaNetwork {
             delivered: Vec::new(),
             latencies: Vec::new(),
             pipe: vec![vec![None; n]; stages],
+            scratch_shuffled: vec![None; n],
+            scratch_routed: vec![None; n],
+            scratch_stage_out: vec![None; n],
+            scratch_elem_out: vec![None; k],
+            scratch_stage_in: vec![None; n],
         }
     }
 
@@ -120,11 +132,19 @@ impl OmegaNetwork {
         assert_eq!(arrivals.len(), self.n);
         let k = self.k;
         // Feed each stage from its pipeline register (stage 0 from the
-        // terminals), routing by the stage's destination digit.
-        let mut stage_in: Vec<Option<Cell>> = arrivals.to_vec();
+        // terminals), routing by the stage's destination digit. All four
+        // per-slot line vectors are reusable scratch hoisted out of the
+        // loop (zero allocations per slot).
+        let mut stage_in = std::mem::take(&mut self.scratch_stage_in);
+        let mut shuffled = std::mem::take(&mut self.scratch_shuffled);
+        let mut routed = std::mem::take(&mut self.scratch_routed);
+        let mut stage_out = std::mem::take(&mut self.scratch_stage_out);
+        let mut elem_out = std::mem::take(&mut self.scratch_elem_out);
+        stage_in.clear();
+        stage_in.extend_from_slice(arrivals);
         for s in 0..self.stages {
             // Shuffle into the stage.
-            let mut shuffled: Vec<Option<Cell>> = vec![None; self.n];
+            shuffled.iter_mut().for_each(|c| *c = None);
             for (i, c) in stage_in.iter().enumerate() {
                 if c.is_some() {
                     shuffled[self.shuffle(i)] = *c;
@@ -132,29 +152,33 @@ impl OmegaNetwork {
             }
             // Route lookup (one destination digit per stage), then each
             // element of the stage switches its k lines.
-            let routed: Vec<Option<(Cell, usize)>> = shuffled
-                .iter()
-                .map(|c| c.map(|c| (c, self.digit(c.dst.index(), s))))
-                .collect();
-            let mut stage_out: Vec<Option<Cell>> = vec![None; self.n];
+            for (r, c) in routed.iter_mut().zip(shuffled.iter()) {
+                *r = c.map(|c| (c, self.digit(c.dst.index(), s)));
+            }
+            stage_out.iter_mut().for_each(|c| *c = None);
             for (e, elem) in self.elements[s].iter_mut().enumerate() {
                 let base = e * k;
-                let mut out = vec![None; k];
-                elem.tick(&routed[base..base + k], &mut out);
-                for (j, c) in out.into_iter().enumerate() {
-                    stage_out[base + j] = c;
+                elem.tick(&routed[base..base + k], &mut elem_out);
+                for (j, c) in elem_out.iter().enumerate() {
+                    stage_out[base + j] = *c;
                 }
             }
             // Latch this stage's output; what the register previously
             // held (stage `s`'s output of the last slot) feeds stage
             // `s + 1` on the next loop iteration.
-            stage_in = std::mem::replace(&mut self.pipe[s], stage_out);
+            std::mem::swap(&mut stage_in, &mut self.pipe[s]);
+            std::mem::swap(&mut self.pipe[s], &mut stage_out);
         }
         // What fell out of the last pipeline register is delivered.
-        for c in stage_in.into_iter().flatten() {
+        for c in stage_in.iter().copied().flatten() {
             self.latencies.push(now.saturating_sub(c.birth));
             self.delivered.push(c);
         }
+        self.scratch_stage_in = stage_in;
+        self.scratch_shuffled = shuffled;
+        self.scratch_routed = routed;
+        self.scratch_stage_out = stage_out;
+        self.scratch_elem_out = elem_out;
     }
 
     /// Total cells delivered to terminals.

@@ -13,6 +13,8 @@
 //! * [`switch_core::behavioral::BehavioralSwitch`] — the same semantics
 //!   at cell level, for statistics.
 //! * [`baselines`] — every architecture the paper compares against.
+//! * [`fabric`] — the component-graph runtime: multistage networks of
+//!   real elements, sharded bit-exactly across worker threads.
 //! * [`vlsimodel`] — the silicon-area and RC-delay arithmetic of §4–5.
 //! * `bench-harness` (`cargo run -p bench-harness --bin expt -- all`) —
 //!   regenerates every table and figure; see EXPERIMENTS.md.
@@ -40,6 +42,7 @@
 
 pub use baselines;
 pub use conformance;
+pub use fabric;
 pub use membank;
 pub use netsim;
 pub use simkernel;

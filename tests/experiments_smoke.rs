@@ -23,20 +23,20 @@ fn unknown_experiment_rejected() {
 }
 
 /// The registry itself is part of the contract: every paper experiment
-/// (e1–e18) and every extension (x1–x5) must be listed — in order — and
+/// (e1–e19) and every extension (x1–x5) must be listed — in order — and
 /// must dispatch to a module. Dropping an id from `ALL` would otherwise
 /// silently remove it from `expt all`, CI's quick run, and the smoke
 /// test above.
 #[test]
 fn registry_is_complete_and_ordered() {
-    let expected: Vec<String> = (1..=18)
+    let expected: Vec<String> = (1..=19)
         .map(|k| format!("e{k}"))
         .chain((1..=5).map(|k| format!("x{k}")))
         .collect();
     assert_eq!(
         ALL.to_vec(),
         expected.iter().map(String::as_str).collect::<Vec<_>>(),
-        "experiment registry drifted from the e01–e18/x01–x05 grid"
+        "experiment registry drifted from the e01–e19/x01–x05 grid"
     );
     for id in ALL {
         assert!(

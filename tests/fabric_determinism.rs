@@ -1,0 +1,179 @@
+//! Determinism pinning of the fabric component-graph runtime.
+//!
+//! The sharded executor's contract is absolute: for any worker count,
+//! the run is **byte-identical** to the sequential reference — delivered
+//! cells (order included), per-element accepted/dropped counters, and
+//! the occupancy probe series. `FabricRun` derives `PartialEq` over all
+//! of that, and `digest()` folds it into one FNV fingerprint, so each
+//! comparison here is a full-state check, not a summary check.
+//!
+//! Alongside: the link-latency law (every delivered cell pays at least
+//! `hops × link_latency` cycles, scaled by the element cell time) and
+//! cell conservation (offered = delivered + dropped + residual) on
+//! every topology the builders produce.
+
+use telegraphos::fabric::{topo, ElementKind, Fabric, FabricRun, Pattern, Topology, Workload};
+
+/// The topology ladder under test: omega / banyan / folded Clos /
+/// fat-tree at 64–256 endpoints.
+fn ladder() -> Vec<(&'static str, Topology)> {
+    vec![
+        ("omega-64", topo::omega(4, 3)),
+        ("omega-256", topo::omega(4, 4)),
+        ("banyan-64", topo::banyan(4, 3)),
+        ("clos-64", topo::clos2(16, 4)),
+        ("clos-256", topo::clos2(16, 16)),
+        ("fattree-128", topo::fat_tree(8)),
+    ]
+}
+
+fn workload(seed: u64, pattern: Pattern) -> Workload {
+    Workload {
+        pattern,
+        load: 0.6,
+        seed,
+    }
+}
+
+fn run_at(topology: &Topology, kind: ElementKind, w: &Workload, jobs: usize) -> FabricRun {
+    Fabric::new(topology.clone(), kind).run(300, 200, w, jobs)
+}
+
+#[test]
+fn sharded_runs_are_byte_identical_for_any_jobs() {
+    for (name, topology) in ladder() {
+        let uniform_radix = topology.radix.iter().all(|&r| r == topology.radix[0]);
+        let mut kinds = vec![ElementKind::Scalar { capacity: Some(16) }];
+        if uniform_radix {
+            kinds.push(ElementKind::Behavioral {
+                slots: 4 * topology.max_radix(),
+            });
+        }
+        for kind in kinds {
+            for pattern in [Pattern::Uniform, Pattern::Hotspot { hot_frac: 0.25 }] {
+                let w = workload(0xDE7E12, pattern);
+                let seq = run_at(&topology, kind, &w, 1);
+                assert!(seq.offered > 0, "{name}: traffic must flow");
+                for jobs in [2, 4, 8] {
+                    let par = run_at(&topology, kind, &w, jobs);
+                    assert_eq!(
+                        seq.digest(),
+                        par.digest(),
+                        "{name}/{}/{}: digest diverged at jobs={jobs}",
+                        kind.label(),
+                        pattern.label()
+                    );
+                    assert_eq!(
+                        seq,
+                        par,
+                        "{name}/{}/{}: full run state diverged at jobs={jobs}",
+                        kind.label(),
+                        pattern.label()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn conservation_holds_on_every_topology() {
+    for (name, topology) in ladder() {
+        let w = workload(0xC0_5E12, Pattern::Uniform);
+        let run = run_at(&topology, ElementKind::Scalar { capacity: Some(8) }, &w, 4);
+        assert_eq!(
+            run.offered,
+            run.delivered_total() + run.dropped + run.residual,
+            "{name}: every offered cell must be delivered, dropped or residual"
+        );
+    }
+}
+
+#[test]
+fn conservation_holds_when_word_elements_drop() {
+    // Regression: a dropped packet arrives but never departs, so the
+    // word adapters must exclude drops from reported occupancy or
+    // residual accounting double-counts every loss. Tiny pools under
+    // hotspot traffic force real drops through the RTL path.
+    let topology = topo::omega(4, 3);
+    let w = Workload {
+        pattern: Pattern::Hotspot { hot_frac: 0.5 },
+        load: 0.9,
+        seed: 0xD20B,
+    };
+    for kind in [
+        ElementKind::WordRtl { slots: 2 },
+        ElementKind::WordWide { slots: 2 },
+        ElementKind::WordIbank { banks: 2 },
+    ] {
+        let run = Fabric::new(topology.clone(), kind).run(80, 60, &w, 2);
+        assert!(
+            run.dropped > 0,
+            "{}: hotspot must force drops",
+            kind.label()
+        );
+        assert_eq!(
+            run.offered,
+            run.delivered_total() + run.dropped + run.residual,
+            "{}: conservation must survive drops",
+            kind.label()
+        );
+    }
+}
+
+#[test]
+fn latency_respects_hops_times_link_latency() {
+    // The scalar element forwards a cell in one cycle per hop, so with
+    // link latency L a cell from src to dst can never beat
+    // hops(src, dst) × L; the word-clocked organizations scale the same
+    // bound by their cell time. Checked per delivered cell, for L = 1
+    // and an exaggerated L = 3.
+    for latency in [1u64, 3] {
+        let topology = topo::omega(4, 3);
+        let w = workload(0x1A7, Pattern::Uniform);
+        let run = Fabric::new(topology.clone(), ElementKind::Scalar { capacity: None })
+            .with_link_latency(latency)
+            .run(300, 400, &w, 2);
+        assert!(run.delivered_total() > 0);
+        for (t, per_terminal) in run.delivered.iter().enumerate() {
+            for &(cycle, cell) in per_terminal {
+                let floor = topology.hops(cell.src.index(), t) as u64 * latency;
+                assert!(
+                    cycle - cell.birth >= floor,
+                    "L={latency}: cell {:?} {}->{t} delivered after {} cycles, \
+                     below the {} floor",
+                    cell.id,
+                    cell.src.index(),
+                    cycle - cell.birth,
+                    floor
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn behavioral_fabric_latency_scales_with_cell_time() {
+    // Behavioral elements clock one cell in S = 2k cycles, so the same
+    // hop bound holds with the link latency equal to the cell time.
+    let topology = topo::omega(4, 3);
+    let w = workload(0xBEE, Pattern::Permutation);
+    let mut fab = Fabric::new(topology.clone(), ElementKind::Behavioral { slots: 16 });
+    let cell_time = fab.cell_time();
+    assert_eq!(cell_time, 8, "4x4 behavioral element: S = 2k");
+    let run = fab.run(120, 100, &w, 2);
+    assert!(run.delivered_total() > 0);
+    for (t, per_terminal) in run.delivered.iter().enumerate() {
+        for &(cycle, cell) in per_terminal {
+            let floor = topology.hops(cell.src.index(), t) as u64 * cell_time;
+            assert!(
+                cycle - cell.birth >= floor,
+                "cell {:?} {}->{t}: latency {} below the {} hop floor",
+                cell.id,
+                cell.src.index(),
+                cycle - cell.birth,
+                floor
+            );
+        }
+    }
+}
